@@ -1,0 +1,133 @@
+// Command al-eval regenerates the paper's evaluation: Table I, Figures 1-4,
+// the §V-C violation analysis, and the §V-D ablations.
+//
+// Usage:
+//
+//	al-eval -data dataset.csv -fig all [-partitions 10] [-iters 150]
+//	        [-csv out/] [-seed 1]
+//
+// With -generate, the dataset is regenerated in-process instead of loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"alamr/internal/dataset"
+	"alamr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("al-eval: ")
+
+	data := flag.String("data", "dataset.csv", "dataset CSV (from amr-gen)")
+	generate := flag.Bool("generate", false, "regenerate the dataset instead of loading it")
+	fig := flag.String("fig", "all", "what to run: table1,fig1,fig2,fig3,fig4,violations,online,batch,ablations (or kernels,log2p,base,memlimit,cadence,surrogate,weighted individually), all")
+	partitions := flag.Int("partitions", 10, "random partitions per configuration")
+	iters := flag.Int("iters", 150, "AL iterations per trajectory")
+	csvDir := flag.String("csv", "", "directory for CSV series output")
+	seed := flag.Int64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "parallel trajectories (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	var err error
+	if *generate {
+		t0 := time.Now()
+		ds, err = dataset.Generate(dataset.GenConfig{Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("regenerated dataset: %d jobs in %v\n\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		ds, err = dataset.LoadFile(*data)
+		if err != nil {
+			log.Fatalf("loading dataset: %v (generate one with amr-gen, or pass -generate)", err)
+		}
+	}
+
+	opts := experiments.Options{
+		Dataset:       ds,
+		Out:           os.Stdout,
+		CSVDir:        *csvDir,
+		Partitions:    *partitions,
+		MaxIterations: *iters,
+		Workers:       *workers,
+		Seed:          *seed,
+	}
+
+	run := func(name string, fn func() error) {
+		t0 := time.Now()
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+
+	if all || want["table1"] {
+		run("Table I", func() error { _, err := experiments.TableI(opts); return err })
+	}
+	if all || want["fig1"] {
+		run("Fig 1 (refinement progression)", func() error {
+			_, err := experiments.Fig1(opts, experiments.Fig1Config{})
+			return err
+		})
+	}
+	if all || want["fig2"] {
+		run("Fig 2 (selection cost distributions)", func() error { _, err := experiments.Fig2(opts); return err })
+	}
+	if all || want["fig3"] {
+		run("Fig 3 (cumulative regret)", func() error { _, err := experiments.Fig3(opts); return err })
+	}
+	if all || want["fig4"] {
+		run("Fig 4 (error trade-offs)", func() error { _, err := experiments.Fig4(opts); return err })
+	}
+	if all || want["violations"] {
+		run("§V-C violation timeline", func() error { _, err := experiments.ViolationTimeline(opts); return err })
+	}
+	if all || want["online"] {
+		run("online-mode study", func() error {
+			_, err := experiments.OnlineStudy(opts, 20, 3)
+			return err
+		})
+	}
+	if all || want["batch"] {
+		run("batch-mode AL study", func() error {
+			_, err := experiments.BatchSizeStudy(opts, nil, 64)
+			return err
+		})
+	}
+	if all || want["ablations"] || want["kernels"] {
+		run("kernel ablation", func() error { _, err := experiments.KernelAblation(opts); return err })
+	}
+	if all || want["ablations"] || want["log2p"] {
+		run("log2(p) ablation", func() error { _, err := experiments.Log2PAblation(opts); return err })
+	}
+	if all || want["ablations"] || want["base"] {
+		run("goodness-base ablation", func() error { _, err := experiments.GoodnessBaseAblation(opts); return err })
+	}
+	if all || want["ablations"] || want["memlimit"] {
+		run("memory-limit sensitivity", func() error { _, err := experiments.MemLimitSensitivity(opts); return err })
+	}
+	if all || want["ablations"] || want["cadence"] {
+		run("hyperopt cadence ablation", func() error { _, err := experiments.HyperoptCadenceAblation(opts); return err })
+	}
+	if all || want["ablations"] || want["surrogate"] {
+		run("surrogate ablation", func() error { _, err := experiments.SurrogateAblation(opts); return err })
+	}
+	if all || want["ablations"] || want["weighted"] {
+		run("weighted-error study", func() error { _, err := experiments.WeightedErrorStudy(opts); return err })
+	}
+}

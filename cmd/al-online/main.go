@@ -1,0 +1,78 @@
+// Command al-online runs a live active-learning campaign against the
+// simulation-backed lab: the learner proposes configurations from the full
+// 1920-point design grid and each proposal is actually simulated (shock-
+// bubble hydrodynamics + machine model) on demand — the "online" system the
+// paper contrasts with its offline simulator.
+//
+// Usage:
+//
+//	al-online [-policy rgma] [-n 25] [-budget 2] [-memlimit 1] [-seed 17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"alamr/internal/core"
+	"alamr/internal/online"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("al-online: ")
+
+	policyName := flag.String("policy", "rgma", "selection policy (randuniform|maxsigma|minpred|randgoodness|rgma)")
+	n := flag.Int("n", 25, "maximum AL-selected experiments")
+	budget := flag.Float64("budget", 0, "node-hour budget (0 = unlimited)")
+	memLimit := flag.Float64("memlimit", 0, "memory limit in MB (0 = none)")
+	seed := flag.Int64("seed", 17, "seed")
+	refnx := flag.Int("refnx", 64, "physics reference resolution")
+	flag.Parse()
+
+	var policy core.Policy
+	switch strings.ToLower(*policyName) {
+	case "randuniform", "uniform":
+		policy = core.RandUniform{}
+	case "maxsigma":
+		policy = core.MaxSigma{}
+	case "minpred":
+		policy = core.MinPred{}
+	case "randgoodness", "goodness":
+		policy = core.RandGoodness{}
+	case "rgma":
+		policy = core.RGMA{}
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	lab := online.NewSimLab(online.SimLabConfig{RefNx: *refnx, Seed: *seed})
+	res, err := online.Run(lab, online.Config{
+		Policy:         policy,
+		MaxExperiments: *n,
+		Budget:         *budget,
+		MemLimitMB:     *memLimit,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("campaign: %d experiments, stop=%s, %d physics references simulated\n",
+		len(res.Jobs), res.Reason, lab.NumReferenceRuns())
+	if len(res.CumCost) > 0 {
+		last := len(res.CumCost) - 1
+		fmt.Printf("spent %.4g node-hours (regret %.4g), one-step cost MAPE %.0f%%\n",
+			res.CumCost[last], res.CumRegret[last], 100*res.OneStepMAPE())
+	}
+	for i := range res.ActualCost {
+		j := res.Jobs[i+1]
+		mark := ""
+		if res.Violation[i] {
+			mark = "  !! memory"
+		}
+		fmt.Printf("#%02d p=%-2d mx=%-2d ml=%d r0=%.1f rho=%.2f  pred=%.4g actual=%.4g nh%s\n",
+			i+1, j.P, j.Mx, j.MaxLevel, j.R0, j.RhoIn, res.PredictedCost[i], res.ActualCost[i], mark)
+	}
+}

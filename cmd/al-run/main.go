@@ -1,0 +1,136 @@
+// Command al-run executes a single active-learning trajectory on a dataset
+// and prints its selection log and learning curves.
+//
+// Usage:
+//
+//	al-run -data dataset.csv -policy rgma [-ninit 50] [-ntest 200]
+//	       [-iters 150] [-memlimit 0] [-seed 1] [-log2p] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"alamr/internal/core"
+	"alamr/internal/dataset"
+	"alamr/internal/report"
+)
+
+func policyByName(name string, base float64) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "randuniform", "uniform":
+		return core.RandUniform{}, nil
+	case "maxsigma":
+		return core.MaxSigma{}, nil
+	case "minpred":
+		return core.MinPred{}, nil
+	case "randgoodness", "goodness":
+		return core.RandGoodness{Base: base}, nil
+	case "rgma":
+		return core.RGMA{Base: base}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want randuniform|maxsigma|minpred|randgoodness|rgma)", name)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("al-run: ")
+
+	data := flag.String("data", "dataset.csv", "dataset CSV (from amr-gen)")
+	policyName := flag.String("policy", "rgma", "selection policy")
+	base := flag.Float64("base", 10, "goodness base for randgoodness/rgma")
+	nInit := flag.Int("ninit", 50, "initial partition size")
+	nTest := flag.Int("ntest", 200, "test partition size")
+	iters := flag.Int("iters", 150, "AL iterations (0 = exhaust pool)")
+	memLimit := flag.Float64("memlimit", 0, "memory limit in MB (0 = the paper's rule; -1 = disabled)")
+	seed := flag.Int64("seed", 1, "seed")
+	log2p := flag.Bool("log2p", false, "use log2(p) feature transform")
+	verbose := flag.Bool("verbose", false, "print every selection")
+	jsonOut := flag.String("json", "", "write the full trajectory as JSON to this file")
+	flag.Parse()
+
+	ds, err := dataset.LoadFile(*data)
+	if err != nil {
+		log.Fatalf("loading dataset: %v (generate one with amr-gen)", err)
+	}
+	policy, err := policyByName(*policyName, *base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	limit := *memLimit
+	switch {
+	case limit == 0:
+		limit = core.PaperMemLimitMB(ds)
+		fmt.Printf("memory limit (paper rule): %.4g MB\n", limit)
+	case limit < 0:
+		limit = 0
+	}
+
+	part, err := dataset.Split(ds, *nInit, *nTest, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := core.RunTrajectory(ds, part, core.LoopConfig{
+		Policy:        policy,
+		MaxIterations: *iters,
+		MemLimitMB:    limit,
+		Seed:          *seed,
+		Log2P:         *log2p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy=%s ninit=%d iterations=%d stop=%s\n", tr.Policy, tr.NInit, tr.Iterations(), tr.Reason)
+	fmt.Printf("initial RMSE: cost=%.4g mem=%.4g\n", tr.InitCostRMSE, tr.InitMemRMSE)
+	n := tr.Iterations()
+	if n > 0 {
+		fmt.Printf("final RMSE:   cost=%.4g mem=%.4g\n", tr.CostRMSE[n-1], tr.MemRMSE[n-1])
+		fmt.Printf("cumulative cost=%.4g node-hours, cumulative regret=%.4g\n", tr.CumCost[n-1], tr.CumRegret[n-1])
+		violations := 0
+		for _, v := range tr.Violation {
+			if v {
+				violations++
+			}
+		}
+		fmt.Printf("memory-limit violations: %d of %d selections\n", violations, n)
+	}
+
+	if *verbose {
+		tb := &report.Table{Header: []string{"iter", "job", "cost (nh)", "mem (MB)", "violated", "cost RMSE"}}
+		for i, idx := range tr.Selected {
+			j := ds.Jobs[idx]
+			tb.Add(i, fmt.Sprintf("p=%d mx=%d ml=%d r0=%.2g rho=%.2g", j.P, j.Mx, j.MaxLevel, j.R0, j.RhoIn),
+				j.CostNH, j.MemMB, fmt.Sprintf("%v", tr.Violation[i]), tr.CostRMSE[i])
+		}
+		fmt.Println()
+		if err := tb.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	fmt.Println()
+	fmt.Print(report.ASCIIChart("cost RMSE / cumulative regret",
+		[]string{"cost RMSE", "cum regret"},
+		[][]float64{tr.CostRMSE, tr.CumRegret}, 64, 14))
+}

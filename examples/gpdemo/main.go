@@ -1,0 +1,80 @@
+// Gpdemo: the Gaussian-process regression layer on its own — fit a noisy 1D
+// function, print the posterior mean and uncertainty band as an ASCII chart,
+// and demonstrate hyperparameter optimization and incremental updates.
+//
+//	go run ./examples/gpdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+	"alamr/internal/report"
+)
+
+func truth(x float64) float64 { return math.Sin(2*math.Pi*x) * math.Exp(-x) }
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(4))
+
+	// Noisy training data on [0, 2].
+	n := 12
+	x := mat.NewDense(n, 1, nil)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 2 * rng.Float64()
+		x.Set(i, 0, v)
+		y[i] = truth(v) + 0.03*rng.NormFloat64()
+	}
+
+	g := gp.New(kernel.NewRBF(0.3, 1), gp.Config{Noise: 0.1, NormalizeY: true, Seed: 8})
+	if err := g.Fit(x, y); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted kernel: %v, noise σ=%.3g, LML=%.2f\n", g.Kernel(), g.NoiseStd(), g.LogMarginalLikelihood())
+
+	// Posterior over a dense grid.
+	m := 64
+	grid := mat.NewDense(m, 1, nil)
+	for i := 0; i < m; i++ {
+		grid.Set(i, 0, 2*float64(i)/float64(m-1))
+	}
+	mean, std := g.Predict(grid)
+	upper := make([]float64, m)
+	lower := make([]float64, m)
+	exact := make([]float64, m)
+	for i := 0; i < m; i++ {
+		upper[i] = mean[i] + 2*std[i]
+		lower[i] = mean[i] - 2*std[i]
+		exact[i] = truth(grid.At(i, 0))
+	}
+	fmt.Print(report.ASCIIChart("GP posterior (a=mean, b/c=±2σ, d=truth)",
+		[]string{"mean", "+2σ", "-2σ", "truth"},
+		[][]float64{mean, upper, lower, exact}, 64, 18))
+
+	// Incremental update: add one decisive observation where σ peaks.
+	_, widest := maxIdx(std)
+	point := grid.At(widest, 0)
+	fmt.Printf("\nappending one observation at the most uncertain x=%.3f\n", point)
+	if err := g.Append([]float64{point}, truth(point)); err != nil {
+		log.Fatal(err)
+	}
+	_, stdAfter := g.Predict(grid)
+	fmt.Printf("σ at that point: %.4f -> %.4f\n", std[widest], stdAfter[widest])
+}
+
+func maxIdx(v []float64) (float64, int) {
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}

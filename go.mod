@@ -1,0 +1,3 @@
+module alamr
+
+go 1.22

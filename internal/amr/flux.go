@@ -1,0 +1,89 @@
+package amr
+
+import "alamr/internal/euler"
+
+// patchFluxes stores one patch's face fluxes for a step: fx has (mx+1)×mx
+// vertical-face entries, fy has mx×(mx+1) horizontal-face entries.
+type patchFluxes struct {
+	fx, fy []euler.Cons
+}
+
+// faceID names a cell face in global level coordinates. For a vertical face,
+// (gi, gj) is the face between cells (gi-1, gj) and (gi, gj); for a
+// horizontal face, between (gi, gj-1) and (gi, gj).
+type faceID struct {
+	level    int
+	vertical bool
+	gi, gj   int
+}
+
+// children returns the two level+1 faces that tile this face.
+func (f faceID) children() [2]faceID {
+	if f.vertical {
+		return [2]faceID{
+			{f.level + 1, true, 2 * f.gi, 2 * f.gj},
+			{f.level + 1, true, 2 * f.gi, 2*f.gj + 1},
+		}
+	}
+	return [2]faceID{
+		{f.level + 1, false, 2 * f.gi, 2 * f.gj},
+		{f.level + 1, false, 2*f.gi + 1, 2 * f.gj},
+	}
+}
+
+// correctFluxes enforces conservation at coarse-fine interfaces: wherever a
+// leaf's boundary face is tiled by two finer faces (the neighbor is one
+// level deeper, guaranteed by 2:1 balance), the coarse flux is replaced by
+// the average of the fine fluxes, so the flux leaving the fine region
+// exactly enters the coarse cell. This is the standard refluxing step of
+// block-structured AMR (Berger–Colella).
+func (m *Mesh) correctFluxes(fluxes map[Key]*patchFluxes) {
+	// Index every boundary face of every leaf at its own level.
+	fine := make(map[faceID]euler.Cons)
+	for k, p := range m.leaves {
+		pf := fluxes[k]
+		mx := p.mx
+		gx, gy := k.PI*mx, k.PJ*mx
+		for j := 0; j < mx; j++ {
+			fine[faceID{k.Level, true, gx, gy + j}] = pf.fx[j*(mx+1)]
+			fine[faceID{k.Level, true, gx + mx, gy + j}] = pf.fx[j*(mx+1)+mx]
+		}
+		for i := 0; i < mx; i++ {
+			fine[faceID{k.Level, false, gx + i, gy}] = pf.fy[i]
+			fine[faceID{k.Level, false, gx + i, gy + mx}] = pf.fy[mx*mx+i]
+		}
+	}
+
+	avg := func(a, b euler.Cons) euler.Cons {
+		return euler.Cons{
+			Rho: 0.5 * (a.Rho + b.Rho),
+			Mx:  0.5 * (a.Mx + b.Mx),
+			My:  0.5 * (a.My + b.My),
+			E:   0.5 * (a.E + b.E),
+		}
+	}
+
+	for k, p := range m.leaves {
+		pf := fluxes[k]
+		mx := p.mx
+		gx, gy := k.PI*mx, k.PJ*mx
+		replace := func(f faceID, set func(euler.Cons)) {
+			c := f.children()
+			a, okA := fine[c[0]]
+			b, okB := fine[c[1]]
+			if okA && okB {
+				set(avg(a, b))
+			}
+		}
+		for j := 0; j < mx; j++ {
+			j := j
+			replace(faceID{k.Level, true, gx, gy + j}, func(v euler.Cons) { pf.fx[j*(mx+1)] = v })
+			replace(faceID{k.Level, true, gx + mx, gy + j}, func(v euler.Cons) { pf.fx[j*(mx+1)+mx] = v })
+		}
+		for i := 0; i < mx; i++ {
+			i := i
+			replace(faceID{k.Level, false, gx + i, gy}, func(v euler.Cons) { pf.fy[i] = v })
+			replace(faceID{k.Level, false, gx + i, gy + mx}, func(v euler.Cons) { pf.fy[mx*mx+i] = v })
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package amr
+
+import "alamr/internal/euler"
+
+// fillGhosts populates the ghost layers of every leaf from same-level
+// neighbors (copy), coarser neighbors (piecewise-constant prolongation), or
+// finer neighbors (2×2 averaging). Ghost cells outside the domain receive
+// zero-gradient (outflow) extrapolation from the nearest interior cell.
+func (m *Mesh) fillGhosts() {
+	for k, p := range m.leaves {
+		m.fillPatchGhosts(k, p)
+	}
+}
+
+func (m *Mesh) fillPatchGhosts(k Key, p *Patch) {
+	mx := p.mx
+	fill := func(i, j int) {
+		x, y := m.cellCenter(p, i, j)
+		if m.cfg.WallsY && (y < m.cfg.Y0 || y >= m.cfg.Y1) {
+			// Reflecting wall: mirror the interior cell across the boundary
+			// and negate the normal (y) momentum.
+			my := y
+			if y < m.cfg.Y0 {
+				my = 2*m.cfg.Y0 - y
+			} else {
+				my = 2*m.cfg.Y1 - y
+			}
+			if v, ok := m.ghostValue(p, x, my); ok {
+				v.My = -v.My
+				p.Set(i, j, v)
+				m.stats.GhostCells++
+				return
+			}
+		}
+		v, ok := m.ghostValue(p, x, y)
+		if !ok {
+			// Outside the domain: zero-gradient extrapolation.
+			ci := clampInt(i, 0, mx-1)
+			cj := clampInt(j, 0, mx-1)
+			v = p.At(ci, cj)
+		}
+		p.Set(i, j, v)
+		m.stats.GhostCells++
+	}
+	// West and east strips (including corners).
+	for j := -NG; j < mx+NG; j++ {
+		for g := 1; g <= NG; g++ {
+			fill(-g, j)
+			fill(mx+g-1, j)
+		}
+	}
+	// South and north strips (interior columns only; corners done above).
+	for i := 0; i < mx; i++ {
+		for g := 1; g <= NG; g++ {
+			fill(i, -g)
+			fill(i, mx+g-1)
+		}
+	}
+}
+
+// ghostValue returns the state at physical point (x, y) as seen at patch p's
+// resolution: direct copy from an equal-level leaf, the covering coarse cell
+// from a coarser leaf, or the conservative average of the fine cells from a
+// finer leaf.
+func (m *Mesh) ghostValue(p *Patch, x, y float64) (euler.Cons, bool) {
+	n := m.findLeafAt(x, y)
+	if n == nil {
+		return euler.Cons{}, false
+	}
+	switch {
+	case n.Level >= p.Level:
+		if n.Level == p.Level {
+			return m.cellAtPoint(n, x, y), true
+		}
+		// Finer neighbor (balance guarantees exactly one level): average the
+		// 2×2 fine cells inside our ghost cell.
+		dx, dy := m.dx(p.Level), m.dy(p.Level)
+		var sum euler.Cons
+		count := 0
+		for sj := 0; sj < 2; sj++ {
+			for si := 0; si < 2; si++ {
+				fx := x + (float64(si)-0.5)*dx/2
+				fy := y + (float64(sj)-0.5)*dy/2
+				f := m.findLeafAt(fx, fy)
+				if f == nil {
+					continue
+				}
+				v := m.cellAtPoint(f, fx, fy)
+				sum.Rho += v.Rho
+				sum.Mx += v.Mx
+				sum.My += v.My
+				sum.E += v.E
+				count++
+			}
+		}
+		if count == 0 {
+			return euler.Cons{}, false
+		}
+		inv := 1 / float64(count)
+		return euler.Cons{Rho: sum.Rho * inv, Mx: sum.Mx * inv, My: sum.My * inv, E: sum.E * inv}, true
+	default:
+		// Coarser neighbor: piecewise-constant prolongation.
+		return m.cellAtPoint(n, x, y), true
+	}
+}
+
+// cellAtPoint returns the interior cell of patch n containing the point,
+// clamped to the interior.
+func (m *Mesh) cellAtPoint(n *Patch, x, y float64) euler.Cons {
+	dx, dy := m.dx(n.Level), m.dy(n.Level)
+	x0 := m.cfg.X0 + float64(n.PI*n.mx)*dx
+	y0 := m.cfg.Y0 + float64(n.PJ*n.mx)*dy
+	i := clampInt(int((x-x0)/dx), 0, n.mx-1)
+	j := clampInt(int((y-y0)/dy), 0, n.mx-1)
+	return n.At(i, j)
+}

@@ -1,0 +1,326 @@
+package amr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"alamr/internal/euler"
+)
+
+// Config describes an AMR run.
+type Config struct {
+	Mx             int     // cells per patch edge (paper feature "mx")
+	MaxLevel       int     // deepest refinement level, 1-based (paper "maxlevel")
+	RootsX, RootsY int     // root quadrants along x and y
+	X0, Y0, X1, Y1 float64 // physical domain
+	CFL            float64 // Courant number (default 0.4)
+	RefineTol      float64 // refine quadrants whose indicator exceeds this (default 0.02)
+	CoarsenTol     float64 // coarsen quartets whose indicators all fall below this (default RefineTol/4)
+	RegridInterval int     // steps between regrids (default 4)
+	Limiter        euler.Limiter
+	// DisableFluxCorrection turns off the conservative coarse-fine
+	// refluxing pass (useful for ablations; the default keeps the scheme
+	// conservative on adaptive hierarchies).
+	DisableFluxCorrection bool
+	// WallsY selects reflecting (solid wall) boundaries at the bottom and
+	// top of the domain — the channel configuration of the shock-bubble
+	// problem — instead of the default zero-gradient outflow.
+	WallsY bool
+	// Init gives the initial primitive state at a physical point.
+	Init func(x, y float64) euler.Prim
+}
+
+func (c *Config) setDefaults() {
+	if c.CFL <= 0 {
+		c.CFL = 0.4
+	}
+	if c.RefineTol <= 0 {
+		c.RefineTol = 0.02
+	}
+	if c.CoarsenTol <= 0 {
+		c.CoarsenTol = c.RefineTol / 4
+	}
+	if c.RegridInterval <= 0 {
+		c.RegridInterval = 4
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Mx < 4 {
+		return fmt.Errorf("amr: Mx = %d, need >= 4", c.Mx)
+	}
+	if c.MaxLevel < 1 {
+		return fmt.Errorf("amr: MaxLevel = %d, need >= 1", c.MaxLevel)
+	}
+	if c.RootsX < 1 || c.RootsY < 1 {
+		return fmt.Errorf("amr: roots %dx%d, need >= 1", c.RootsX, c.RootsY)
+	}
+	if c.X1 <= c.X0 || c.Y1 <= c.Y0 {
+		return fmt.Errorf("amr: empty domain [%g,%g]x[%g,%g]", c.X0, c.X1, c.Y0, c.Y1)
+	}
+	if c.Init == nil {
+		return fmt.Errorf("amr: Init function is required")
+	}
+	return nil
+}
+
+// WorkStats accumulates the performance counters the cluster model converts
+// into wall-clock time and memory, mirroring what a real run would report.
+type WorkStats struct {
+	Steps           int
+	CellUpdates     int64 // interior cell updates performed
+	GhostCells      int64 // ghost cells filled
+	Regrids         int
+	RegridCells     int64 // cells touched by interpolation/averaging during regrids
+	PeakPatches     int   // maximum concurrent quadrant count
+	FinalPatches    int
+	PatchesPerLevel []int // snapshot at the end of the run
+}
+
+// Mesh is the forest of leaf quadrants plus solver state.
+type Mesh struct {
+	cfg    Config
+	leaves map[Key]*Patch
+	time   float64
+	stats  WorkStats
+}
+
+// NewMesh builds the initial forest: root quadrants initialized from
+// cfg.Init, then refined level by level wherever the indicator demands it,
+// so the initial condition is resolved before stepping starts.
+func NewMesh(cfg Config) (*Mesh, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Mesh{cfg: cfg, leaves: make(map[Key]*Patch)}
+	for pj := 0; pj < cfg.RootsY; pj++ {
+		for pi := 0; pi < cfg.RootsX; pi++ {
+			p := NewPatch(1, pi, pj, cfg.Mx)
+			m.initPatch(p)
+			m.leaves[Key{1, pi, pj}] = p
+		}
+	}
+	// Resolve the initial condition: repeatedly tag and refine.
+	for level := 1; level < cfg.MaxLevel; level++ {
+		m.Regrid()
+		m.reinitialize()
+	}
+	m.trackPeak()
+	return m, nil
+}
+
+// reinitialize re-evaluates cfg.Init on every leaf (used while building the
+// initial hierarchy, where interpolated data should be replaced by the exact
+// initial condition).
+func (m *Mesh) reinitialize() {
+	for _, p := range m.leaves {
+		m.initPatch(p)
+	}
+}
+
+func (m *Mesh) initPatch(p *Patch) {
+	for j := 0; j < p.mx; j++ {
+		for i := 0; i < p.mx; i++ {
+			x, y := m.cellCenter(p, i, j)
+			p.Set(i, j, m.cfg.Init(x, y).ToCons())
+		}
+	}
+}
+
+// Time returns the current simulation time.
+func (m *Mesh) Time() float64 { return m.time }
+
+// Stats returns a copy of the accumulated work counters.
+func (m *Mesh) Stats() WorkStats {
+	s := m.stats
+	s.FinalPatches = len(m.leaves)
+	s.PatchesPerLevel = m.PatchesPerLevel()
+	return s
+}
+
+// NumLeaves returns the current quadrant count.
+func (m *Mesh) NumLeaves() int { return len(m.leaves) }
+
+// PatchesPerLevel returns leaf counts indexed by level-1.
+func (m *Mesh) PatchesPerLevel() []int {
+	out := make([]int, m.cfg.MaxLevel)
+	for k := range m.leaves {
+		out[k.Level-1]++
+	}
+	return out
+}
+
+// Keys returns the sorted leaf keys (deterministic iteration order).
+func (m *Mesh) Keys() []Key {
+	ks := make([]Key, 0, len(m.leaves))
+	for k := range m.leaves {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(a, b int) bool {
+		if ks[a].Level != ks[b].Level {
+			return ks[a].Level < ks[b].Level
+		}
+		if ks[a].PJ != ks[b].PJ {
+			return ks[a].PJ < ks[b].PJ
+		}
+		return ks[a].PI < ks[b].PI
+	})
+	return ks
+}
+
+// Leaf returns the patch for a key, or nil.
+func (m *Mesh) Leaf(k Key) *Patch { return m.leaves[k] }
+
+// quadrantsX returns the quadrant-grid width at a level.
+func (m *Mesh) quadrantsX(level int) int { return m.cfg.RootsX << (level - 1) }
+func (m *Mesh) quadrantsY(level int) int { return m.cfg.RootsY << (level - 1) }
+
+// dx returns the cell size at a level (cells are square by construction when
+// the domain aspect matches the root layout; otherwise dx and dy differ).
+func (m *Mesh) dx(level int) float64 {
+	return (m.cfg.X1 - m.cfg.X0) / float64(m.quadrantsX(level)*m.cfg.Mx)
+}
+
+func (m *Mesh) dy(level int) float64 {
+	return (m.cfg.Y1 - m.cfg.Y0) / float64(m.quadrantsY(level)*m.cfg.Mx)
+}
+
+// cellCenter returns the physical center of cell (i, j) of patch p; ghost
+// indices are valid and map outside the patch.
+func (m *Mesh) cellCenter(p *Patch, i, j int) (x, y float64) {
+	dx, dy := m.dx(p.Level), m.dy(p.Level)
+	x0 := m.cfg.X0 + float64(p.PI*p.mx)*dx
+	y0 := m.cfg.Y0 + float64(p.PJ*p.mx)*dy
+	return x0 + (float64(i)+0.5)*dx, y0 + (float64(j)+0.5)*dy
+}
+
+// findLeafAt returns the leaf containing the physical point, searching from
+// the finest level down. Returns nil for points outside the domain.
+func (m *Mesh) findLeafAt(x, y float64) *Patch {
+	if x < m.cfg.X0 || x >= m.cfg.X1 || y < m.cfg.Y0 || y >= m.cfg.Y1 {
+		return nil
+	}
+	for level := m.cfg.MaxLevel; level >= 1; level-- {
+		qw := (m.cfg.X1 - m.cfg.X0) / float64(m.quadrantsX(level))
+		qh := (m.cfg.Y1 - m.cfg.Y0) / float64(m.quadrantsY(level))
+		pi := int((x - m.cfg.X0) / qw)
+		pj := int((y - m.cfg.Y0) / qh)
+		if p, ok := m.leaves[Key{level, pi, pj}]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// Sample returns the conservative state at a physical point by piecewise-
+// constant lookup, and whether the point is inside the domain.
+func (m *Mesh) Sample(x, y float64) (euler.Cons, bool) {
+	p := m.findLeafAt(x, y)
+	if p == nil {
+		return euler.Cons{}, false
+	}
+	dx, dy := m.dx(p.Level), m.dy(p.Level)
+	x0 := m.cfg.X0 + float64(p.PI*p.mx)*dx
+	y0 := m.cfg.Y0 + float64(p.PJ*p.mx)*dy
+	i := int((x - x0) / dx)
+	j := int((y - y0) / dy)
+	i = clampInt(i, 0, p.mx-1)
+	j = clampInt(j, 0, p.mx-1)
+	return p.At(i, j), true
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TotalMass integrates density over the domain (a conservation invariant on
+// uniform meshes).
+func (m *Mesh) TotalMass() float64 {
+	var mass float64
+	for k, p := range m.leaves {
+		cell := m.dx(k.Level) * m.dy(k.Level)
+		for j := 0; j < p.mx; j++ {
+			for i := 0; i < p.mx; i++ {
+				mass += p.At(i, j).Rho * cell
+			}
+		}
+	}
+	return mass
+}
+
+// TotalEnergy integrates total energy over the domain.
+func (m *Mesh) TotalEnergy() float64 {
+	var e float64
+	for k, p := range m.leaves {
+		cell := m.dx(k.Level) * m.dy(k.Level)
+		for j := 0; j < p.mx; j++ {
+			for i := 0; i < p.mx; i++ {
+				e += p.At(i, j).E * cell
+			}
+		}
+	}
+	return e
+}
+
+// CheckInvariants verifies structural invariants of the forest: leaves form
+// an exact partition of the domain and neighboring leaves differ by at most
+// one level (2:1 balance). It returns a descriptive error on violation.
+func (m *Mesh) CheckInvariants() error {
+	// Partition: measure covered area.
+	var area float64
+	for k := range m.leaves {
+		area += m.dx(k.Level) * m.dy(k.Level) * float64(m.cfg.Mx*m.cfg.Mx)
+	}
+	want := (m.cfg.X1 - m.cfg.X0) * (m.cfg.Y1 - m.cfg.Y0)
+	if math.Abs(area-want) > 1e-9*want {
+		return fmt.Errorf("amr: leaves cover area %g, domain is %g", area, want)
+	}
+	// Overlap: no leaf's ancestor may also be a leaf.
+	for k := range m.leaves {
+		a := k
+		for a.Level > 1 {
+			a = a.Parent()
+			if _, ok := m.leaves[a]; ok {
+				return fmt.Errorf("amr: leaf %v overlaps ancestor leaf %v", k, a)
+			}
+		}
+	}
+	// 2:1 balance via midpoint-of-edge sampling.
+	for k, p := range m.leaves {
+		dx, dy := m.dx(k.Level), m.dy(k.Level)
+		x0 := m.cfg.X0 + float64(k.PI*p.mx)*dx
+		y0 := m.cfg.Y0 + float64(k.PJ*p.mx)*dy
+		w := dx * float64(p.mx)
+		h := dy * float64(p.mx)
+		probes := [][2]float64{
+			{x0 - dx/2, y0 + h/2}, // west
+			{x0 + w + dx/2, y0 + h/2},
+			{x0 + w/2, y0 - dy/2},
+			{x0 + w/2, y0 + h + dy/2},
+		}
+		for _, pr := range probes {
+			n := m.findLeafAt(pr[0], pr[1])
+			if n == nil {
+				continue // domain boundary
+			}
+			if d := n.Level - k.Level; d > 1 || d < -1 {
+				return fmt.Errorf("amr: balance violation between %v and %v", k, Key{n.Level, n.PI, n.PJ})
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Mesh) trackPeak() {
+	if n := len(m.leaves); n > m.stats.PeakPatches {
+		m.stats.PeakPatches = n
+	}
+}

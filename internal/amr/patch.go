@@ -1,0 +1,88 @@
+// Package amr implements a block-structured adaptive mesh refinement solver
+// for the 2D compressible Euler equations, modeled on the FORESTCLAW /
+// p4est design the paper's dataset was generated with: the domain is covered
+// by a forest of quadrants, each quadrant carrying an mx×mx cell patch;
+// quadrants refine and coarsen dynamically based on a solution gradient
+// indicator, with a 2:1 level balance between neighbors.
+//
+// The package serves two roles in this reproduction:
+//
+//  1. A real solver (Mesh.Run) for the shock-bubble interaction problem,
+//     used by examples, validation tests, and the Fig 1 renderer.
+//  2. A performance emulator (ReferenceRun + Emulate) that measures the
+//     adaptive work and memory a given (mx, maxlevel) configuration
+//     performs, which — combined with the cluster machine model — replaces
+//     the paper's proprietary Edison measurement campaign.
+package amr
+
+import (
+	"fmt"
+
+	"alamr/internal/euler"
+)
+
+// NG is the number of ghost cell layers (two, as needed by slope-limited
+// reconstruction).
+const NG = 2
+
+// Patch is one quadrant's cell data: an Mx×Mx interior with NG ghost layers
+// on every side, stored row-major.
+type Patch struct {
+	Level   int // 1-based refinement level
+	PI, PJ  int // quadrant indices within the level's quadrant grid
+	mx      int
+	u, uNew []euler.Cons
+}
+
+// NewPatch allocates a patch at the given level and quadrant position.
+func NewPatch(level, pi, pj, mx int) *Patch {
+	if mx <= 0 {
+		panic(fmt.Sprintf("amr: invalid patch size %d", mx))
+	}
+	w := mx + 2*NG
+	return &Patch{
+		Level: level, PI: pi, PJ: pj, mx: mx,
+		u:    make([]euler.Cons, w*w),
+		uNew: make([]euler.Cons, w*w),
+	}
+}
+
+// Mx returns the interior cell count per edge.
+func (p *Patch) Mx() int { return p.mx }
+
+// idx maps cell coordinates (i, j) with i, j in [-NG, mx+NG) to the backing
+// slice. (0,0) is the lower-left interior cell.
+func (p *Patch) idx(i, j int) int {
+	return (j+NG)*(p.mx+2*NG) + (i + NG)
+}
+
+// At returns the state of cell (i, j); ghost cells are addressable with
+// negative indices or indices >= Mx.
+func (p *Patch) At(i, j int) euler.Cons { return p.u[p.idx(i, j)] }
+
+// Set assigns the state of cell (i, j).
+func (p *Patch) Set(i, j int, v euler.Cons) { p.u[p.idx(i, j)] = v }
+
+// swap promotes the freshly computed states to current.
+func (p *Patch) swap() { p.u, p.uNew = p.uNew, p.u }
+
+// Key identifies a quadrant in the forest.
+type Key struct {
+	Level, PI, PJ int
+}
+
+// Parent returns the key of the quadrant's parent.
+func (k Key) Parent() Key {
+	return Key{Level: k.Level - 1, PI: k.PI / 2, PJ: k.PJ / 2}
+}
+
+// Children returns the four child keys in (SW, SE, NW, NE) order.
+func (k Key) Children() [4]Key {
+	l, i, j := k.Level+1, k.PI*2, k.PJ*2
+	return [4]Key{
+		{l, i, j}, {l, i + 1, j}, {l, i, j + 1}, {l, i + 1, j + 1},
+	}
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string { return fmt.Sprintf("L%d(%d,%d)", k.Level, k.PI, k.PJ) }

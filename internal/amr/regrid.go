@@ -1,0 +1,210 @@
+package amr
+
+import (
+	"math"
+
+	"alamr/internal/euler"
+)
+
+// indicator returns the refinement indicator for a leaf: the maximum over
+// interior cells of the relative density gradient per cell,
+// |∇ρ|·dx/ρ. Large values mean the local solution is under-resolved at this
+// patch's cell size, the standard gradient-tagging criterion.
+func (m *Mesh) indicator(p *Patch) float64 {
+	var worst float64
+	for j := 0; j < p.mx; j++ {
+		for i := 0; i < p.mx; i++ {
+			c := p.At(i, j).Rho
+			if c <= 0 {
+				continue
+			}
+			gx := math.Abs(p.At(i+1, j).Rho-p.At(i-1, j).Rho) / 2
+			gy := math.Abs(p.At(i, j+1).Rho-p.At(i, j-1).Rho) / 2
+			g := math.Hypot(gx, gy) / c
+			if g > worst {
+				worst = g
+			}
+		}
+	}
+	return worst
+}
+
+// Regrid retags every leaf and applies refinement, coarsening, and 2:1
+// balancing. Ghost layers are filled first because the indicator stencil
+// reaches one cell outside the interior.
+func (m *Mesh) Regrid() {
+	m.fillGhosts()
+	m.stats.Regrids++
+
+	ind := make(map[Key]float64, len(m.leaves))
+	for k, p := range m.leaves {
+		ind[k] = m.indicator(p)
+	}
+
+	// Refinement pass.
+	for _, k := range m.Keys() {
+		if k.Level >= m.cfg.MaxLevel {
+			continue
+		}
+		if ind[k] > m.cfg.RefineTol {
+			m.refine(k)
+		}
+	}
+
+	// Coarsening pass: a sibling quartet of leaves whose indicators all sit
+	// below the coarsen threshold merges into its parent. The indicator is
+	// evaluated at the children's resolution, which is conservative.
+	for _, k := range m.Keys() {
+		if k.Level <= 1 {
+			continue
+		}
+		if _, ok := m.leaves[k]; !ok {
+			continue // already merged this sweep
+		}
+		parent := k.Parent()
+		children := parent.Children()
+		all := true
+		for _, c := range children {
+			p, ok := m.leaves[c]
+			if !ok {
+				all = false
+				break
+			}
+			ci, ok := ind[c]
+			if !ok {
+				ci = m.indicator(p)
+			}
+			if ci >= m.cfg.CoarsenTol {
+				all = false
+				break
+			}
+		}
+		if all {
+			m.coarsen(parent)
+		}
+	}
+
+	m.enforceBalance()
+	m.trackPeak()
+}
+
+// refine replaces leaf k with its four children, prolonging data by
+// piecewise-constant injection (each parent cell fills a 2×2 child block).
+func (m *Mesh) refine(k Key) {
+	p, ok := m.leaves[k]
+	if !ok {
+		return
+	}
+	delete(m.leaves, k)
+	for _, ck := range k.Children() {
+		c := NewPatch(ck.Level, ck.PI, ck.PJ, m.cfg.Mx)
+		// Child quadrant (ck.PI, ck.PJ) covers parent's half starting at
+		// (ox, oy) in parent cell coordinates.
+		ox := (ck.PI % 2) * m.cfg.Mx / 2
+		oy := (ck.PJ % 2) * m.cfg.Mx / 2
+		for j := 0; j < m.cfg.Mx; j++ {
+			for i := 0; i < m.cfg.Mx; i++ {
+				c.Set(i, j, p.At(ox+i/2, oy+j/2))
+			}
+		}
+		m.leaves[ck] = c
+		m.stats.RegridCells += int64(m.cfg.Mx * m.cfg.Mx)
+	}
+}
+
+// coarsen replaces the four children of parent with a single parent leaf,
+// restricting data by conservative 2×2 averaging.
+func (m *Mesh) coarsen(parent Key) {
+	children := parent.Children()
+	ps := [4]*Patch{}
+	for i, ck := range children {
+		p, ok := m.leaves[ck]
+		if !ok {
+			return
+		}
+		ps[i] = p
+	}
+	np := NewPatch(parent.Level, parent.PI, parent.PJ, m.cfg.Mx)
+	half := m.cfg.Mx / 2
+	for ci, child := range ps {
+		ox := (children[ci].PI % 2) * half
+		oy := (children[ci].PJ % 2) * half
+		for j := 0; j < half; j++ {
+			for i := 0; i < half; i++ {
+				var s euler.Cons
+				for sj := 0; sj < 2; sj++ {
+					for si := 0; si < 2; si++ {
+						v := child.At(2*i+si, 2*j+sj)
+						s.Rho += v.Rho
+						s.Mx += v.Mx
+						s.My += v.My
+						s.E += v.E
+					}
+				}
+				np.Set(ox+i, oy+j, euler.Cons{Rho: s.Rho / 4, Mx: s.Mx / 4, My: s.My / 4, E: s.E / 4})
+			}
+		}
+	}
+	for _, ck := range children {
+		delete(m.leaves, ck)
+	}
+	m.leaves[parent] = np
+	m.stats.RegridCells += int64(m.cfg.Mx * m.cfg.Mx)
+}
+
+// enforceBalance refines coarse leaves until every pair of edge-adjacent
+// leaves differs by at most one level.
+func (m *Mesh) enforceBalance() {
+	for changed := true; changed; {
+		changed = false
+		for _, k := range m.Keys() {
+			if _, ok := m.leaves[k]; !ok {
+				continue
+			}
+			for _, nk := range m.tooCoarseNeighbors(k) {
+				m.refine(nk)
+				changed = true
+			}
+		}
+	}
+}
+
+// tooCoarseNeighbors returns neighbor leaves more than one level coarser
+// than k.
+func (m *Mesh) tooCoarseNeighbors(k Key) []Key {
+	var out []Key
+	seen := make(map[Key]bool)
+	p := m.leaves[k]
+	if p == nil {
+		return nil
+	}
+	dx, dy := m.dx(k.Level), m.dy(k.Level)
+	x0 := m.cfg.X0 + float64(k.PI*p.mx)*dx
+	y0 := m.cfg.Y0 + float64(k.PJ*p.mx)*dy
+	w := dx * float64(p.mx)
+	h := dy * float64(p.mx)
+	// Sample several points along each edge so every adjacent quadrant is
+	// seen even when the neighborhood is mixed-level.
+	for _, frac := range []float64{0.25, 0.75} {
+		probes := [][2]float64{
+			{x0 - dx/2, y0 + h*frac},
+			{x0 + w + dx/2, y0 + h*frac},
+			{x0 + w*frac, y0 - dy/2},
+			{x0 + w*frac, y0 + h + dy/2},
+		}
+		for _, pr := range probes {
+			n := m.findLeafAt(pr[0], pr[1])
+			if n == nil {
+				continue
+			}
+			if k.Level-n.Level > 1 {
+				nk := Key{n.Level, n.PI, n.PJ}
+				if !seen[nk] {
+					seen[nk] = true
+					out = append(out, nk)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package amr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII samples the density field on a w×h grid and renders it as
+// ASCII art, dark characters marking high density. Useful for the Fig 1
+// reproduction in terminals and logs.
+func (m *Mesh) RenderASCII(w, h int) string {
+	const ramp = " .:-=+*#%@"
+	field := m.SampleDensity(w, h)
+	lo, hi := field[0], field[0]
+	for _, v := range field {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for j := h - 1; j >= 0; j-- {
+		for i := 0; i < w; i++ {
+			t := (field[j*w+i] - lo) / (hi - lo)
+			idx := int(t * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SampleDensity samples the density field at the centers of a w×h raster
+// covering the domain, row-major with row 0 at the bottom.
+func (m *Mesh) SampleDensity(w, h int) []float64 {
+	out := make([]float64, w*h)
+	for j := 0; j < h; j++ {
+		y := m.cfg.Y0 + (m.cfg.Y1-m.cfg.Y0)*(float64(j)+0.5)/float64(h)
+		for i := 0; i < w; i++ {
+			x := m.cfg.X0 + (m.cfg.X1-m.cfg.X0)*(float64(i)+0.5)/float64(w)
+			if c, ok := m.Sample(x, y); ok {
+				out[j*w+i] = c.Rho
+			}
+		}
+	}
+	return out
+}
+
+// RenderLevels renders the refinement-level map as digits, visualizing the
+// adaptive hierarchy.
+func (m *Mesh) RenderLevels(w, h int) string {
+	var b strings.Builder
+	for j := h - 1; j >= 0; j-- {
+		y := m.cfg.Y0 + (m.cfg.Y1-m.cfg.Y0)*(float64(j)+0.5)/float64(h)
+		for i := 0; i < w; i++ {
+			x := m.cfg.X0 + (m.cfg.X1-m.cfg.X0)*(float64(i)+0.5)/float64(w)
+			p := m.findLeafAt(x, y)
+			if p == nil {
+				b.WriteByte('?')
+				continue
+			}
+			fmt.Fprintf(&b, "%d", p.Level)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM encodes the density field as a binary-free plain PGM image
+// (portable graymap), suitable for viewing with standard tools.
+func (m *Mesh) WritePGM(w, h int) string {
+	field := m.SampleDensity(w, h)
+	lo, hi := field[0], field[0]
+	for _, v := range field {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", w, h)
+	for j := h - 1; j >= 0; j-- {
+		for i := 0; i < w; i++ {
+			g := int(255 * (field[j*w+i] - lo) / (hi - lo))
+			fmt.Fprintf(&b, "%d ", g)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

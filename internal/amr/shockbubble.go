@@ -1,0 +1,92 @@
+package amr
+
+import (
+	"fmt"
+	"math"
+
+	"alamr/internal/euler"
+)
+
+// ShockBubble describes the 2D shock-bubble interaction problem from the
+// paper (Fig 1): a planar right-moving shock in ambient air hits a circular
+// bubble of radius R0 and density RhoIn. Physical behaviour — and therefore
+// refinement, work, and memory — depends on the two physical features the
+// paper sweeps: R0 ("r0, bubble size") and RhoIn ("rhoin, bubble density").
+type ShockBubble struct {
+	Mach   float64 // incident shock Mach number (default 2)
+	ShockX float64 // initial shock position (default 0.2)
+	CX, CY float64 // bubble center (default 0.5, 0.5)
+	R0     float64 // bubble radius
+	RhoIn  float64 // bubble density (ambient is 1)
+}
+
+// Validate checks the physical parameters.
+func (s ShockBubble) Validate() error {
+	if s.R0 <= 0 {
+		return fmt.Errorf("amr: bubble radius %g must be positive", s.R0)
+	}
+	if s.RhoIn <= 0 {
+		return fmt.Errorf("amr: bubble density %g must be positive", s.RhoIn)
+	}
+	if s.Mach != 0 && s.Mach <= 1 {
+		return fmt.Errorf("amr: shock Mach number %g must exceed 1", s.Mach)
+	}
+	return nil
+}
+
+func (s ShockBubble) withDefaults() ShockBubble {
+	if s.Mach == 0 {
+		s.Mach = 2
+	}
+	if s.ShockX == 0 {
+		s.ShockX = 0.2
+	}
+	if s.CX == 0 {
+		s.CX = 0.5
+	}
+	if s.CY == 0 {
+		s.CY = 0.5
+	}
+	return s
+}
+
+// PostShockState returns the Rankine–Hugoniot post-shock primitive state for
+// a Mach-M shock running into ambient (ρ=1, p=1, u=0) air.
+func PostShockState(mach float64) euler.Prim {
+	g := euler.Gamma
+	m2 := mach * mach
+	p2 := 1 + 2*g/(g+1)*(m2-1)
+	rho2 := (g + 1) * m2 / ((g-1)*m2 + 2)
+	c1 := math.Sqrt(g) // ambient sound speed with ρ=p=1
+	u2 := mach * c1 * (1 - 1/rho2)
+	return euler.Prim{Rho: rho2, U: u2, V: 0, P: p2}
+}
+
+// Init returns the initial-condition function for the problem.
+func (s ShockBubble) Init() func(x, y float64) euler.Prim {
+	s = s.withDefaults()
+	post := PostShockState(s.Mach)
+	return func(x, y float64) euler.Prim {
+		if x < s.ShockX {
+			return post
+		}
+		dx, dy := x-s.CX, y-s.CY
+		if dx*dx+dy*dy < s.R0*s.R0 {
+			return euler.Prim{Rho: s.RhoIn, U: 0, V: 0, P: 1}
+		}
+		return euler.Prim{Rho: 1, U: 0, V: 0, P: 1}
+	}
+}
+
+// DefaultDomain returns the standard configuration for the shock-bubble
+// problem: domain [0,2]×[0,1] with a 2×1 root layout so cells stay square.
+func (s ShockBubble) DefaultDomain(mx, maxLevel int) Config {
+	s = s.withDefaults()
+	return Config{
+		Mx:       mx,
+		MaxLevel: maxLevel,
+		RootsX:   2, RootsY: 1,
+		X0: 0, Y0: 0, X1: 2, Y1: 1,
+		Init: s.Init(),
+	}
+}

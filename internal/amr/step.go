@@ -1,0 +1,196 @@
+package amr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"alamr/internal/euler"
+)
+
+// ErrUnphysical is returned when the solver produces an inadmissible state
+// (negative density or pressure), usually a sign that the CFL number or
+// refinement thresholds are too aggressive for the problem.
+var ErrUnphysical = errors.New("amr: unphysical state produced")
+
+// MaxStableDt returns the CFL-limited global time step over all leaves.
+func (m *Mesh) MaxStableDt() float64 {
+	dt := math.Inf(1)
+	for k, p := range m.leaves {
+		dx, dy := m.dx(k.Level), m.dy(k.Level)
+		for j := 0; j < p.mx; j++ {
+			for i := 0; i < p.mx; i++ {
+				sx, sy := p.At(i, j).ToPrim().MaxWaveSpeed()
+				if sx > 0 {
+					if d := m.cfg.CFL * dx / sx; d < dt {
+						dt = d
+					}
+				}
+				if sy > 0 {
+					if d := m.cfg.CFL * dy / sy; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+	}
+	return dt
+}
+
+// Step advances the whole hierarchy by one global time step of size dt
+// (typically MaxStableDt). All leaves advance together; there is no level
+// subcycling (the emulator models subcycled work separately). Unless
+// disabled, coarse-fine interface fluxes are conservatively corrected
+// (refluxing) before cells update.
+func (m *Mesh) Step(dt float64) error {
+	m.fillGhosts()
+	fluxes := make(map[Key]*patchFluxes, len(m.leaves))
+	for k, p := range m.leaves {
+		fluxes[k] = m.computeFluxes(p)
+	}
+	if !m.cfg.DisableFluxCorrection {
+		m.correctFluxes(fluxes)
+	}
+	for k, p := range m.leaves {
+		if err := m.applyFluxes(k, p, fluxes[k], dt); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.leaves {
+		p.swap()
+	}
+	m.time += dt
+	m.stats.Steps++
+	if m.cfg.RegridInterval > 0 && m.cfg.MaxLevel > 1 && m.stats.Steps%m.cfg.RegridInterval == 0 {
+		m.Regrid()
+	}
+	return nil
+}
+
+// computeFluxes performs slope-limited MUSCL reconstruction and evaluates
+// HLLC fluxes on every face of one patch.
+func (m *Mesh) computeFluxes(p *Patch) *patchFluxes {
+	mx := p.mx
+	lim := m.cfg.Limiter
+
+	// Reconstruct limited slopes per cell for the stencil region
+	// [-1, mx+1) so faces at the interior boundary see proper states.
+	type slopes struct{ sx, sy [euler.NumFields]float64 }
+	w := mx + 2
+	sl := make([]slopes, w*w)
+	sidx := func(i, j int) int { return (j+1)*w + (i + 1) }
+	get := func(i, j int) [euler.NumFields]float64 {
+		c := p.At(i, j)
+		return [euler.NumFields]float64{c.Rho, c.Mx, c.My, c.E}
+	}
+	for j := -1; j <= mx; j++ {
+		for i := -1; i <= mx; i++ {
+			c := get(i, j)
+			l := get(i-1, j)
+			r := get(i+1, j)
+			d := get(i, j-1)
+			u := get(i, j+1)
+			var s slopes
+			for f := 0; f < euler.NumFields; f++ {
+				s.sx[f] = lim.Apply(c[f]-l[f], r[f]-c[f])
+				s.sy[f] = lim.Apply(c[f]-d[f], u[f]-c[f])
+			}
+			sl[sidx(i, j)] = s
+		}
+	}
+
+	recon := func(i, j int, dxFrac, dyFrac float64) euler.Cons {
+		c := get(i, j)
+		s := sl[sidx(i, j)]
+		return euler.Cons{
+			Rho: c[0] + dxFrac*s.sx[0] + dyFrac*s.sy[0],
+			Mx:  c[1] + dxFrac*s.sx[1] + dyFrac*s.sy[1],
+			My:  c[2] + dxFrac*s.sx[2] + dyFrac*s.sy[2],
+			E:   c[3] + dxFrac*s.sx[3] + dyFrac*s.sy[3],
+		}
+	}
+
+	pf := &patchFluxes{
+		fx: make([]euler.Cons, (mx+1)*mx),
+		fy: make([]euler.Cons, mx*(mx+1)),
+	}
+	for j := 0; j < mx; j++ {
+		for i := 0; i <= mx; i++ {
+			l := recon(i-1, j, 0.5, 0)
+			r := recon(i, j, -0.5, 0)
+			if !l.Valid() {
+				l = p.At(i-1, j)
+			}
+			if !r.Valid() {
+				r = p.At(i, j)
+			}
+			pf.fx[j*(mx+1)+i] = euler.HLLCFluxX(l, r)
+		}
+	}
+	for j := 0; j <= mx; j++ {
+		for i := 0; i < mx; i++ {
+			l := recon(i, j-1, 0, 0.5)
+			r := recon(i, j, 0, -0.5)
+			if !l.Valid() {
+				l = p.At(i, j-1)
+			}
+			if !r.Valid() {
+				r = p.At(i, j)
+			}
+			pf.fy[j*mx+i] = euler.HLLCFluxY(l, r)
+		}
+	}
+	return pf
+}
+
+// applyFluxes performs the finite-volume update of one patch's interior into
+// its uNew buffer using the (possibly corrected) face fluxes.
+func (m *Mesh) applyFluxes(k Key, p *Patch, pf *patchFluxes, dt float64) error {
+	mx := p.mx
+	dx, dy := m.dx(k.Level), m.dy(k.Level)
+	ax, ay := dt/dx, dt/dy
+	for j := 0; j < mx; j++ {
+		for i := 0; i < mx; i++ {
+			c := p.At(i, j)
+			fw := pf.fx[j*(mx+1)+i]
+			fe := pf.fx[j*(mx+1)+i+1]
+			fs := pf.fy[j*mx+i]
+			fn := pf.fy[(j+1)*mx+i]
+			nc := euler.Cons{
+				Rho: c.Rho - ax*(fe.Rho-fw.Rho) - ay*(fn.Rho-fs.Rho),
+				Mx:  c.Mx - ax*(fe.Mx-fw.Mx) - ay*(fn.Mx-fs.Mx),
+				My:  c.My - ax*(fe.My-fw.My) - ay*(fn.My-fs.My),
+				E:   c.E - ax*(fe.E-fw.E) - ay*(fn.E-fs.E),
+			}
+			if !nc.Valid() {
+				return fmt.Errorf("%w at level %d patch (%d,%d) cell (%d,%d): %+v",
+					ErrUnphysical, k.Level, k.PI, k.PJ, i, j, nc)
+			}
+			p.uNew[p.idx(i, j)] = nc
+		}
+	}
+	m.stats.CellUpdates += int64(mx * mx)
+	return nil
+}
+
+// Run advances the simulation to tEnd, returning the accumulated work
+// statistics. Progress can be observed via the optional callback, invoked
+// after every step.
+func (m *Mesh) Run(tEnd float64, onStep func(step int, t, dt float64)) (WorkStats, error) {
+	for m.time < tEnd {
+		dt := m.MaxStableDt()
+		if math.IsInf(dt, 0) || dt <= 0 {
+			return m.Stats(), fmt.Errorf("amr: invalid time step %g at t=%g", dt, m.time)
+		}
+		if m.time+dt > tEnd {
+			dt = tEnd - m.time
+		}
+		if err := m.Step(dt); err != nil {
+			return m.Stats(), err
+		}
+		if onStep != nil {
+			onStep(m.stats.Steps, m.time, dt)
+		}
+	}
+	return m.Stats(), nil
+}

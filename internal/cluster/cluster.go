@@ -1,0 +1,173 @@
+// Package cluster models the supercomputer the paper ran on — Edison at
+// NERSC, a Cray XC30 with two-socket 12-core Ivy Bridge nodes and an Aries
+// dragonfly interconnect — at the fidelity needed to turn the AMR emulator's
+// machine-independent work counters into the accounting records SLURM
+// produced for the original dataset: wall-clock time, job cost in
+// node-hours, and peak per-process resident set size (MaxRSS).
+//
+// The model is deliberately simple and documented: compute time from a
+// per-core cell-update rate with a load-imbalance factor from the patch
+// distribution, communication from an α–β (latency–bandwidth) model of ghost
+// exchanges and per-step collectives, memory from per-rank patch buffers,
+// and run-to-run machine variability from seeded log-normal noise (the
+// paper's 75 repeated measurements capture exactly this effect).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alamr/internal/amr"
+)
+
+// Machine describes the modeled system.
+type Machine struct {
+	Name         string
+	CoresPerNode int
+	// CellRate is the per-core cell-update rate (updates/sec) for the
+	// finite-volume kernel.
+	CellRate float64
+	// WorkAmplification scales the emulated work to the paper's full-length
+	// simulations: the emulator integrates a shortened physical window, the
+	// original campaign ran the shock across the whole domain.
+	WorkAmplification float64
+	// Alpha is the per-message latency (seconds); Beta the inverse
+	// bandwidth (seconds per byte) of the interconnect.
+	Alpha, Beta float64
+	// StartupSec covers MPI initialization, executable load, and initial
+	// I/O — the floor every job pays regardless of size.
+	StartupSec float64
+	// BaseRSSBytes is the per-rank footprint of the solver before any patch
+	// is allocated.
+	BaseRSSBytes float64
+	// PatchOverheadBytes is the per-patch metadata footprint (quadrant
+	// bookkeeping, neighbor tables).
+	PatchOverheadBytes float64
+	// NoiseSigma is the standard deviation of the log-normal wall-clock
+	// noise modeling machine variability.
+	NoiseSigma float64
+	// MemNoiseSigma is the (smaller) log-normal noise on MaxRSS.
+	MemNoiseSigma float64
+}
+
+// Edison returns the machine model for NERSC Edison (Cray XC30): 24 cores
+// per node at 2.4 GHz, Aries dragonfly interconnect. Rates are calibrated so
+// the regenerated campaign spans the same cost and memory ranges as the
+// paper's Table I.
+func Edison() Machine {
+	return Machine{
+		Name:               "edison",
+		CoresPerNode:       24,
+		CellRate:           2.0e6,
+		WorkAmplification:  32,
+		Alpha:              2.0e-6,
+		Beta:               1.0 / 8.0e9,
+		StartupSec:         1.0,
+		BaseRSSBytes:       16 << 10,
+		PatchOverheadBytes: 2 << 10,
+		NoiseSigma:         0.06,
+		MemNoiseSigma:      0.015,
+	}
+}
+
+// JobSpec describes one batch job: an emulated AMR workload placed on a node
+// count.
+type JobSpec struct {
+	Nodes int
+	Mx    int
+	Stats amr.EmulationStats
+}
+
+// Accounting is the SLURM-style record for a completed job.
+type Accounting struct {
+	WallClockSec  float64
+	CostNodeHours float64 // wall-clock × nodes / 3600, the paper's cost response
+	MaxRSSBytes   float64 // peak per-process resident set size
+	Ranks         int
+	ComputeSec    float64
+	CommSec       float64
+}
+
+// PatchBytes returns the memory footprint of one patch at the given size:
+// interior+ghost cells, four conserved fields, double precision, with the
+// solver's working set (double buffer, integrator stage storage, and flux
+// work arrays — six field-sized arrays in total, matching a ForestCLAW-style
+// patch).
+func PatchBytes(mx int) float64 {
+	w := float64(mx + 2*amr.NG)
+	return w * w * 4 * 8 * 6
+}
+
+// Simulate produces the accounting record for a job. rng supplies the
+// machine-variability noise; pass a deterministic source for reproducible
+// campaigns, or nil for a noise-free record.
+func (m Machine) Simulate(spec JobSpec, rng *rand.Rand) (Accounting, error) {
+	if spec.Nodes < 1 {
+		return Accounting{}, fmt.Errorf("cluster: job needs >= 1 node, got %d", spec.Nodes)
+	}
+	if spec.Mx < 4 {
+		return Accounting{}, fmt.Errorf("cluster: invalid mx %d", spec.Mx)
+	}
+	st := spec.Stats
+	if st.CellUpdates < 0 || st.PeakPatches < 0 {
+		return Accounting{}, fmt.Errorf("cluster: negative work counters")
+	}
+	ranks := spec.Nodes * m.CoresPerNode
+
+	// --- Compute time -----------------------------------------------------
+	// Patches are the unit of distribution; parallelism saturates at the
+	// number of concurrently existing patches, and the discrete patch count
+	// per rank produces load imbalance.
+	meanPatches := math.Max(st.MeanPatches, 1)
+	patchesPerRank := math.Ceil(meanPatches / float64(ranks))
+	imbalance := patchesPerRank * float64(ranks) / meanPatches // >= 1
+	if imbalance > float64(ranks) {
+		imbalance = float64(ranks)
+	}
+	work := st.CellUpdates * m.WorkAmplification
+	computeSec := work / (m.CellRate * float64(ranks)) * imbalance
+
+	// --- Communication time ----------------------------------------------
+	// Ghost exchange: each resident patch sends/receives four face messages
+	// per step; message size is one face strip.
+	steps := st.Steps * m.WorkAmplification
+	faceBytes := float64(spec.Mx+2*amr.NG) * float64(amr.NG) * 4 * 8
+	msgsPerStep := 4 * patchesPerRank
+	ghostSec := steps * (msgsPerStep*m.Alpha + msgsPerStep*faceBytes*m.Beta)
+	// Per-step collectives (CFL allreduce) plus regrid collectives scale
+	// with log2(ranks).
+	logRanks := math.Log2(float64(ranks)) + 1
+	collSec := (steps + st.Regrids*m.WorkAmplification*4) * m.Alpha * logRanks
+	commSec := ghostSec + collSec
+
+	wall := m.StartupSec + computeSec + commSec
+	if rng != nil && m.NoiseSigma > 0 {
+		wall *= math.Exp(rng.NormFloat64() * m.NoiseSigma)
+	}
+
+	// --- Memory -----------------------------------------------------------
+	// Peak patches per rank dictate MaxRSS; the distribution of peak-time
+	// patches follows the same ceil-based imbalance as compute.
+	peakPerRank := math.Ceil(float64(maxInt(st.PeakPatches, 1)) / float64(ranks))
+	rss := m.BaseRSSBytes + peakPerRank*(PatchBytes(spec.Mx)+m.PatchOverheadBytes)
+	if rng != nil && m.MemNoiseSigma > 0 {
+		rss *= math.Exp(rng.NormFloat64() * m.MemNoiseSigma)
+	}
+
+	return Accounting{
+		WallClockSec:  wall,
+		CostNodeHours: wall * float64(spec.Nodes) / 3600,
+		MaxRSSBytes:   rss,
+		Ranks:         ranks,
+		ComputeSec:    computeSec,
+		CommSec:       commSec,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alamr/internal/amr"
+)
+
+func workload(cells float64, patches int) amr.EmulationStats {
+	return amr.EmulationStats{
+		CellUpdates: cells,
+		Steps:       cells / float64(patches) / 64,
+		GhostCells:  cells / 10,
+		Regrids:     cells / 1e6,
+		PeakPatches: patches,
+		MeanPatches: float64(patches) * 0.8,
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := Edison()
+	if _, err := m.Simulate(JobSpec{Nodes: 0, Mx: 8}, nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := m.Simulate(JobSpec{Nodes: 1, Mx: 1}, nil); err == nil {
+		t.Fatal("tiny mx accepted")
+	}
+	if _, err := m.Simulate(JobSpec{Nodes: 1, Mx: 8, Stats: amr.EmulationStats{CellUpdates: -1}}, nil); err == nil {
+		t.Fatal("negative work accepted")
+	}
+}
+
+func TestCostIsWallTimesNodes(t *testing.T) {
+	m := Edison()
+	acc, err := m.Simulate(JobSpec{Nodes: 8, Mx: 16, Stats: workload(1e8, 100)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := acc.WallClockSec * 8 / 3600
+	if math.Abs(acc.CostNodeHours-want) > 1e-12 {
+		t.Fatalf("cost = %g want %g", acc.CostNodeHours, want)
+	}
+	if acc.Ranks != 8*24 {
+		t.Fatalf("ranks = %d", acc.Ranks)
+	}
+}
+
+func TestStartupFloor(t *testing.T) {
+	m := Edison()
+	acc, err := m.Simulate(JobSpec{Nodes: 4, Mx: 8, Stats: workload(1, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.WallClockSec < m.StartupSec {
+		t.Fatalf("wall %g below startup floor %g", acc.WallClockSec, m.StartupSec)
+	}
+}
+
+func TestMoreWorkTakesLonger(t *testing.T) {
+	m := Edison()
+	small, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: workload(1e7, 50)}, nil)
+	big, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: workload(1e9, 50)}, nil)
+	if big.WallClockSec <= small.WallClockSec {
+		t.Fatalf("100x work not slower: %g vs %g", big.WallClockSec, small.WallClockSec)
+	}
+}
+
+func TestStrongScalingSpeedsUpLargeJobs(t *testing.T) {
+	m := Edison()
+	// Plenty of patches so parallelism is not patch-limited.
+	st := workload(1e10, 4000)
+	p4, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: st}, nil)
+	p32, _ := m.Simulate(JobSpec{Nodes: 32, Mx: 16, Stats: st}, nil)
+	if p32.WallClockSec >= p4.WallClockSec {
+		t.Fatalf("no speedup: %g vs %g", p32.WallClockSec, p4.WallClockSec)
+	}
+	// But cost (node-hours) should not improve superlinearly.
+	if p32.CostNodeHours < p4.CostNodeHours*0.9 {
+		t.Fatalf("suspicious superlinear cost: %g vs %g", p32.CostNodeHours, p4.CostNodeHours)
+	}
+}
+
+func TestParallelismSaturatesAtPatchCount(t *testing.T) {
+	m := Edison()
+	// Few patches: adding nodes cannot speed up compute.
+	st := workload(1e9, 4)
+	p4, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: st}, nil)
+	p32, _ := m.Simulate(JobSpec{Nodes: 32, Mx: 16, Stats: st}, nil)
+	if p32.ComputeSec < p4.ComputeSec*0.9 {
+		t.Fatalf("patch-limited job scaled: %g vs %g", p32.ComputeSec, p4.ComputeSec)
+	}
+}
+
+func TestMemoryScalesWithPatchesPerRank(t *testing.T) {
+	m := Edison()
+	few := workload(1e7, 96) // 1 patch per rank at 4 nodes
+	many := workload(1e7, 9600)
+	a, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: few}, nil)
+	b, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 16, Stats: many}, nil)
+	if b.MaxRSSBytes <= a.MaxRSSBytes {
+		t.Fatalf("memory did not grow with patches: %g vs %g", b.MaxRSSBytes, a.MaxRSSBytes)
+	}
+	// Spreading the same patches over more nodes shrinks per-rank memory.
+	c, _ := m.Simulate(JobSpec{Nodes: 32, Mx: 16, Stats: many}, nil)
+	if c.MaxRSSBytes >= b.MaxRSSBytes {
+		t.Fatalf("memory did not shrink with more nodes: %g vs %g", c.MaxRSSBytes, b.MaxRSSBytes)
+	}
+}
+
+func TestMemoryScalesWithMx(t *testing.T) {
+	m := Edison()
+	st := workload(1e7, 960)
+	small, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 8, Stats: st}, nil)
+	big, _ := m.Simulate(JobSpec{Nodes: 4, Mx: 32, Stats: st}, nil)
+	if big.MaxRSSBytes <= small.MaxRSSBytes {
+		t.Fatalf("memory not growing with mx: %g vs %g", big.MaxRSSBytes, small.MaxRSSBytes)
+	}
+}
+
+func TestPatchBytes(t *testing.T) {
+	// (8+4)² cells × 4 fields × 8 bytes × 6 field-sized arrays.
+	want := 12.0 * 12 * 4 * 8 * 6
+	if got := PatchBytes(8); got != want {
+		t.Fatalf("PatchBytes(8) = %g want %g", got, want)
+	}
+}
+
+func TestNoiseReproducibleAndBounded(t *testing.T) {
+	m := Edison()
+	st := workload(1e8, 200)
+	a, _ := m.Simulate(JobSpec{Nodes: 8, Mx: 16, Stats: st}, rand.New(rand.NewSource(7)))
+	b, _ := m.Simulate(JobSpec{Nodes: 8, Mx: 16, Stats: st}, rand.New(rand.NewSource(7)))
+	if a.WallClockSec != b.WallClockSec || a.MaxRSSBytes != b.MaxRSSBytes {
+		t.Fatal("same seed produced different accounting")
+	}
+	c, _ := m.Simulate(JobSpec{Nodes: 8, Mx: 16, Stats: st}, rand.New(rand.NewSource(8)))
+	if a.WallClockSec == c.WallClockSec {
+		t.Fatal("different seeds produced identical wall clock")
+	}
+	noiseless, _ := m.Simulate(JobSpec{Nodes: 8, Mx: 16, Stats: st}, nil)
+	ratio := a.WallClockSec / noiseless.WallClockSec
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("noise ratio %g outside plausible band", ratio)
+	}
+}
+
+// Property: accounting values are positive and finite for random workloads.
+func TestAccountingFiniteProperty(t *testing.T) {
+	m := Edison()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := amr.EmulationStats{
+			CellUpdates: rng.Float64() * 1e10,
+			Steps:       rng.Float64() * 1e4,
+			GhostCells:  rng.Float64() * 1e8,
+			Regrids:     rng.Float64() * 1e3,
+			PeakPatches: 1 + rng.Intn(5000),
+		}
+		st.MeanPatches = float64(st.PeakPatches) * (0.5 + 0.5*rng.Float64())
+		nodes := []int{4, 8, 16, 24, 32}[rng.Intn(5)]
+		mx := []int{8, 16, 24, 32}[rng.Intn(4)]
+		acc, err := m.Simulate(JobSpec{Nodes: nodes, Mx: mx, Stats: st}, rng)
+		if err != nil {
+			return false
+		}
+		ok := acc.WallClockSec > 0 && acc.CostNodeHours > 0 && acc.MaxRSSBytes > 0
+		return ok && !math.IsInf(acc.WallClockSec, 0) && !math.IsNaN(acc.WallClockSec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cost is monotone in nodes for fixed wall-clock-dominating
+// startup (tiny jobs): more nodes, more node-hours.
+func TestTinyJobCostMonotoneInNodesProperty(t *testing.T) {
+	m := Edison()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := workload(100+rng.Float64()*1000, 2)
+		prev := 0.0
+		for _, n := range []int{4, 8, 16, 32} {
+			acc, err := m.Simulate(JobSpec{Nodes: n, Mx: 8, Stats: st}, nil)
+			if err != nil || acc.CostNodeHours <= prev {
+				return false
+			}
+			prev = acc.CostNodeHours
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Queue is a minimal batch-system model: a pool of TotalNodes nodes served
+// FIFO with EASY backfill (a later job may start early if it fits in the
+// idle nodes without delaying the queue head). It answers the campaign-level
+// question the paper's future work raises about batch-mode AL: selecting q
+// simulations per round costs selection quality but lets the machine run
+// them concurrently.
+type Queue struct {
+	TotalNodes int
+}
+
+// QueuedJob is one submission.
+type QueuedJob struct {
+	Nodes      int
+	WallSec    float64
+	SubmitTime float64 // seconds since campaign start
+}
+
+// Schedule places the jobs and returns per-job start/end times plus the
+// makespan (time the last job finishes). Jobs are considered in submission
+// order (FIFO); backfill may reorder starts but never delays an earlier
+// job's start.
+type Schedule struct {
+	Start    []float64
+	End      []float64
+	Makespan float64
+	// WaitSec is the total time jobs spent queued (start − submit).
+	WaitSec float64
+}
+
+// Schedule simulates the queue.
+func (q Queue) Schedule(jobs []QueuedJob) (Schedule, error) {
+	if q.TotalNodes < 1 {
+		return Schedule{}, fmt.Errorf("cluster: queue needs >= 1 node")
+	}
+	for i, j := range jobs {
+		if j.Nodes < 1 || j.Nodes > q.TotalNodes {
+			return Schedule{}, fmt.Errorf("cluster: job %d needs %d of %d nodes", i, j.Nodes, q.TotalNodes)
+		}
+		if j.WallSec <= 0 {
+			return Schedule{}, fmt.Errorf("cluster: job %d has non-positive wall time", i)
+		}
+		if j.SubmitTime < 0 {
+			return Schedule{}, fmt.Errorf("cluster: job %d has negative submit time", i)
+		}
+	}
+	n := len(jobs)
+	sched := Schedule{Start: make([]float64, n), End: make([]float64, n)}
+	if n == 0 {
+		return sched, nil
+	}
+
+	var active []runningJob
+	free := q.TotalNodes
+	now := 0.0
+	started := make([]bool, n)
+	remaining := n
+
+	// order of consideration: FIFO by submit time (stable).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].SubmitTime < jobs[order[b]].SubmitTime })
+
+	for remaining > 0 {
+		// Release finished jobs at the current time.
+		keep := active[:0]
+		for _, r := range active {
+			if r.end <= now+1e-12 {
+				free += r.nodes
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+
+		// Head of the FIFO among submitted-but-unstarted jobs.
+		head := -1
+		for _, i := range order {
+			if !started[i] && jobs[i].SubmitTime <= now+1e-12 {
+				head = i
+				break
+			}
+		}
+
+		progressed := false
+		if head >= 0 && jobs[head].Nodes <= free {
+			startJob(&sched, jobs, head, now, &free, &active, started)
+			remaining--
+			progressed = true
+		} else if head >= 0 {
+			// Backfill: the head waits for nodes; compute its earliest start
+			// (shadow time) and start any later submitted job that fits in
+			// the current idle nodes AND finishes before the shadow time.
+			shadow := shadowTime(q.TotalNodes, active, free, jobs[head].Nodes)
+			for _, i := range order {
+				if started[i] || i == head || jobs[i].SubmitTime > now+1e-12 {
+					continue
+				}
+				if jobs[i].Nodes <= free && now+jobs[i].WallSec <= shadow+1e-9 {
+					startJob(&sched, jobs, i, now, &free, &active, started)
+					remaining--
+					progressed = true
+					break
+				}
+			}
+		}
+		if progressed {
+			continue
+		}
+
+		// Advance time to the next event: a job completion or a submission.
+		next := math.Inf(1)
+		for _, r := range active {
+			if r.end < next {
+				next = r.end
+			}
+		}
+		for _, i := range order {
+			if !started[i] && jobs[i].SubmitTime > now && jobs[i].SubmitTime < next {
+				next = jobs[i].SubmitTime
+			}
+		}
+		if math.IsInf(next, 1) {
+			return Schedule{}, fmt.Errorf("cluster: scheduler deadlock with %d jobs pending", remaining)
+		}
+		now = next
+	}
+
+	for i := range jobs {
+		if sched.End[i] > sched.Makespan {
+			sched.Makespan = sched.End[i]
+		}
+		sched.WaitSec += sched.Start[i] - jobs[i].SubmitTime
+	}
+	return sched, nil
+}
+
+// runningJob tracks one executing job's end time and node count.
+type runningJob struct {
+	end   float64
+	nodes int
+}
+
+func startJob(s *Schedule, jobs []QueuedJob, i int, now float64, free *int, active *[]runningJob, started []bool) {
+	s.Start[i] = now
+	s.End[i] = now + jobs[i].WallSec
+	*free -= jobs[i].Nodes
+	*active = append(*active, runningJob{end: s.End[i], nodes: jobs[i].Nodes})
+	started[i] = true
+}
+
+// shadowTime computes the earliest time the queue head (needing `need`
+// nodes) can start, given the currently running jobs.
+func shadowTime(total int, active []runningJob, free, need int) float64 {
+	if need <= free {
+		return 0
+	}
+	ends := append([]runningJob(nil), active...)
+	sort.Slice(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+	f := free
+	for _, r := range ends {
+		f += r.nodes
+		if f >= need {
+			return r.end
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := (Queue{}).Schedule(nil); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	q := Queue{TotalNodes: 4}
+	if _, err := q.Schedule([]QueuedJob{{Nodes: 8, WallSec: 1}}); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if _, err := q.Schedule([]QueuedJob{{Nodes: 1, WallSec: 0}}); err == nil {
+		t.Fatal("zero wall time accepted")
+	}
+	if _, err := q.Schedule([]QueuedJob{{Nodes: 1, WallSec: 1, SubmitTime: -1}}); err == nil {
+		t.Fatal("negative submit accepted")
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	s, err := (Queue{TotalNodes: 4}).Schedule([]QueuedJob{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 {
+		t.Fatalf("makespan = %g", s.Makespan)
+	}
+}
+
+func TestQueueSequentialWhenFull(t *testing.T) {
+	// Each job takes the whole machine: strict serialization.
+	q := Queue{TotalNodes: 4}
+	jobs := []QueuedJob{
+		{Nodes: 4, WallSec: 10},
+		{Nodes: 4, WallSec: 20},
+		{Nodes: 4, WallSec: 5},
+	}
+	s, err := q.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 0 || s.Start[1] != 10 || s.Start[2] != 30 {
+		t.Fatalf("starts = %v", s.Start)
+	}
+	if s.Makespan != 35 {
+		t.Fatalf("makespan = %g want 35", s.Makespan)
+	}
+}
+
+func TestQueueParallelWhenFits(t *testing.T) {
+	q := Queue{TotalNodes: 8}
+	jobs := []QueuedJob{
+		{Nodes: 4, WallSec: 10},
+		{Nodes: 4, WallSec: 10},
+	}
+	s, err := q.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 0 || s.Start[1] != 0 {
+		t.Fatalf("starts = %v", s.Start)
+	}
+	if s.Makespan != 10 {
+		t.Fatalf("makespan = %g want 10", s.Makespan)
+	}
+}
+
+func TestQueueBackfill(t *testing.T) {
+	// Job 0 holds 3 of 4 nodes for 100 s. Job 1 (head) needs all 4 and must
+	// wait. Job 2 needs 1 node for 50 s: it fits in the idle node and ends
+	// before the shadow time, so backfill starts it immediately.
+	q := Queue{TotalNodes: 4}
+	jobs := []QueuedJob{
+		{Nodes: 3, WallSec: 100},
+		{Nodes: 4, WallSec: 10},
+		{Nodes: 1, WallSec: 50},
+	}
+	s, err := q.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[2] != 0 {
+		t.Fatalf("backfill did not start job 2 at 0: %v", s.Start)
+	}
+	if s.Start[1] != 100 {
+		t.Fatalf("head start = %g want 100", s.Start[1])
+	}
+}
+
+func TestQueueBackfillNeverDelaysHead(t *testing.T) {
+	// Job 2 would fit in the idle node but runs past the shadow time, so it
+	// must NOT backfill.
+	q := Queue{TotalNodes: 4}
+	jobs := []QueuedJob{
+		{Nodes: 3, WallSec: 100},
+		{Nodes: 4, WallSec: 10},
+		{Nodes: 1, WallSec: 500},
+	}
+	s, err := q.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[1] != 100 {
+		t.Fatalf("head delayed to %g", s.Start[1])
+	}
+	if s.Start[2] < 100 {
+		t.Fatalf("long job backfilled at %g and would have delayed the head", s.Start[2])
+	}
+}
+
+func TestQueueRespectsSubmitTimes(t *testing.T) {
+	q := Queue{TotalNodes: 4}
+	jobs := []QueuedJob{
+		{Nodes: 1, WallSec: 5, SubmitTime: 100},
+	}
+	s, err := q.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[0] != 100 {
+		t.Fatalf("started before submission: %g", s.Start[0])
+	}
+	if s.WaitSec != 0 {
+		t.Fatalf("wait = %g want 0", s.WaitSec)
+	}
+}
+
+// Property: schedules are feasible — no job starts before submission, node
+// usage never exceeds the machine, and every job runs exactly WallSec.
+func TestQueueFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := Queue{TotalNodes: 4 + rng.Intn(28)}
+		n := 1 + rng.Intn(20)
+		jobs := make([]QueuedJob, n)
+		for i := range jobs {
+			jobs[i] = QueuedJob{
+				Nodes:      1 + rng.Intn(q.TotalNodes),
+				WallSec:    0.5 + rng.Float64()*100,
+				SubmitTime: rng.Float64() * 50,
+			}
+		}
+		s, err := q.Schedule(jobs)
+		if err != nil {
+			return false
+		}
+		for i, j := range jobs {
+			if s.Start[i] < j.SubmitTime-1e-9 {
+				return false
+			}
+			if math.Abs(s.End[i]-s.Start[i]-j.WallSec) > 1e-9 {
+				return false
+			}
+		}
+		// Check node capacity at every start event.
+		for i := range jobs {
+			t0 := s.Start[i]
+			used := 0
+			for k, j := range jobs {
+				if s.Start[k] <= t0+1e-9 && s.End[k] > t0+1e-9 {
+					used += j.Nodes
+				}
+			}
+			if used > q.TotalNodes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan is at least the critical lower bounds (max single job;
+// total node-seconds / machine size).
+func TestQueueMakespanLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := Queue{TotalNodes: 4 + rng.Intn(12)}
+		n := 1 + rng.Intn(15)
+		jobs := make([]QueuedJob, n)
+		var area, longest float64
+		for i := range jobs {
+			jobs[i] = QueuedJob{Nodes: 1 + rng.Intn(q.TotalNodes), WallSec: 1 + rng.Float64()*50}
+			area += float64(jobs[i].Nodes) * jobs[i].WallSec
+			if jobs[i].WallSec > longest {
+				longest = jobs[i].WallSec
+			}
+		}
+		s, err := q.Schedule(jobs)
+		if err != nil {
+			return false
+		}
+		lb := math.Max(longest, area/float64(q.TotalNodes))
+		return s.Makespan >= lb-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"alamr/internal/dataset"
+	"alamr/internal/stats"
+)
+
+// PaperMemLimitMB computes the memory limit the paper's evaluation uses:
+// 95% of the largest log-transformed memory response. The transformation the
+// paper's two stated equivalences are consistent with is log10 of the
+// response in bytes, giving L_mem = (max bytes)^0.95 ≈ 42% of the largest
+// raw response for Table I's dataset.
+func PaperMemLimitMB(ds *dataset.Dataset) float64 {
+	maxMB := stats.Max(ds.Mem(nil))
+	maxBytes := maxMB * (1 << 20)
+	return math.Pow(10, 0.95*math.Log10(maxBytes)) / (1 << 20)
+}
+
+// BatchSpec pairs a policy with an initial-partition size.
+type BatchSpec struct {
+	Policy Policy
+	NInit  int
+}
+
+// Key identifies the spec in batch results.
+func (s BatchSpec) Key() string { return fmt.Sprintf("%s/ninit=%d", s.Policy.Name(), s.NInit) }
+
+// BatchConfig drives a family of AL trajectories: every spec runs on every
+// random partition, in parallel (the Go analogue of the paper's
+// multiprocessing batch mode).
+type BatchConfig struct {
+	Specs      []BatchSpec
+	NTest      int // test partition size (default 200)
+	Partitions int // random partitions per spec (default 10)
+	Workers    int // goroutines (default GOMAXPROCS)
+	Seed       int64
+	// Template provides the loop settings shared by all runs (memory limit,
+	// iteration cap, kernel, ...); Policy and Seed are overridden per run.
+	Template LoopConfig
+}
+
+func (c *BatchConfig) setDefaults() {
+	if c.NTest <= 0 {
+		c.NTest = 200
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// RunBatch executes every (spec, partition) combination and groups the
+// trajectories by spec key. Partitions are shared across specs with the same
+// NInit so policies are compared on identical data splits; all randomness is
+// derived deterministically from cfg.Seed.
+func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, error) {
+	cfg.setDefaults()
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("core: RunBatch needs at least one spec")
+	}
+
+	type task struct {
+		spec BatchSpec
+		part dataset.Partition
+		seed int64
+		slot int
+	}
+	var tasks []task
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		// One partition per (partition index, nInit): identical splits for
+		// every policy at the same nInit.
+		parts := make(map[int]dataset.Partition)
+		for _, spec := range cfg.Specs {
+			part, ok := parts[spec.NInit]
+			if !ok {
+				rng := rand.New(rand.NewSource(stats.SplitSeed(cfg.Seed, pi*1000+spec.NInit)))
+				var err error
+				part, err = dataset.Split(ds, spec.NInit, cfg.NTest, rng)
+				if err != nil {
+					return nil, err
+				}
+				parts[spec.NInit] = part
+			}
+			tasks = append(tasks, task{
+				spec: spec,
+				part: part,
+				seed: stats.SplitSeed(cfg.Seed, 7919*pi+len(tasks)),
+				slot: len(tasks),
+			})
+		}
+	}
+
+	results := make([]*Trajectory, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, tk := range tasks {
+		wg.Add(1)
+		go func(i int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			loopCfg := cfg.Template
+			loopCfg.Policy = tk.spec.Policy
+			loopCfg.Seed = tk.seed
+			tr, err := RunTrajectory(ds, tk.part, loopCfg)
+			results[i], errs[i] = tr, err
+		}(i, tk)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch task %d (%s): %w", i, tasks[i].spec.Key(), err)
+		}
+	}
+
+	grouped := make(map[string][]*Trajectory)
+	for i, tk := range tasks {
+		grouped[tk.spec.Key()] = append(grouped[tk.spec.Key()], results[i])
+	}
+	return grouped, nil
+}
+
+// CurveSet extracts one named per-iteration series from each trajectory.
+func CurveSet(trs []*Trajectory, metric string) ([][]float64, error) {
+	out := make([][]float64, len(trs))
+	for i, tr := range trs {
+		switch metric {
+		case "cost-rmse":
+			out[i] = tr.CostRMSE
+		case "mem-rmse":
+			out[i] = tr.MemRMSE
+		case "cum-cost":
+			out[i] = tr.CumCost
+		case "cum-regret":
+			out[i] = tr.CumRegret
+		default:
+			return nil, fmt.Errorf("core: unknown metric %q", metric)
+		}
+	}
+	return out, nil
+}
+
+// AggregateCurves computes the pointwise median and IQR band of a metric
+// across trajectories.
+func AggregateCurves(trs []*Trajectory, metric string) (stats.Band, error) {
+	series, err := CurveSet(trs, metric)
+	if err != nil {
+		return stats.Band{}, err
+	}
+	return stats.AggregateBand(series, 0.25, 0.75), nil
+}
+
+// WriteJSON serializes the trajectory for external analysis tools.
+func (t *Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrajectoryJSON parses a trajectory written by WriteJSON.
+func ReadTrajectoryJSON(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("core: decoding trajectory: %w", err)
+	}
+	return &t, nil
+}

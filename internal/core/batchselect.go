@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alamr/internal/mat"
+)
+
+// BatchStrategy chooses how a q-batch is assembled from a single-candidate
+// policy — the "multiple simulations in parallel at each iteration" scheme
+// the paper's future work proposes (§VI). Selecting q > 1 candidates before
+// retraining trades selection optimality for wall-clock: the models are
+// stale for all but the first pick of each round.
+type BatchStrategy int
+
+// Batch strategies.
+const (
+	// BatchIndependent re-invokes the policy q times, removing each pick
+	// from the candidate set but leaving predictions untouched (pure
+	// stale-model selection).
+	BatchIndependent BatchStrategy = iota
+	// BatchConstantLiar re-invokes the policy q times, after each pick
+	// "hallucinating" that the measurement came back equal to the current
+	// predicted mean: the candidate's uncertainty is zeroed and neighboring
+	// candidates' cost uncertainty is discounted by their kernel-style
+	// proximity. This is the constant-liar heuristic from the batch
+	// Bayesian-optimization literature, adapted to the goodness policies.
+	BatchConstantLiar
+)
+
+// String names the strategy.
+func (s BatchStrategy) String() string {
+	switch s {
+	case BatchIndependent:
+		return "independent"
+	case BatchConstantLiar:
+		return "constant-liar"
+	default:
+		return fmt.Sprintf("BatchStrategy(%d)", int(s))
+	}
+}
+
+// SelectBatch picks q distinct candidates using the given base policy and
+// strategy. It returns the selected indices into the candidate set, in
+// selection order. When the policy signals ErrAllExceedLimit midway, the
+// picks made so far are returned along with the error, so callers can run a
+// partial batch before terminating.
+func SelectBatch(p Policy, c *Candidates, q int, strategy BatchStrategy, rng *rand.Rand) ([]int, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("core: batch size %d, need >= 1", q)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	n := c.Len()
+	if q > n {
+		q = n
+	}
+
+	// Work on a mutable copy with an index map back to the original set.
+	work := &Candidates{
+		X:           c.X,
+		MuCost:      mat.CopyVec(c.MuCost),
+		SigmaCost:   mat.CopyVec(c.SigmaCost),
+		MuMem:       mat.CopyVec(c.MuMem),
+		SigmaMem:    mat.CopyVec(c.SigmaMem),
+		MemLimitLog: c.MemLimitLog,
+	}
+	orig := make([]int, n)
+	for i := range orig {
+		orig[i] = i
+	}
+	rows := make([][]float64, n)
+	if c.X != nil {
+		for i := 0; i < n; i++ {
+			rows[i] = mat.CopyVec(c.X.Row(i))
+		}
+	}
+
+	var picks []int
+	for len(picks) < q {
+		idx, err := p.Select(work, rng)
+		if err != nil {
+			if errors.Is(err, ErrAllExceedLimit) && len(picks) > 0 {
+				return picks, err
+			}
+			return picks, err
+		}
+		picks = append(picks, orig[idx])
+
+		if strategy == BatchConstantLiar && rows[0] != nil {
+			hallucinate(work, rows, idx)
+		}
+
+		// Remove the pick from the working set.
+		last := work.Len() - 1
+		swapRemove := func(v []float64) []float64 {
+			v[idx] = v[last]
+			return v[:last]
+		}
+		work.MuCost = swapRemove(work.MuCost)
+		work.SigmaCost = swapRemove(work.SigmaCost)
+		work.MuMem = swapRemove(work.MuMem)
+		work.SigmaMem = swapRemove(work.SigmaMem)
+		orig[idx] = orig[last]
+		orig = orig[:last]
+		rows[idx] = rows[last]
+		rows = rows[:last]
+		work.X = nil // row storage is tracked in rows; X is no longer aligned
+	}
+	return picks, nil
+}
+
+// hallucinate applies the constant-liar update: candidates near the pick
+// (in feature space) have their cost uncertainty discounted, mimicking the
+// posterior shrinkage the real measurement would cause.
+func hallucinate(c *Candidates, rows [][]float64, pick int) {
+	xp := rows[pick]
+	// Effective length scale: the unit cube with d dimensions; 0.3 is the
+	// same order as the fitted length scales on this data.
+	const l2 = 0.3 * 0.3
+	for i := range c.SigmaCost {
+		if i == pick {
+			continue
+		}
+		w := math.Exp(-mat.SqDist(rows[i], xp) / (2 * l2))
+		c.SigmaCost[i] *= 1 - w
+		c.SigmaMem[i] *= 1 - w
+	}
+	c.SigmaCost[pick] = 0
+	c.SigmaMem[pick] = 0
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ExpectedImprovement is a Bayesian-optimization acquisition baseline: it
+// selects the candidate maximizing the expected improvement over the best
+// (lowest-cost) observation so far, treating the cost model as the objective
+// to *minimize*. The paper (§II-C) argues this is the wrong goal for
+// performance modeling — BO localizes sampling around the optimum instead of
+// building a globally accurate surrogate — and this policy exists to
+// demonstrate exactly that failure mode in the evaluation harness.
+type ExpectedImprovement struct {
+	// Xi is the exploration margin ξ (default 0.01 in log10 cost units).
+	Xi float64
+}
+
+// Name implements Policy.
+func (ExpectedImprovement) Name() string { return "ExpectedImprovement" }
+
+// Select implements Policy. The incumbent is the smallest predicted mean
+// among candidates (a pool-based stand-in for the best observation, which
+// the policy does not see directly).
+func (p ExpectedImprovement) Select(c *Candidates, rng *rand.Rand) (int, error) {
+	if err := c.validate(); err != nil {
+		return 0, err
+	}
+	xi := p.Xi
+	if xi <= 0 {
+		xi = 0.01
+	}
+	best := math.Inf(1)
+	for _, m := range c.MuCost {
+		if m < best {
+			best = m
+		}
+	}
+	bestEI, bestIdx := math.Inf(-1), 0
+	for i := range c.MuCost {
+		ei := expectedImprovement(best-xi, c.MuCost[i], c.SigmaCost[i])
+		if ei > bestEI {
+			bestEI, bestIdx = ei, i
+		}
+	}
+	return bestIdx, nil
+}
+
+// expectedImprovement computes E[max(target − Y, 0)] for Y ~ N(mu, sigma²).
+func expectedImprovement(target, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if mu < target {
+			return target - mu
+		}
+		return 0
+	}
+	z := (target - mu) / sigma
+	return (target-mu)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

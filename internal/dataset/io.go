@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"alamr/internal/stats"
+)
+
+// csvHeader is the canonical column layout.
+var csvHeader = []string{"p", "mx", "maxlevel", "r0", "rhoin", "wall_sec", "cost_nh", "mem_mb"}
+
+// WriteCSV writes the dataset in the canonical CSV layout.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, j := range d.Jobs {
+		rec := []string{
+			strconv.Itoa(j.P),
+			strconv.Itoa(j.Mx),
+			strconv.Itoa(j.MaxLevel),
+			strconv.FormatFloat(j.R0, 'g', -1, 64),
+			strconv.FormatFloat(j.RhoIn, 'g', -1, 64),
+			strconv.FormatFloat(j.WallSec, 'g', -1, 64),
+			strconv.FormatFloat(j.CostNH, 'g', -1, 64),
+			strconv.FormatFloat(j.MemMB, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	if len(recs[0]) != len(csvHeader) || recs[0][0] != "p" {
+		return nil, fmt.Errorf("dataset: unexpected CSV header %v", recs[0])
+	}
+	ds := &Dataset{Jobs: make([]Job, 0, len(recs)-1)}
+	for ln, rec := range recs[1:] {
+		ints := [3]int{}
+		for i := 0; i < 3; i++ {
+			v, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %s: %w", ln+2, csvHeader[i], err)
+			}
+			ints[i] = v
+		}
+		floats := [5]float64{}
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseFloat(rec[i+3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %s: %w", ln+2, csvHeader[i+3], err)
+			}
+			floats[i] = v
+		}
+		ds.Jobs = append(ds.Jobs, Job{
+			P: ints[0], Mx: ints[1], MaxLevel: ints[2],
+			R0: floats[0], RhoIn: floats[1],
+			WallSec: floats[2], CostNH: floats[3], MemMB: floats[4],
+		})
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to a CSV file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset CSV file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// SummaryRow is one line of the Table I reproduction.
+type SummaryRow struct {
+	Name                   string
+	Min, Median, Mean, Max float64
+}
+
+// TableI computes the dataset summary the paper reports: min/median/mean/max
+// for every feature and response.
+func (d *Dataset) TableI() []SummaryRow {
+	col := func(name string, vals []float64) SummaryRow {
+		s := stats.Summarize(vals)
+		return SummaryRow{Name: name, Min: s.Min, Median: s.Median, Mean: s.Mean, Max: s.Max}
+	}
+	pf := func(f func(Job) float64) []float64 {
+		out := make([]float64, len(d.Jobs))
+		for i, j := range d.Jobs {
+			out[i] = f(j)
+		}
+		return out
+	}
+	return []SummaryRow{
+		col("p, # of nodes", pf(func(j Job) float64 { return float64(j.P) })),
+		col("mx, box size", pf(func(j Job) float64 { return float64(j.Mx) })),
+		col("maxlevel, max refinement level", pf(func(j Job) float64 { return float64(j.MaxLevel) })),
+		col("r0, bubble size", pf(func(j Job) float64 { return j.R0 })),
+		col("rhoin, bubble density", pf(func(j Job) float64 { return j.RhoIn })),
+		col("wall clock time, seconds", pf(func(j Job) float64 { return j.WallSec })),
+		col("cost, node-hours", pf(func(j Job) float64 { return j.CostNH })),
+		col("memory, MB", pf(func(j Job) float64 { return j.MemMB })),
+	}
+}

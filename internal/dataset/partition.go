@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alamr/internal/stats"
+)
+
+// Partition assigns every job index to exactly one of the three roles the
+// AL simulator uses (paper §IV): Init seeds the models, Active is the pool
+// AL selects from one at a time, Test is held out for error estimation.
+type Partition struct {
+	Init   []int
+	Active []int
+	Test   []int
+}
+
+// Split randomly shuffles the dataset's job indices and carves out nTest
+// test samples, nInit initial samples, and leaves the remainder active,
+// matching the paper's 200/n_init/400−n_init scheme. It returns an error
+// when the sizes do not fit.
+func Split(d *Dataset, nInit, nTest int, rng *rand.Rand) (Partition, error) {
+	n := d.Len()
+	if nInit < 1 {
+		return Partition{}, fmt.Errorf("dataset: nInit = %d, need >= 1", nInit)
+	}
+	if nTest < 1 {
+		return Partition{}, fmt.Errorf("dataset: nTest = %d, need >= 1", nTest)
+	}
+	if nInit+nTest >= n {
+		return Partition{}, fmt.Errorf("dataset: nInit+nTest = %d leaves no active samples of %d", nInit+nTest, n)
+	}
+	perm := stats.Shuffle(rng, n)
+	p := Partition{
+		Test:   append([]int(nil), perm[:nTest]...),
+		Init:   append([]int(nil), perm[nTest:nTest+nInit]...),
+		Active: append([]int(nil), perm[nTest+nInit:]...),
+	}
+	return p, nil
+}
+
+// Validate checks that the partition covers 0..n-1 exactly once.
+func (p Partition) Validate(n int) error {
+	seen := make([]bool, n)
+	total := 0
+	for _, group := range [][]int{p.Init, p.Active, p.Test} {
+		for _, i := range group {
+			if i < 0 || i >= n {
+				return fmt.Errorf("dataset: partition index %d out of range %d", i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("dataset: partition index %d appears twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("dataset: partition covers %d of %d indices", total, n)
+	}
+	return nil
+}

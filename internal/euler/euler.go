@@ -1,0 +1,205 @@
+// Package euler implements the two-dimensional compressible Euler equations
+// used by the shock-bubble interaction problem: conservative/primitive state
+// conversions, HLLC approximate Riemann fluxes, MUSCL slope-limited
+// reconstruction, and an exact Riemann solver used as a validation reference
+// (Toro, "Riemann Solvers and Numerical Methods for Fluid Dynamics").
+//
+// The state vector is U = (ρ, ρu, ρv, E) with ideal-gas EOS
+// p = (γ−1)(E − ½ρ(u²+v²)).
+package euler
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gamma is the ratio of specific heats for the ideal-gas law (air).
+const Gamma = 1.4
+
+// NumFields is the number of conserved fields (ρ, ρu, ρv, E).
+const NumFields = 4
+
+// Cons is a conservative state (density, x-momentum, y-momentum, energy).
+type Cons struct {
+	Rho, Mx, My, E float64
+}
+
+// Prim is a primitive state (density, velocities, pressure).
+type Prim struct {
+	Rho, U, V, P float64
+}
+
+// ToPrim converts a conservative state to primitive variables.
+func (c Cons) ToPrim() Prim {
+	u := c.Mx / c.Rho
+	v := c.My / c.Rho
+	p := (Gamma - 1) * (c.E - 0.5*c.Rho*(u*u+v*v))
+	return Prim{Rho: c.Rho, U: u, V: v, P: p}
+}
+
+// ToCons converts a primitive state to conservative variables.
+func (p Prim) ToCons() Cons {
+	e := p.P/(Gamma-1) + 0.5*p.Rho*(p.U*p.U+p.V*p.V)
+	return Cons{Rho: p.Rho, Mx: p.Rho * p.U, My: p.Rho * p.V, E: e}
+}
+
+// SoundSpeed returns c = sqrt(γ p / ρ).
+func (p Prim) SoundSpeed() float64 {
+	if p.Rho <= 0 || p.P <= 0 {
+		return 0
+	}
+	return math.Sqrt(Gamma * p.P / p.Rho)
+}
+
+// MaxWaveSpeed returns |u|+c along x and |v|+c along y, the CFL-limiting
+// speeds.
+func (p Prim) MaxWaveSpeed() (sx, sy float64) {
+	c := p.SoundSpeed()
+	return math.Abs(p.U) + c, math.Abs(p.V) + c
+}
+
+// Valid reports whether the state is physically admissible.
+func (c Cons) Valid() bool {
+	if c.Rho <= 0 || math.IsNaN(c.Rho) || math.IsInf(c.Rho, 0) {
+		return false
+	}
+	p := c.ToPrim()
+	return p.P > 0 && !math.IsNaN(p.P)
+}
+
+// FluxX returns the x-direction physical flux F(U).
+func FluxX(c Cons) Cons {
+	p := c.ToPrim()
+	return Cons{
+		Rho: c.Mx,
+		Mx:  c.Mx*p.U + p.P,
+		My:  c.My * p.U,
+		E:   (c.E + p.P) * p.U,
+	}
+}
+
+// FluxY returns the y-direction physical flux G(U).
+func FluxY(c Cons) Cons {
+	p := c.ToPrim()
+	return Cons{
+		Rho: c.My,
+		Mx:  c.Mx * p.V,
+		My:  c.My*p.V + p.P,
+		E:   (c.E + p.P) * p.V,
+	}
+}
+
+// swapXY exchanges the momentum components, rotating a state so y-direction
+// problems can reuse the x-direction solver.
+func swapXY(c Cons) Cons { return Cons{Rho: c.Rho, Mx: c.My, My: c.Mx, E: c.E} }
+
+// HLLCFluxX computes the HLLC approximate Riemann flux across an x-face
+// between left and right states (Toro §10.4, with Batten wave-speed
+// estimates).
+func HLLCFluxX(l, r Cons) Cons {
+	pl, pr := l.ToPrim(), r.ToPrim()
+	cl, cr := pl.SoundSpeed(), pr.SoundSpeed()
+
+	// Pressure-based wave speed estimate (PVRS, Toro §10.5).
+	rhoBar := 0.5 * (pl.Rho + pr.Rho)
+	cBar := 0.5 * (cl + cr)
+	pStar := 0.5*(pl.P+pr.P) - 0.5*(pr.U-pl.U)*rhoBar*cBar
+	if pStar < 0 {
+		pStar = 0
+	}
+	ql := waveSpeedFactor(pStar, pl.P)
+	qr := waveSpeedFactor(pStar, pr.P)
+	sl := pl.U - cl*ql
+	sr := pr.U + cr*qr
+
+	if sl >= 0 {
+		return FluxX(l)
+	}
+	if sr <= 0 {
+		return FluxX(r)
+	}
+
+	// Contact wave speed.
+	sm := (pr.P - pl.P + pl.Rho*pl.U*(sl-pl.U) - pr.Rho*pr.U*(sr-pr.U)) /
+		(pl.Rho*(sl-pl.U) - pr.Rho*(sr-pr.U))
+
+	if sm >= 0 {
+		return hllcStarFlux(l, pl, sl, sm)
+	}
+	return hllcStarFlux(r, pr, sr, sm)
+}
+
+// hllcStarFlux evaluates F = F(U) + s(U* − U) for the star region adjacent
+// to the side with outer wave speed s.
+func hllcStarFlux(u Cons, p Prim, s, sm float64) Cons {
+	f := FluxX(u)
+	coef := p.Rho * (s - p.U) / (s - sm)
+	star := Cons{
+		Rho: coef,
+		Mx:  coef * sm,
+		My:  coef * p.V,
+		E:   coef * (u.E/p.Rho + (sm-p.U)*(sm+p.P/(p.Rho*(s-p.U)))),
+	}
+	return Cons{
+		Rho: f.Rho + s*(star.Rho-u.Rho),
+		Mx:  f.Mx + s*(star.Mx-u.Mx),
+		My:  f.My + s*(star.My-u.My),
+		E:   f.E + s*(star.E-u.E),
+	}
+}
+
+func waveSpeedFactor(pStar, p float64) float64 {
+	if pStar <= p {
+		return 1
+	}
+	return math.Sqrt(1 + (Gamma+1)/(2*Gamma)*(pStar/p-1))
+}
+
+// HLLCFluxY computes the HLLC flux across a y-face by rotating into the
+// x-frame.
+func HLLCFluxY(l, r Cons) Cons {
+	f := HLLCFluxX(swapXY(l), swapXY(r))
+	return swapXY(f)
+}
+
+// MinMod is the classic symmetric slope limiter.
+func MinMod(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if math.Abs(a) < math.Abs(b) {
+		return a
+	}
+	return b
+}
+
+// MCLimiter is the monotonized-central limiter, sharper than MinMod while
+// remaining TVD.
+func MCLimiter(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	s := math.Copysign(1, a)
+	return s * math.Min(0.5*math.Abs(a+b), math.Min(2*math.Abs(a), 2*math.Abs(b)))
+}
+
+// Limiter selects a slope limiter by name.
+type Limiter int
+
+// Supported limiters.
+const (
+	LimiterMinMod Limiter = iota
+	LimiterMC
+)
+
+// Apply evaluates the limiter on the backward/forward differences a, b.
+func (l Limiter) Apply(a, b float64) float64 {
+	switch l {
+	case LimiterMinMod:
+		return MinMod(a, b)
+	case LimiterMC:
+		return MCLimiter(a, b)
+	default:
+		panic(fmt.Sprintf("euler: unknown limiter %d", l))
+	}
+}

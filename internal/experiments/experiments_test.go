@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alamr/internal/dataset"
+)
+
+// tinyDataset builds a structured synthetic dataset small enough for fast
+// end-to-end experiment runs.
+func tinyDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	combos := dataset.AllCombos()
+	ds := &dataset.Dataset{}
+	for i := 0; i < n; i++ {
+		c := combos[rng.Intn(len(combos))]
+		wall := 3.0 * math.Pow(float64(c.Mx)/8, 1.4) * math.Pow(2, float64(c.MaxLevel-3)) *
+			(1 + c.R0) / (0.3 + c.RhoIn) * math.Exp(rng.NormFloat64()*0.05)
+		ds.Jobs = append(ds.Jobs, dataset.Job{
+			P: c.P, Mx: c.Mx, MaxLevel: c.MaxLevel, R0: c.R0, RhoIn: c.RhoIn,
+			WallSec: wall,
+			CostNH:  wall * float64(c.P) / 3600,
+			MemMB: 0.08 * float64(c.Mx*c.Mx) / 64 * math.Pow(2, float64(c.MaxLevel-3)) /
+				math.Sqrt(float64(c.P)) * math.Exp(rng.NormFloat64()*0.02),
+		})
+	}
+	return ds
+}
+
+func tinyOpts(t *testing.T, ds *dataset.Dataset, buf *bytes.Buffer) Options {
+	t.Helper()
+	return Options{
+		Dataset:       ds,
+		Out:           buf,
+		Partitions:    2,
+		MaxIterations: 8,
+		NTest:         25,
+		Seed:          3,
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := TableI(Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	ds := tinyDataset(80, 1)
+	var buf bytes.Buffer
+	rows, err := TableI(tinyOpts(t, ds, &buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "cost, node-hours", "cost ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	ds := tinyDataset(60, 2)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	stats, err := Fig1(opts, Fig1Config{Levels: []int{1, 2}, TEnd: 0.02, Mx: 8, Width: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("levels = %d", len(stats))
+	}
+	// More refinement must cost more work.
+	if stats[1].CellUpdates <= stats[0].CellUpdates {
+		t.Fatalf("level 2 not more expensive: %d vs %d", stats[1].CellUpdates, stats[0].CellUpdates)
+	}
+	if !strings.Contains(buf.String(), "maxlevel=2") {
+		t.Fatal("render output missing")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	ds := tinyDataset(100, 3)
+	var buf bytes.Buffer
+	csvDir := t.TempDir()
+	opts := tinyOpts(t, ds, &buf)
+	opts.CSVDir = csvDir
+	violins, err := Fig2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"RandUniform", "MaxSigma", "MinPred", "RandGoodness"} {
+		v, ok := violins[name]
+		if !ok {
+			t.Fatalf("missing violin for %s", name)
+		}
+		if v.N != 8 {
+			t.Fatalf("%s selected %d samples want 8", name, v.N)
+		}
+	}
+	// The cost-greedy policy's selections should have a lower median cost
+	// than uniform sampling.
+	if violins["MinPred"].Median >= violins["RandUniform"].Median {
+		t.Fatalf("MinPred median %g not below RandUniform %g",
+			violins["MinPred"].Median, violins["RandUniform"].Median)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	ds := tinyDataset(100, 4)
+	var buf bytes.Buffer
+	res, err := Fig3(tinyOpts(t, ds, &buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bands) != 7 {
+		t.Fatalf("bands = %d want 7", len(res.Bands))
+	}
+	if res.Limit <= 0 {
+		t.Fatal("no memory limit")
+	}
+	// Regret curves are monotone.
+	for key, b := range res.Bands {
+		for i := 1; i < len(b.Mid); i++ {
+			if b.Mid[i] < b.Mid[i-1]-1e-12 {
+				t.Fatalf("%s regret not monotone", key)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "cumulative regret") {
+		t.Fatal("missing chart")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	ds := tinyDataset(100, 5)
+	var buf bytes.Buffer
+	res, err := Fig4(tinyOpts(t, ds, &buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CostRMSE) != 7 || len(res.MemRMSE) != 7 || len(res.CumCost) != 7 {
+		t.Fatalf("result sizes: %d/%d/%d", len(res.CostRMSE), len(res.MemRMSE), len(res.CumCost))
+	}
+	for key, b := range res.CostRMSE {
+		for _, v := range b.Mid {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("%s has invalid RMSE %g", key, v)
+			}
+		}
+	}
+}
+
+func TestViolationTimeline(t *testing.T) {
+	ds := tinyDataset(100, 6)
+	var buf bytes.Buffer
+	curves, err := ViolationTimeline(tinyOpts(t, ds, &buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d want 4", len(curves))
+	}
+	for key, c := range curves {
+		for i := 1; i < len(c); i++ {
+			if c[i] < c[i-1] {
+				t.Fatalf("%s cumulative violations not monotone", key)
+			}
+		}
+	}
+}
+
+func TestKernelAblation(t *testing.T) {
+	ds := tinyDataset(80, 7)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 5
+	res, err := KernelAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalCostRMSE) != 4 {
+		t.Fatalf("variants = %d want 4", len(res.FinalCostRMSE))
+	}
+	for name, v := range res.FinalCostRMSE {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("%s RMSE = %g", name, v)
+		}
+	}
+}
+
+func TestLog2PAblation(t *testing.T) {
+	ds := tinyDataset(80, 8)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 5
+	res, err := Log2PAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalCostRMSE) != 2 {
+		t.Fatalf("variants = %d", len(res.FinalCostRMSE))
+	}
+}
+
+func TestGoodnessBaseAblation(t *testing.T) {
+	ds := tinyDataset(80, 9)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 5
+	res, err := GoodnessBaseAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalCostRMSE) != 3 {
+		t.Fatalf("variants = %d", len(res.FinalCostRMSE))
+	}
+}
+
+func TestMemLimitSensitivity(t *testing.T) {
+	ds := tinyDataset(80, 10)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 5
+	res, err := MemLimitSensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("quantiles = %d", len(res))
+	}
+}
+
+func TestHyperoptCadenceAblation(t *testing.T) {
+	ds := tinyDataset(70, 11)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 4
+	res, err := HyperoptCadenceAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalCostRMSE) != 4 {
+		t.Fatalf("variants = %d", len(res.FinalCostRMSE))
+	}
+}
+
+func TestScaleNInit(t *testing.T) {
+	big := &dataset.Dataset{Jobs: make([]dataset.Job, 600)}
+	if scaleNInit(big, 50) != 50 {
+		t.Fatal("full-size dataset should keep paper values")
+	}
+	small := &dataset.Dataset{Jobs: make([]dataset.Job, 60)}
+	if got := scaleNInit(small, 50); got != 5 {
+		t.Fatalf("scaled = %d want 5", got)
+	}
+	if got := scaleNInit(small, 1); got != 1 {
+		t.Fatalf("floor = %d want 1", got)
+	}
+}
+
+func TestBatchSizeStudy(t *testing.T) {
+	ds := tinyDataset(90, 12)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 8
+	rows, err := BatchSizeStudy(opts, []int{1, 4}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger batches shorten the campaign: q=4 makespan must not exceed
+	// q=1 (same number of selections, 4-way concurrency per round).
+	if rows[1].CampaignMakespan > rows[0].CampaignMakespan {
+		t.Fatalf("q=4 makespan %g exceeds q=1 %g", rows[1].CampaignMakespan, rows[0].CampaignMakespan)
+	}
+	if !strings.Contains(buf.String(), "batch-mode AL study") {
+		t.Fatal("missing table")
+	}
+}
+
+func TestSurrogateAblation(t *testing.T) {
+	ds := tinyDataset(110, 13)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 5
+	res, err := SurrogateAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalCostRMSE) != 4 {
+		t.Fatalf("variants = %d", len(res.FinalCostRMSE))
+	}
+}
+
+func TestWeightedErrorStudy(t *testing.T) {
+	ds := tinyDataset(100, 14)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	opts.MaxIterations = 8
+	rows, err := WeightedErrorStudy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.UniformRMSE) || math.IsNaN(r.CostWeighted) || r.UniformRMSE <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "cost-weighted") {
+		t.Fatal("missing table")
+	}
+}
+
+func TestOnlineStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("online study runs real physics in -short mode")
+	}
+	ds := tinyDataset(90, 15)
+	var buf bytes.Buffer
+	opts := tinyOpts(t, ds, &buf)
+	rows, err := OnlineStudy(opts, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MedianCost <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "online mode") {
+		t.Fatal("missing table")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"alamr/internal/core"
+	"alamr/internal/dataset"
+	"alamr/internal/online"
+	"alamr/internal/report"
+	"alamr/internal/stats"
+)
+
+// OnlineStudyRow summarizes repeated online campaigns for one policy.
+type OnlineStudyRow struct {
+	Policy        string
+	MedianCost    float64 // node-hours spent per campaign
+	MedianRegret  float64
+	MedianMAPE    float64 // one-step-ahead cost MAPE
+	MedianRefRuns float64 // physics references the lab had to simulate
+}
+
+// OnlineStudy runs repeated online campaigns (the §IV "online" mode) against
+// a shared simulation-backed lab and compares policies on spend, regret,
+// one-step prediction error, and how much fresh physics each policy forces
+// the lab to simulate. It complements the offline figures: here there is no
+// precomputed pool, the learner roams the full 1920-point grid.
+func OnlineStudy(opts Options, experimentsPerRun, repetitions int) ([]OnlineStudyRow, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	if experimentsPerRun <= 0 {
+		experimentsPerRun = 20
+	}
+	if repetitions <= 0 {
+		repetitions = 3
+	}
+	policies := []core.Policy{core.RandUniform{}, core.RandGoodness{}, core.RGMA{}}
+
+	// One lab per study: reference solutions are shared across repetitions
+	// and policies, exactly as a real campaign would reuse prior physics.
+	lab := online.NewSimLab(online.SimLabConfig{RefNx: 48, RefTEnd: 0.1, RefSnaps: 4, Seed: opts.Seed})
+	memLimit := core.PaperMemLimitMB(opts.Dataset)
+
+	var rows []OnlineStudyRow
+	tb := &report.Table{Header: []string{"policy", "median cost (nh)", "median regret", "median 1-step MAPE", "refs simulated"}}
+	for _, p := range policies {
+		var cost, regret, mape, refs []float64
+		for r := 0; r < repetitions; r++ {
+			before := lab.NumReferenceRuns()
+			res, err := online.Run(lab, online.Config{
+				Policy:         p,
+				MaxExperiments: experimentsPerRun,
+				MemLimitMB:     memLimit,
+				Seed:           stats.SplitSeed(opts.Seed+12, r*10+len(rows)),
+				InitDesign: []dataset.Combo{
+					{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if n := len(res.CumCost); n > 0 {
+				cost = append(cost, res.CumCost[n-1])
+				regret = append(regret, res.CumRegret[n-1])
+			}
+			if m := res.OneStepMAPE(); !math.IsNaN(m) {
+				mape = append(mape, m)
+			}
+			refs = append(refs, float64(lab.NumReferenceRuns()-before))
+		}
+		row := OnlineStudyRow{
+			Policy:        p.Name(),
+			MedianCost:    stats.Median(cost),
+			MedianRegret:  stats.Median(regret),
+			MedianMAPE:    stats.Median(mape),
+			MedianRefRuns: stats.Median(refs),
+		}
+		rows = append(rows, row)
+		tb.Add(row.Policy, row.MedianCost, row.MedianRegret,
+			fmt.Sprintf("%.0f%%", 100*row.MedianMAPE), row.MedianRefRuns)
+	}
+	fmt.Fprintf(opts.Out, "online mode: %d campaigns of %d experiments per policy (shared lab)\n",
+		repetitions, experimentsPerRun)
+	return rows, tb.Write(opts.Out)
+}

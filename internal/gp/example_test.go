@@ -1,0 +1,56 @@
+package gp_test
+
+import (
+	"fmt"
+	"math"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// ExampleGP shows the basic fit/predict cycle on noiseless 1D data: the
+// posterior interpolates the observations and its uncertainty collapses at
+// them.
+func ExampleGP() {
+	x := mat.NewDense(5, 1, []float64{0, 0.25, 0.5, 0.75, 1})
+	y := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		y[i] = math.Sin(2 * math.Pi * x.At(i, 0))
+	}
+	g := gp.New(kernel.NewRBF(0.3, 1), gp.Config{
+		Noise: 1e-4, FixedNoise: true, NoOptimize: true,
+	})
+	if err := g.Fit(x, y); err != nil {
+		panic(err)
+	}
+	mean, std := g.PredictOne([]float64{0.25})
+	fmt.Printf("at a training point: mean %.3f (true 1.000), std %.3f\n", mean, std)
+	_, stdFar := g.PredictOne([]float64{3})
+	fmt.Printf("far from data the prior std returns: %.2f\n", stdFar)
+	// Output:
+	// at a training point: mean 1.000 (true 1.000), std 0.000
+	// far from data the prior std returns: 1.00
+}
+
+// ExampleGP_Append demonstrates the O(n²) incremental update used inside
+// the active-learning loop.
+func ExampleGP_Append() {
+	x := mat.NewDense(2, 1, []float64{0, 1})
+	g := gp.New(kernel.NewRBF(0.5, 1), gp.Config{
+		Noise: 0.01, FixedNoise: true, NoOptimize: true,
+	})
+	if err := g.Fit(x, []float64{0, 1}); err != nil {
+		panic(err)
+	}
+	_, before := g.PredictOne([]float64{0.5})
+	if err := g.Append([]float64{0.5}, 0.5); err != nil {
+		panic(err)
+	}
+	_, after := g.PredictOne([]float64{0.5})
+	fmt.Printf("uncertainty at x=0.5 shrank: %v\n", after < before/2)
+	fmt.Printf("training size: %d\n", g.NumTrain())
+	// Output:
+	// uncertainty at x=0.5 shrank: true
+	// training size: 3
+}

@@ -1,0 +1,95 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"alamr/internal/mat"
+)
+
+// Append adds one training sample to a fitted GP without re-optimizing
+// hyperparameters, extending the Cholesky factor by a rank-1 border in
+// O(n²). This is the fast path of the active-learning loop (Algorithm 1 in
+// the paper): hyperparameters are re-optimized only periodically via Fit,
+// while every iteration's model update uses Append.
+func (g *GP) Append(x []float64, y float64) error {
+	if !g.fitted {
+		return errors.New("gp: Append before Fit")
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return errors.New("gp: non-finite target in Append")
+	}
+	if len(x) != g.x.Cols() {
+		return fmt.Errorf("gp: Append input dim %d, want %d", len(x), g.x.Cols())
+	}
+	n := g.x.Rows()
+
+	// Border column: k(x_i, x_new) for existing rows.
+	k := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = g.kern.Eval(g.x.Row(i), x)
+	}
+	noise2 := math.Exp(2 * g.logNoise)
+	kss := g.kern.Eval(x, x) + noise2 + g.chol.Jitter()
+
+	// New factor row: l = L⁻¹ k, pivot d = sqrt(kss − lᵀl).
+	l := mat.SolveLowerVec(g.chol.L(), k)
+	d2 := kss - mat.Dot(l, l)
+	if d2 <= 0 {
+		// Duplicate or near-duplicate input: fall back to a guarded pivot
+		// proportional to the noise floor rather than failing.
+		d2 = math.Max(noise2*1e-8, 1e-12)
+	}
+	d := math.Sqrt(d2)
+
+	// Grow the stored factor.
+	oldL := g.chol.L()
+	newL := mat.NewDense(n+1, n+1, nil)
+	for i := 0; i < n; i++ {
+		copy(newL.Row(i)[:n], oldL.Row(i))
+	}
+	copy(newL.Row(n)[:n], l)
+	newL.Set(n, n, d)
+	g.chol = mat.CholeskyFromFactor(newL, g.chol.Jitter())
+
+	// Grow the design matrix and (centred) targets. The centring mean is
+	// kept fixed between full fits — a shifting mean would silently change
+	// the values of all previous residuals.
+	newX := mat.NewDense(n+1, g.x.Cols(), nil)
+	for i := 0; i < n; i++ {
+		copy(newX.Row(i), g.x.Row(i))
+	}
+	copy(newX.Row(n), x)
+	g.x = newX
+	g.y = append(g.y, y-g.yMean)
+
+	g.alpha = g.chol.SolveVec(g.y)
+	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n+1)*math.Log(2*math.Pi)
+	return nil
+}
+
+// Refit re-optimizes hyperparameters on the GP's current training set
+// (warm-started from the present values) and rebuilds the posterior. Use
+// together with Append: Append every iteration, Refit every few.
+func (g *GP) Refit() error {
+	if g.x == nil || g.x.Rows() == 0 {
+		return ErrNoData
+	}
+	if !g.cfg.NoOptimize && len(g.y) >= 2 {
+		g.optimizeHyperparams()
+	}
+	return g.precompute()
+}
+
+// TrainingData returns copies of the design matrix and (uncentred) targets.
+func (g *GP) TrainingData() (*mat.Dense, []float64) {
+	if g.x == nil {
+		return nil, nil
+	}
+	y := make([]float64, len(g.y))
+	for i, v := range g.y {
+		y[i] = v + g.yMean
+	}
+	return g.x.Clone(), y
+}

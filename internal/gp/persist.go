@@ -1,0 +1,131 @@
+package gp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// savedModel is the JSON schema for a persisted GP.
+type savedModel struct {
+	Version    int         `json:"version"`
+	KernelType string      `json:"kernel_type"`
+	Nu         float64     `json:"nu,omitempty"`
+	Dims       int         `json:"dims"`
+	Params     []float64   `json:"kernel_params"` // log space
+	LogNoise   float64     `json:"log_noise"`
+	YMean      float64     `json:"y_mean"`
+	X          [][]float64 `json:"x"`
+	Y          []float64   `json:"y"` // uncentred targets
+}
+
+// Save serializes a fitted GP (kernel, hyperparameters, training data) as
+// JSON. The posterior is reconstructed on Load, so only O(n·d) state is
+// stored.
+func (g *GP) Save(w io.Writer) error {
+	if !g.fitted {
+		return fmt.Errorf("gp: Save before Fit")
+	}
+	sm := savedModel{
+		Version:  1,
+		Params:   g.kern.Params(),
+		LogNoise: g.logNoise,
+		YMean:    g.yMean,
+		Dims:     g.x.Cols(),
+	}
+	switch k := g.kern.(type) {
+	case *kernel.RBF:
+		sm.KernelType = "rbf"
+	case *kernel.ARDRBF:
+		sm.KernelType = "ardrbf"
+	case *kernel.Matern:
+		sm.KernelType = "matern"
+		sm.Nu = k.Nu()
+	default:
+		return fmt.Errorf("gp: cannot persist kernel type %T", g.kern)
+	}
+	n := g.x.Rows()
+	sm.X = make([][]float64, n)
+	sm.Y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		sm.X[i] = mat.CopyVec(g.x.Row(i))
+		sm.Y[i] = g.y[i] + g.yMean
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(sm)
+}
+
+// Load reconstructs a GP persisted with Save. The returned model is ready
+// for Predict/Append; its hyperparameters are exactly those saved (no
+// re-optimization happens).
+func Load(r io.Reader) (*GP, error) {
+	var sm savedModel
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("gp: decoding model: %w", err)
+	}
+	if sm.Version != 1 {
+		return nil, fmt.Errorf("gp: unsupported model version %d", sm.Version)
+	}
+	if len(sm.X) == 0 || len(sm.X) != len(sm.Y) {
+		return nil, fmt.Errorf("gp: corrupt model: %d inputs, %d targets", len(sm.X), len(sm.Y))
+	}
+
+	var k kernel.Kernel
+	switch sm.KernelType {
+	case "rbf":
+		k = kernel.NewRBF(1, 1)
+	case "ardrbf":
+		if sm.Dims < 1 {
+			return nil, fmt.Errorf("gp: ARD kernel with dims %d", sm.Dims)
+		}
+		ls := make([]float64, sm.Dims)
+		for i := range ls {
+			ls[i] = 1
+		}
+		k = kernel.NewARDRBF(ls, 1)
+	case "matern":
+		k = kernel.NewMatern(sm.Nu, 1, 1)
+	default:
+		return nil, fmt.Errorf("gp: unknown kernel type %q", sm.KernelType)
+	}
+	if len(sm.Params) != k.NumParams() {
+		return nil, fmt.Errorf("gp: kernel %q expects %d params, got %d", sm.KernelType, k.NumParams(), len(sm.Params))
+	}
+	k.SetParams(sm.Params)
+
+	g := New(k, Config{
+		Noise:      math.Exp(sm.LogNoise),
+		NoOptimize: true,
+		NormalizeY: sm.YMean != 0,
+	})
+	g.logNoise = sm.LogNoise
+
+	n, d := len(sm.X), sm.Dims
+	x := mat.NewDense(n, d, nil)
+	for i, row := range sm.X {
+		if len(row) != d {
+			return nil, fmt.Errorf("gp: row %d has %d dims, want %d", i, len(row), d)
+		}
+		copy(x.Row(i), row)
+	}
+	if err := g.Fit(x, sm.Y); err != nil {
+		return nil, err
+	}
+	// Fit recomputed yMean from the data when NormalizeY; restore the exact
+	// saved centring so predictions reproduce bit-for-bit behaviour of the
+	// saved model's hyperparameters.
+	if g.yMean != sm.YMean {
+		g.yMean = sm.YMean
+		for i := range g.y {
+			g.y[i] = sm.Y[i] - sm.YMean
+		}
+		if err := g.precompute(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

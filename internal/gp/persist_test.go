@@ -1,0 +1,119 @@
+package gp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kernels := []kernel.Kernel{
+		kernel.NewRBF(0.4, 1.2),
+		kernel.NewARDRBF([]float64{0.3, 0.7}, 0.9),
+		kernel.NewMatern(1.5, 0.5, 1.1),
+		kernel.NewMatern(2.5, 0.6, 0.8),
+	}
+	for _, k := range kernels {
+		n := 15
+		x := mat.NewDense(n, 2, nil)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, rng.Float64())
+			x.Set(i, 1, rng.Float64())
+			y[i] = 3 + math.Sin(5*x.At(i, 0)) + rng.NormFloat64()*0.05
+		}
+		g := New(k, Config{Noise: 0.1, Seed: 2, NormalizeY: true})
+		if err := g.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		probe := mat.NewDense(5, 2, nil)
+		for i := 0; i < 5; i++ {
+			probe.Set(i, 0, rng.Float64())
+			probe.Set(i, 1, rng.Float64())
+		}
+		m1, s1 := g.Predict(probe)
+		m2, s2 := back.Predict(probe)
+		for i := range m1 {
+			if math.Abs(m1[i]-m2[i]) > 1e-10 || math.Abs(s1[i]-s2[i]) > 1e-10 {
+				t.Fatalf("%v: prediction changed after round trip: %g/%g vs %g/%g",
+					k, m1[i], s1[i], m2[i], s2[i])
+			}
+		}
+		// The restored model remains usable for incremental updates.
+		if err := back.Append([]float64{0.5, 0.5}, 3.2); err != nil {
+			t.Fatalf("%v: append after load: %v", k, err)
+		}
+	}
+}
+
+func TestSaveBeforeFitFails(t *testing.T) {
+	g := New(kernel.NewRBF(1, 1), Config{})
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err == nil {
+		t.Fatal("Save before Fit accepted")
+	}
+}
+
+func TestLoadCorruptInputs(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"bad version":  `{"version":9}`,
+		"empty data":   `{"version":1,"kernel_type":"rbf","kernel_params":[0,0],"x":[],"y":[]}`,
+		"unknown kern": `{"version":1,"kernel_type":"cubic","dims":1,"kernel_params":[0],"x":[[1]],"y":[1]}`,
+		"param count":  `{"version":1,"kernel_type":"rbf","dims":1,"kernel_params":[0],"x":[[1]],"y":[1]}`,
+		"ragged row":   `{"version":1,"kernel_type":"rbf","dims":2,"kernel_params":[0,0],"x":[[1]],"y":[1]}`,
+		"xy mismatch":  `{"version":1,"kernel_type":"rbf","dims":1,"kernel_params":[0,0],"x":[[1]],"y":[1,2]}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(payload)); err == nil {
+				t.Fatalf("corrupt payload accepted: %s", payload)
+			}
+		})
+	}
+}
+
+func TestSaveLoadPreservesHyperparams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := mat.NewDense(10, 1, nil)
+	y := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, rng.Float64()*2)
+		y[i] = math.Cos(3 * x.At(i, 0))
+	}
+	g := New(kernel.NewRBF(1, 1), Config{Noise: 0.1, Seed: 4})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := g.Hyperparams(), back.Hyperparams()
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("hyperparams changed: %v vs %v", h1, h2)
+		}
+	}
+	if back.NumTrain() != g.NumTrain() {
+		t.Fatal("training size changed")
+	}
+}

@@ -1,0 +1,263 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// Sparse is a subset-of-regressors (SoR / Nyström) approximation to GP
+// regression, the family of sparse methods the paper's related work (§II-B,
+// sparse pseudo-input GPs) flags as compatible with cost- and memory-aware
+// AL: m ≪ n inducing points carry the posterior, reducing the per-update
+// cost from O(n³) to O(n m²).
+//
+// With inducing set Z, K_mm = k(Z,Z), K_nm = k(X,Z), and noise σ²:
+//
+//	A  = K_mm + σ⁻² K_nmᵀ K_nm
+//	μ* = σ⁻² k_*mᵀ A⁻¹ K_nmᵀ y
+//	v* = k_*mᵀ A⁻¹ k_*m        (SoR predictive variance)
+//
+// Hyperparameters are re-optimized on the inducing subset with an exact GP
+// (a standard, documented heuristic), then projected onto the full data.
+type Sparse struct {
+	kern     kernel.Kernel
+	cfg      Config
+	m        int
+	logNoise float64
+
+	x     *mat.Dense // all training inputs
+	y     []float64  // centred targets
+	yMean float64
+
+	z     *mat.Dense // inducing inputs
+	aChol *mat.Cholesky
+	beta  []float64 // A⁻¹ K_nmᵀ y / σ²
+
+	fitted bool
+}
+
+var _ Model = (*Sparse)(nil)
+
+// NewSparse creates a sparse GP with at most m inducing points (minimum 4).
+func NewSparse(k kernel.Kernel, cfg Config, m int) *Sparse {
+	if m < 4 {
+		m = 4
+	}
+	cfg.setDefaults()
+	return &Sparse{kern: k.Clone(), cfg: cfg, m: m, logNoise: math.Log(cfg.Noise)}
+}
+
+// NumInducing reports the current inducing-set size.
+func (s *Sparse) NumInducing() int {
+	if s.z == nil {
+		return 0
+	}
+	return s.z.Rows()
+}
+
+// NumTrain reports the number of absorbed training samples.
+func (s *Sparse) NumTrain() int {
+	if s.x == nil {
+		return 0
+	}
+	return s.x.Rows()
+}
+
+// Fit implements Model.
+func (s *Sparse) Fit(x *mat.Dense, y []float64) error {
+	if x == nil || x.Rows() == 0 {
+		return ErrNoData
+	}
+	if x.Rows() != len(y) {
+		return fmt.Errorf("gp: sparse fit with %d rows and %d targets", x.Rows(), len(y))
+	}
+	s.x = x.Clone()
+	s.yMean = 0
+	if s.cfg.NormalizeY {
+		s.yMean = mat.SumVec(y) / float64(len(y))
+	}
+	s.y = make([]float64, len(y))
+	for i, v := range y {
+		s.y[i] = v - s.yMean
+	}
+	s.z = greedyInducing(s.x, s.m)
+	if !s.cfg.NoOptimize && len(y) >= 2 {
+		if err := s.refitHyper(); err != nil {
+			return err
+		}
+	}
+	return s.project()
+}
+
+// greedyInducing picks up to m rows by farthest-point (max-min distance)
+// selection, a standard space-filling inducing-set heuristic.
+func greedyInducing(x *mat.Dense, m int) *mat.Dense {
+	n := x.Rows()
+	if m > n {
+		m = n
+	}
+	chosen := make([]int, 0, m)
+	chosen = append(chosen, 0)
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = mat.SqDist(x.Row(i), x.Row(0))
+	}
+	for len(chosen) < m {
+		best, bestIdx := -1.0, -1
+		for i := 0; i < n; i++ {
+			if minDist[i] > best {
+				best, bestIdx = minDist[i], i
+			}
+		}
+		if bestIdx < 0 || best == 0 {
+			break // all remaining points duplicate the chosen set
+		}
+		chosen = append(chosen, bestIdx)
+		for i := 0; i < n; i++ {
+			if d := mat.SqDist(x.Row(i), x.Row(bestIdx)); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	z := mat.NewDense(len(chosen), x.Cols(), nil)
+	for r, i := range chosen {
+		copy(z.Row(r), x.Row(i))
+	}
+	return z
+}
+
+// refitHyper optimizes hyperparameters with an exact GP on the inducing
+// subset (targets of the rows nearest to each inducing point).
+func (s *Sparse) refitHyper() error {
+	// Gather the targets of the training rows the inducing points were
+	// copied from: nearest-row lookup.
+	zy := make([]float64, s.z.Rows())
+	for i := 0; i < s.z.Rows(); i++ {
+		bestD, bestJ := math.Inf(1), 0
+		for j := 0; j < s.x.Rows(); j++ {
+			if d := mat.SqDist(s.z.Row(i), s.x.Row(j)); d < bestD {
+				bestD, bestJ = d, j
+			}
+		}
+		zy[i] = s.y[bestJ]
+	}
+	sub := New(s.kern, Config{
+		Noise:      math.Exp(s.logNoise),
+		FixedNoise: s.cfg.FixedNoise,
+		Restarts:   s.cfg.Restarts,
+		Seed:       s.cfg.Seed,
+		MaxIter:    s.cfg.MaxIter,
+		NormalizeY: false, // already centred
+	})
+	if err := sub.Fit(s.z, zy); err != nil {
+		return err
+	}
+	h := sub.Hyperparams()
+	s.kern.SetParams(h[:len(h)-1])
+	s.logNoise = h[len(h)-1]
+	return nil
+}
+
+// project rebuilds A and β from the full training set.
+func (s *Sparse) project() error {
+	m := s.z.Rows()
+	noise2 := math.Exp(2 * s.logNoise)
+	kmm := kernel.Gram(s.kern, s.z)
+	knm := kernel.Cross(s.kern, s.x, s.z)
+
+	// A = K_mm + σ⁻² K_nmᵀ K_nm (+ jitter).
+	a := mat.Mul(knm.T(), knm)
+	a.Scale(1 / noise2)
+	aFull := mat.NewDense(m, m, nil)
+	aFull.Add(a, kmm)
+	aFull.Symmetrize()
+	ch, err := mat.NewCholeskyJitter(aFull, 1e-8, 1e-2)
+	if err != nil {
+		return fmt.Errorf("gp: sparse projection failed: %w", err)
+	}
+	s.aChol = ch
+
+	// β = σ⁻² A⁻¹ K_nmᵀ y.
+	kty := knm.MulVecT(s.y)
+	mat.ScaleVec(1/noise2, kty)
+	s.beta = ch.SolveVec(kty)
+	s.fitted = true
+	return nil
+}
+
+// Predict implements Model.
+func (s *Sparse) Predict(xs *mat.Dense) (mean, std []float64) {
+	if !s.fitted {
+		panic("gp: Sparse.Predict before Fit")
+	}
+	n := xs.Rows()
+	mean = make([]float64, n)
+	std = make([]float64, n)
+	m := s.z.Rows()
+	km := make([]float64, m)
+	for i := 0; i < n; i++ {
+		xi := xs.Row(i)
+		for j := 0; j < m; j++ {
+			km[j] = s.kern.Eval(xi, s.z.Row(j))
+		}
+		mean[i] = mat.Dot(km, s.beta) + s.yMean
+		v := mat.Dot(km, s.aChol.SolveVec(km))
+		if v < 0 {
+			v = 0
+		}
+		std[i] = math.Sqrt(v)
+	}
+	return mean, std
+}
+
+// Append implements Model: O(m²) projection update (A += σ⁻² k_m k_mᵀ needs
+// a refactorization, O(m³), with m small).
+func (s *Sparse) Append(x []float64, y float64) error {
+	if !s.fitted {
+		return errors.New("gp: Sparse.Append before Fit")
+	}
+	if len(x) != s.x.Cols() {
+		return fmt.Errorf("gp: sparse append dim %d, want %d", len(x), s.x.Cols())
+	}
+	n := s.x.Rows()
+	nx := mat.NewDense(n+1, s.x.Cols(), nil)
+	for i := 0; i < n; i++ {
+		copy(nx.Row(i), s.x.Row(i))
+	}
+	copy(nx.Row(n), x)
+	s.x = nx
+	s.y = append(s.y, y-s.yMean)
+	return s.project()
+}
+
+// Refit implements Model: re-selects inducing points, re-optimizes
+// hyperparameters, and re-projects.
+func (s *Sparse) Refit() error {
+	if s.x == nil {
+		return ErrNoData
+	}
+	s.z = greedyInducing(s.x, s.m)
+	if !s.cfg.NoOptimize && len(s.y) >= 2 {
+		if err := s.refitHyper(); err != nil {
+			return err
+		}
+	}
+	return s.project()
+}
+
+// Hyperparams implements Model.
+func (s *Sparse) Hyperparams() []float64 {
+	return append(s.kern.Params(), s.logNoise)
+}
+
+// SetRestarts implements Model.
+func (s *Sparse) SetRestarts(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.cfg.Restarts = n
+}

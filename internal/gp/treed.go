@@ -1,0 +1,307 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// Model is the surrogate interface the active-learning loop consumes. *GP
+// implements it; Treed provides the partitioned variant the paper's future
+// work proposes ("train multiple local performance models simultaneously",
+// §VI; cf. the treed GPR of its related work §II-B).
+type Model interface {
+	Fit(x *mat.Dense, y []float64) error
+	Predict(xs *mat.Dense) (mean, std []float64)
+	Append(x []float64, y float64) error
+	Refit() error
+	Hyperparams() []float64
+	SetRestarts(n int)
+}
+
+var (
+	_ Model = (*GP)(nil)
+	_ Model = (*Treed)(nil)
+)
+
+// Treed is a partitioned Gaussian process: the input space is recursively
+// split (widest-spread dimension, at the median) until every leaf holds at
+// most LeafSize training points, and an independent GP is fitted per leaf.
+// Predictions route to the covering leaf. This trades the O(n³) global fit
+// for several small fits — the standard answer to GPR's cubic scaling — at
+// the cost of discontinuities across leaf boundaries.
+type Treed struct {
+	proto    kernel.Kernel
+	cfg      Config
+	leafSize int
+	root     *treeNode
+}
+
+type treeNode struct {
+	dim       int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+
+	// Leaf state (left == nil).
+	model *GP
+	x     *mat.Dense
+	y     []float64
+}
+
+// NewTreed creates a treed GP with the given kernel prototype, per-leaf GP
+// configuration, and leaf capacity (minimum 8).
+func NewTreed(k kernel.Kernel, cfg Config, leafSize int) *Treed {
+	if leafSize < 8 {
+		leafSize = 8
+	}
+	return &Treed{proto: k.Clone(), cfg: cfg, leafSize: leafSize}
+}
+
+// Fit builds the partition tree and fits every leaf GP.
+func (t *Treed) Fit(x *mat.Dense, y []float64) error {
+	if x == nil || x.Rows() == 0 {
+		return ErrNoData
+	}
+	if x.Rows() != len(y) {
+		return fmt.Errorf("gp: treed fit with %d rows and %d targets", x.Rows(), len(y))
+	}
+	root, err := t.build(x.Clone(), append([]float64(nil), y...), 0)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+func (t *Treed) build(x *mat.Dense, y []float64, depth int) (*treeNode, error) {
+	n := x.Rows()
+	if n <= t.leafSize || depth >= 12 {
+		leaf := &treeNode{x: x, y: y, model: New(t.proto, t.cfg)}
+		if err := leaf.model.Fit(x, y); err != nil {
+			return nil, err
+		}
+		return leaf, nil
+	}
+	dim, threshold, ok := splitPlane(x)
+	if !ok {
+		leaf := &treeNode{x: x, y: y, model: New(t.proto, t.cfg)}
+		if err := leaf.model.Fit(x, y); err != nil {
+			return nil, err
+		}
+		return leaf, nil
+	}
+	var li, ri []int
+	for i := 0; i < n; i++ {
+		if x.At(i, dim) < threshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	lx, ly := subset(x, y, li)
+	rx, ry := subset(x, y, ri)
+	left, err := t.build(lx, ly, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	right, err := t.build(rx, ry, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{dim: dim, threshold: threshold, left: left, right: right}, nil
+}
+
+// splitPlane picks the dimension with the largest spread and splits at its
+// median. Returns ok=false when every dimension is constant (no useful
+// split exists).
+func splitPlane(x *mat.Dense) (dim int, threshold float64, ok bool) {
+	n, d := x.Dims()
+	bestSpread := 0.0
+	for j := 0; j < d; j++ {
+		lo, hi := x.At(0, j), x.At(0, j)
+		for i := 1; i < n; i++ {
+			v := x.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			bestSpread = s
+			dim = j
+		}
+	}
+	if bestSpread == 0 {
+		return 0, 0, false
+	}
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		col[i] = x.At(i, dim)
+	}
+	threshold = medianOf(col)
+	// Guard: a median equal to the minimum would put everything on one
+	// side; nudge to the midpoint of the range instead.
+	lo, hi := col[0], col[0]
+	for _, v := range col {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	left := 0
+	for _, v := range col {
+		if v < threshold {
+			left++
+		}
+	}
+	if left == 0 || left == n {
+		threshold = (lo + hi) / 2
+		left = 0
+		for _, v := range col {
+			if v < threshold {
+				left++
+			}
+		}
+		if left == 0 || left == n {
+			return 0, 0, false
+		}
+	}
+	return dim, threshold, true
+}
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	// Insertion sort: leaf sizes are small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func subset(x *mat.Dense, y []float64, idx []int) (*mat.Dense, []float64) {
+	out := mat.NewDense(len(idx), x.Cols(), nil)
+	oy := make([]float64, len(idx))
+	for r, i := range idx {
+		copy(out.Row(r), x.Row(i))
+		oy[r] = y[i]
+	}
+	return out, oy
+}
+
+// leafFor routes a point to its covering leaf.
+func (t *Treed) leafFor(x []float64) *treeNode {
+	node := t.root
+	for node.left != nil {
+		if x[node.dim] < node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node
+}
+
+// Predict implements Model: each row routes to its leaf GP.
+func (t *Treed) Predict(xs *mat.Dense) (mean, std []float64) {
+	if t.root == nil {
+		panic("gp: Treed.Predict before Fit")
+	}
+	m := xs.Rows()
+	mean = make([]float64, m)
+	std = make([]float64, m)
+	for i := 0; i < m; i++ {
+		leaf := t.leafFor(xs.Row(i))
+		mean[i], std[i] = leaf.model.PredictOne(xs.Row(i))
+	}
+	return mean, std
+}
+
+// Append implements Model: the sample joins its covering leaf; a leaf grown
+// past twice its capacity is re-split.
+func (t *Treed) Append(x []float64, y float64) error {
+	if t.root == nil {
+		return errors.New("gp: Treed.Append before Fit")
+	}
+	leaf := t.leafFor(x)
+	if err := leaf.model.Append(x, y); err != nil {
+		return err
+	}
+	// Mirror the training data for rebuilds.
+	n := leaf.x.Rows()
+	nx := mat.NewDense(n+1, leaf.x.Cols(), nil)
+	for i := 0; i < n; i++ {
+		copy(nx.Row(i), leaf.x.Row(i))
+	}
+	copy(nx.Row(n), x)
+	leaf.x = nx
+	leaf.y = append(leaf.y, y)
+
+	if leaf.x.Rows() > 2*t.leafSize {
+		sub, err := t.build(leaf.x, leaf.y, 0)
+		if err != nil {
+			return err
+		}
+		*leaf = *sub
+	}
+	return nil
+}
+
+// Refit implements Model: every leaf re-optimizes its hyperparameters.
+func (t *Treed) Refit() error {
+	if t.root == nil {
+		return ErrNoData
+	}
+	return walkLeaves(t.root, func(n *treeNode) error { return n.model.Refit() })
+}
+
+// Hyperparams implements Model: the concatenation of all leaf
+// hyperparameters (leaf order is deterministic: left before right).
+func (t *Treed) Hyperparams() []float64 {
+	var out []float64
+	if t.root == nil {
+		return nil
+	}
+	_ = walkLeaves(t.root, func(n *treeNode) error {
+		out = append(out, n.model.Hyperparams()...)
+		return nil
+	})
+	return out
+}
+
+// SetRestarts implements Model.
+func (t *Treed) SetRestarts(n int) {
+	t.cfg.Restarts = n
+	if t.root == nil {
+		return
+	}
+	_ = walkLeaves(t.root, func(node *treeNode) error {
+		node.model.SetRestarts(n)
+		return nil
+	})
+}
+
+// NumLeaves reports the number of local models.
+func (t *Treed) NumLeaves() int {
+	if t.root == nil {
+		return 0
+	}
+	count := 0
+	_ = walkLeaves(t.root, func(*treeNode) error { count++; return nil })
+	return count
+}
+
+func walkLeaves(n *treeNode, f func(*treeNode) error) error {
+	if n.left == nil {
+		return f(n)
+	}
+	if err := walkLeaves(n.left, f); err != nil {
+		return err
+	}
+	return walkLeaves(n.right, f)
+}

@@ -1,0 +1,205 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+func treedData(rng *rand.Rand, n int) (*mat.Dense, []float64) {
+	x := mat.NewDense(n, 2, nil)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		// Piecewise-smooth target: a different regime per half-space — the
+		// situation local models exist for.
+		if a < 0.5 {
+			y[i] = math.Sin(6*a) + b
+		} else {
+			y[i] = 3 - 4*a + 0.5*b
+		}
+	}
+	return x, y
+}
+
+func TestTreedFitValidation(t *testing.T) {
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, NoOptimize: true}, 8)
+	if err := tr.Fit(nil, nil); err == nil {
+		t.Fatal("nil fit accepted")
+	}
+	x := mat.NewDense(2, 1, []float64{0, 1})
+	if err := tr.Fit(x, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestTreedPredictBeforeFitPanics(t *testing.T) {
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{}, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Predict(mat.NewDense(1, 1, []float64{0}))
+}
+
+func TestTreedSplitsLargeData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := treedData(rng, 120)
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, FixedNoise: true, NoOptimize: true}, 16)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() < 4 {
+		t.Fatalf("leaves = %d, expected a real partition", tr.NumLeaves())
+	}
+}
+
+func TestTreedSmallDataSingleLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := treedData(rng, 10)
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, NoOptimize: true}, 16)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("leaves = %d want 1", tr.NumLeaves())
+	}
+}
+
+func TestTreedAccuracyOnPiecewiseTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := treedData(rng, 200)
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.02, Seed: 4}, 32)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probeX, probeY := treedData(rng, 50)
+	mean, std := tr.Predict(probeX)
+	var mse float64
+	for i := range mean {
+		d := mean[i] - probeY[i]
+		mse += d * d
+		if std[i] < 0 {
+			t.Fatal("negative std")
+		}
+	}
+	rmse := math.Sqrt(mse / float64(len(mean)))
+	if rmse > 0.25 {
+		t.Fatalf("treed RMSE = %g, expected < 0.25", rmse)
+	}
+}
+
+func TestTreedAppendRoutesAndResplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := treedData(rng, 40)
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, FixedNoise: true, NoOptimize: true}, 16)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append([]float64{-1, 0}, 1); err == nil {
+		// -1 routes to the leftmost leaf; fine. Just make sure no error on a
+		// boundary-ish point either.
+		_ = err
+	}
+	before := tr.NumLeaves()
+	// Flood one region so its leaf exceeds 2x capacity and re-splits.
+	for i := 0; i < 60; i++ {
+		a := 0.9 + 0.1*rng.Float64()
+		b := rng.Float64()
+		if err := tr.Append([]float64{a, b}, 3-4*a+0.5*b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumLeaves() <= before {
+		t.Fatalf("leaves did not grow under load: %d -> %d", before, tr.NumLeaves())
+	}
+	// The flooded region must still predict well.
+	mean, _ := tr.Predict(mat.NewDense(1, 2, []float64{0.95, 0.5}))
+	want := 3 - 4*0.95 + 0.25
+	if math.Abs(mean[0]-want) > 0.2 {
+		t.Fatalf("post-resplit prediction %g want ~%g", mean[0], want)
+	}
+}
+
+func TestTreedAppendBeforeFit(t *testing.T) {
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{}, 8)
+	if err := tr.Append([]float64{0}, 1); err == nil {
+		t.Fatal("Append before Fit accepted")
+	}
+}
+
+func TestTreedRefitAndHyperparams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := treedData(rng, 60)
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, Seed: 7}, 16)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Hyperparams()
+	if len(h) != tr.NumLeaves()*3 { // RBF: logℓ, logσf, logσn per leaf
+		t.Fatalf("hyperparams = %d for %d leaves", len(h), tr.NumLeaves())
+	}
+	tr.SetRestarts(0)
+	if err := tr.Refit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreedConstantInputsFallBack(t *testing.T) {
+	// All rows identical: no split plane exists; must degrade to one leaf.
+	n := 30
+	x := mat.NewDense(n, 2, nil)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 0.5)
+		x.Set(i, 1, 0.5)
+		y[i] = 1
+	}
+	tr := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.1, FixedNoise: true, NoOptimize: true}, 8)
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("leaves = %d want 1 for constant inputs", tr.NumLeaves())
+	}
+}
+
+func TestTreedAsModelInterface(t *testing.T) {
+	var m Model = NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, NoOptimize: true}, 16)
+	rng := rand.New(rand.NewSource(8))
+	x, y := treedData(rng, 50)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mean, std := m.Predict(x)
+	if len(mean) != 50 || len(std) != 50 {
+		t.Fatal("predict sizes")
+	}
+}
+
+func BenchmarkTreedVsFlatFit400(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := treedData(rng, 400)
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := New(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, NoOptimize: true})
+			if err := g.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("treed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := NewTreed(kernel.NewRBF(0.3, 1), Config{Noise: 0.05, NoOptimize: true}, 50)
+			if err := g.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package kernel implements the covariance functions used for Gaussian
+// process regression: the isotropic squared exponential (RBF) of the paper,
+// plus the anisotropic (ARD) RBF and the Matérn 3/2 and 5/2 family that the
+// paper lists as future work.
+//
+// All hyperparameters live in log space, which makes positivity automatic
+// and lets the optimizer work unconstrained. Gradients are with respect to
+// the log-space parameters, the form needed by the marginal-likelihood
+// ascent in package gp.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"alamr/internal/mat"
+)
+
+// Kernel is a positive-semidefinite covariance function with tunable
+// log-space hyperparameters.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+	// EvalGrad returns k(x, y) and dk/dθ for each log-space parameter θ.
+	// The gradient slice is owned by the caller.
+	EvalGrad(x, y []float64) (float64, []float64)
+	// NumParams reports the number of hyperparameters.
+	NumParams() int
+	// Params returns a copy of the log-space hyperparameters.
+	Params() []float64
+	// SetParams replaces the log-space hyperparameters.
+	SetParams(p []float64)
+	// Clone returns an independent copy.
+	Clone() Kernel
+	// String names the kernel and its current hyperparameters.
+	String() string
+}
+
+// RBF is the isotropic squared-exponential kernel
+//
+//	k(x, y) = σ_f² exp(−|x−y|² / (2ℓ²))
+//
+// with log-space parameters (log ℓ, log σ_f). This is the kernel the paper
+// uses throughout (eq. 7).
+type RBF struct {
+	logLen, logAmp float64
+}
+
+// NewRBF creates an RBF kernel with the given length scale and amplitude
+// (standard deviation σ_f), both of which must be positive.
+func NewRBF(lengthScale, amplitude float64) *RBF {
+	if lengthScale <= 0 || amplitude <= 0 {
+		panic(fmt.Sprintf("kernel: RBF needs positive hyperparameters, got ℓ=%g σ_f=%g", lengthScale, amplitude))
+	}
+	return &RBF{logLen: math.Log(lengthScale), logAmp: math.Log(amplitude)}
+}
+
+// Eval implements Kernel.
+func (k *RBF) Eval(x, y []float64) float64 {
+	l := math.Exp(k.logLen)
+	amp2 := math.Exp(2 * k.logAmp)
+	return amp2 * math.Exp(-mat.SqDist(x, y)/(2*l*l))
+}
+
+// EvalGrad implements Kernel. Derivatives:
+//
+//	dk/d(log ℓ)   = k · r²/ℓ²
+//	dk/d(log σ_f) = 2k
+func (k *RBF) EvalGrad(x, y []float64) (float64, []float64) {
+	l := math.Exp(k.logLen)
+	amp2 := math.Exp(2 * k.logAmp)
+	r2 := mat.SqDist(x, y)
+	v := amp2 * math.Exp(-r2/(2*l*l))
+	return v, []float64{v * r2 / (l * l), 2 * v}
+}
+
+// NumParams implements Kernel.
+func (k *RBF) NumParams() int { return 2 }
+
+// Params implements Kernel.
+func (k *RBF) Params() []float64 { return []float64{k.logLen, k.logAmp} }
+
+// SetParams implements Kernel.
+func (k *RBF) SetParams(p []float64) {
+	if len(p) != 2 {
+		panic(fmt.Sprintf("kernel: RBF.SetParams got %d params, want 2", len(p)))
+	}
+	k.logLen, k.logAmp = p[0], p[1]
+}
+
+// Clone implements Kernel.
+func (k *RBF) Clone() Kernel { c := *k; return &c }
+
+// LengthScale returns ℓ.
+func (k *RBF) LengthScale() float64 { return math.Exp(k.logLen) }
+
+// Amplitude returns σ_f.
+func (k *RBF) Amplitude() float64 { return math.Exp(k.logAmp) }
+
+// String implements Kernel.
+func (k *RBF) String() string {
+	return fmt.Sprintf("RBF(ℓ=%.4g, σ_f=%.4g)", k.LengthScale(), k.Amplitude())
+}
+
+// ARDRBF is the anisotropic squared-exponential kernel with one length
+// scale per input dimension:
+//
+//	k(x, y) = σ_f² exp(−½ Σ_d (x_d−y_d)²/ℓ_d²)
+type ARDRBF struct {
+	logLens []float64
+	logAmp  float64
+}
+
+// NewARDRBF creates an anisotropic RBF kernel with per-dimension length
+// scales.
+func NewARDRBF(lengthScales []float64, amplitude float64) *ARDRBF {
+	if len(lengthScales) == 0 {
+		panic("kernel: ARDRBF needs at least one length scale")
+	}
+	if amplitude <= 0 {
+		panic("kernel: ARDRBF needs positive amplitude")
+	}
+	ll := make([]float64, len(lengthScales))
+	for i, l := range lengthScales {
+		if l <= 0 {
+			panic(fmt.Sprintf("kernel: ARDRBF length scale %d is %g, must be positive", i, l))
+		}
+		ll[i] = math.Log(l)
+	}
+	return &ARDRBF{logLens: ll, logAmp: math.Log(amplitude)}
+}
+
+func (k *ARDRBF) scaledSq(x, y []float64) float64 {
+	if len(x) != len(k.logLens) || len(y) != len(k.logLens) {
+		panic(fmt.Sprintf("kernel: ARDRBF input dim %d/%d, want %d", len(x), len(y), len(k.logLens)))
+	}
+	var s float64
+	for d := range x {
+		l := math.Exp(k.logLens[d])
+		r := (x[d] - y[d]) / l
+		s += r * r
+	}
+	return s
+}
+
+// Eval implements Kernel.
+func (k *ARDRBF) Eval(x, y []float64) float64 {
+	return math.Exp(2*k.logAmp) * math.Exp(-0.5*k.scaledSq(x, y))
+}
+
+// EvalGrad implements Kernel.
+func (k *ARDRBF) EvalGrad(x, y []float64) (float64, []float64) {
+	v := k.Eval(x, y)
+	g := make([]float64, len(k.logLens)+1)
+	for d := range k.logLens {
+		l := math.Exp(k.logLens[d])
+		r := (x[d] - y[d]) / l
+		g[d] = v * r * r
+	}
+	g[len(k.logLens)] = 2 * v
+	return v, g
+}
+
+// NumParams implements Kernel.
+func (k *ARDRBF) NumParams() int { return len(k.logLens) + 1 }
+
+// Params implements Kernel.
+func (k *ARDRBF) Params() []float64 {
+	p := make([]float64, len(k.logLens)+1)
+	copy(p, k.logLens)
+	p[len(k.logLens)] = k.logAmp
+	return p
+}
+
+// SetParams implements Kernel.
+func (k *ARDRBF) SetParams(p []float64) {
+	if len(p) != len(k.logLens)+1 {
+		panic(fmt.Sprintf("kernel: ARDRBF.SetParams got %d params, want %d", len(p), len(k.logLens)+1))
+	}
+	copy(k.logLens, p[:len(k.logLens)])
+	k.logAmp = p[len(k.logLens)]
+}
+
+// Clone implements Kernel.
+func (k *ARDRBF) Clone() Kernel {
+	c := &ARDRBF{logLens: mat.CopyVec(k.logLens), logAmp: k.logAmp}
+	return c
+}
+
+// String implements Kernel.
+func (k *ARDRBF) String() string {
+	ls := make([]float64, len(k.logLens))
+	for i, l := range k.logLens {
+		ls[i] = math.Exp(l)
+	}
+	return fmt.Sprintf("ARDRBF(ℓ=%.4g, σ_f=%.4g)", ls, math.Exp(k.logAmp))
+}
+
+// Matern is the Matérn kernel with smoothness ν ∈ {3/2, 5/2}:
+//
+//	ν=3/2: k = σ_f² (1+a)       exp(−a),  a = √3 r/ℓ
+//	ν=5/2: k = σ_f² (1+a+a²/3) exp(−a),  a = √5 r/ℓ
+type Matern struct {
+	nu             float64 // 1.5 or 2.5
+	logLen, logAmp float64
+}
+
+// NewMatern creates a Matérn kernel. nu must be 1.5 or 2.5.
+func NewMatern(nu, lengthScale, amplitude float64) *Matern {
+	if nu != 1.5 && nu != 2.5 {
+		panic(fmt.Sprintf("kernel: Matérn ν must be 1.5 or 2.5, got %g", nu))
+	}
+	if lengthScale <= 0 || amplitude <= 0 {
+		panic("kernel: Matérn needs positive hyperparameters")
+	}
+	return &Matern{nu: nu, logLen: math.Log(lengthScale), logAmp: math.Log(amplitude)}
+}
+
+// Eval implements Kernel.
+func (k *Matern) Eval(x, y []float64) float64 {
+	v, _ := k.evalA(math.Sqrt(mat.SqDist(x, y)))
+	return v
+}
+
+// evalA returns k and a (the scaled distance).
+func (k *Matern) evalA(r float64) (float64, float64) {
+	l := math.Exp(k.logLen)
+	amp2 := math.Exp(2 * k.logAmp)
+	var a float64
+	if k.nu == 1.5 {
+		a = math.Sqrt(3) * r / l
+		return amp2 * (1 + a) * math.Exp(-a), a
+	}
+	a = math.Sqrt(5) * r / l
+	return amp2 * (1 + a + a*a/3) * math.Exp(-a), a
+}
+
+// EvalGrad implements Kernel. With a ∝ 1/ℓ, da/d(log ℓ) = −a, giving
+//
+//	ν=3/2: dk/d(log ℓ) = σ_f² a²        exp(−a)
+//	ν=5/2: dk/d(log ℓ) = σ_f² a²(1+a)/3 exp(−a)
+func (k *Matern) EvalGrad(x, y []float64) (float64, []float64) {
+	r := math.Sqrt(mat.SqDist(x, y))
+	v, a := k.evalA(r)
+	amp2 := math.Exp(2 * k.logAmp)
+	var dLen float64
+	if k.nu == 1.5 {
+		dLen = amp2 * a * a * math.Exp(-a)
+	} else {
+		dLen = amp2 * a * a * (1 + a) / 3 * math.Exp(-a)
+	}
+	return v, []float64{dLen, 2 * v}
+}
+
+// NumParams implements Kernel.
+func (k *Matern) NumParams() int { return 2 }
+
+// Params implements Kernel.
+func (k *Matern) Params() []float64 { return []float64{k.logLen, k.logAmp} }
+
+// SetParams implements Kernel.
+func (k *Matern) SetParams(p []float64) {
+	if len(p) != 2 {
+		panic(fmt.Sprintf("kernel: Matern.SetParams got %d params, want 2", len(p)))
+	}
+	k.logLen, k.logAmp = p[0], p[1]
+}
+
+// Clone implements Kernel.
+func (k *Matern) Clone() Kernel { c := *k; return &c }
+
+// Nu returns the smoothness parameter.
+func (k *Matern) Nu() float64 { return k.nu }
+
+// String implements Kernel.
+func (k *Matern) String() string {
+	return fmt.Sprintf("Matern(ν=%g, ℓ=%.4g, σ_f=%.4g)", k.nu, math.Exp(k.logLen), math.Exp(k.logAmp))
+}
+
+// Gram fills an n×n covariance matrix for the rows of x.
+func Gram(k Kernel, x *mat.Dense) *mat.Dense {
+	n := x.Rows()
+	g := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i; j < n; j++ {
+			v := k.Eval(xi, x.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// GramGrad returns the covariance matrix together with one matrix per
+// hyperparameter holding dK/dθ element-wise.
+func GramGrad(k Kernel, x *mat.Dense) (*mat.Dense, []*mat.Dense) {
+	n := x.Rows()
+	p := k.NumParams()
+	g := mat.NewDense(n, n, nil)
+	grads := make([]*mat.Dense, p)
+	for t := range grads {
+		grads[t] = mat.NewDense(n, n, nil)
+	}
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i; j < n; j++ {
+			v, dv := k.EvalGrad(xi, x.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+			for t := 0; t < p; t++ {
+				grads[t].Set(i, j, dv[t])
+				grads[t].Set(j, i, dv[t])
+			}
+		}
+	}
+	return g, grads
+}
+
+// Cross fills the m×n covariance matrix between the rows of a and b.
+func Cross(k Kernel, a, b *mat.Dense) *mat.Dense {
+	m, n := a.Rows(), b.Rows()
+	g := mat.NewDense(m, n, nil)
+	for i := 0; i < m; i++ {
+		ai := a.Row(i)
+		row := g.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = k.Eval(ai, b.Row(j))
+		}
+	}
+	return g
+}

@@ -1,0 +1,353 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"alamr/internal/mat"
+)
+
+func approx(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+func allKernels(dim int) []Kernel {
+	ls := make([]float64, dim)
+	for i := range ls {
+		ls[i] = 0.5 + 0.3*float64(i)
+	}
+	return []Kernel{
+		NewRBF(0.7, 1.3),
+		NewARDRBF(ls, 1.1),
+		NewMatern(1.5, 0.8, 0.9),
+		NewMatern(2.5, 0.6, 1.2),
+	}
+}
+
+func TestKernelAtZeroDistance(t *testing.T) {
+	x := []float64{0.3, -0.2, 0.9}
+	for _, k := range allKernels(3) {
+		v := k.Eval(x, x)
+		// k(x,x) = σ_f² for every stationary kernel here.
+		p := k.Params()
+		amp2 := math.Exp(2 * p[len(p)-1])
+		if !approx(v, amp2, 1e-12) {
+			t.Fatalf("%v: k(x,x) = %g want %g", k, v, amp2)
+		}
+	}
+}
+
+func TestKernelSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range allKernels(4) {
+		for trial := 0; trial < 20; trial++ {
+			x := randVec(rng, 4)
+			y := randVec(rng, 4)
+			if !approx(k.Eval(x, y), k.Eval(y, x), 1e-14) {
+				t.Fatalf("%v not symmetric", k)
+			}
+		}
+	}
+}
+
+func TestKernelDecay(t *testing.T) {
+	// Covariance must decrease with distance for stationary kernels.
+	for _, k := range allKernels(1) {
+		prev := k.Eval([]float64{0}, []float64{0})
+		for r := 0.1; r < 5; r += 0.1 {
+			v := k.Eval([]float64{0}, []float64{r})
+			if v > prev+1e-14 {
+				t.Fatalf("%v not monotonically decaying at r=%g", k, r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestRBFKnownValue(t *testing.T) {
+	k := NewRBF(1, 1)
+	// |x-y|² = 2 → k = exp(-1).
+	got := k.Eval([]float64{0, 0}, []float64{1, 1})
+	if !approx(got, math.Exp(-1), 1e-14) {
+		t.Fatalf("RBF = %g want %g", got, math.Exp(-1))
+	}
+}
+
+func TestRBFAccessors(t *testing.T) {
+	k := NewRBF(0.5, 2)
+	if !approx(k.LengthScale(), 0.5, 1e-14) || !approx(k.Amplitude(), 2, 1e-14) {
+		t.Fatalf("accessors: ℓ=%g σ=%g", k.LengthScale(), k.Amplitude())
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := map[string]func(){
+		"rbf zero length":   func() { NewRBF(0, 1) },
+		"rbf neg amp":       func() { NewRBF(1, -1) },
+		"ard empty":         func() { NewARDRBF(nil, 1) },
+		"ard zero length":   func() { NewARDRBF([]float64{1, 0}, 1) },
+		"ard bad amp":       func() { NewARDRBF([]float64{1}, 0) },
+		"matern bad nu":     func() { NewMatern(2.0, 1, 1) },
+		"matern bad length": func() { NewMatern(1.5, -1, 1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	for _, k := range allKernels(3) {
+		p := k.Params()
+		for i := range p {
+			p[i] += 0.1
+		}
+		k.SetParams(p)
+		got := k.Params()
+		for i := range p {
+			if got[i] != p[i] {
+				t.Fatalf("%T params round trip failed", k)
+			}
+		}
+	}
+}
+
+func TestSetParamsWrongLenPanics(t *testing.T) {
+	for _, k := range allKernels(2) {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			k.SetParams(make([]float64, k.NumParams()+1))
+		})
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	for _, k := range allKernels(2) {
+		c := k.Clone()
+		p := c.Params()
+		p[0] += 5
+		c.SetParams(p)
+		if k.Params()[0] == c.Params()[0] {
+			t.Fatalf("%T Clone shares state", k)
+		}
+	}
+}
+
+func TestStringMentionsKernel(t *testing.T) {
+	if !strings.Contains(NewRBF(1, 1).String(), "RBF") {
+		t.Fatal("RBF String()")
+	}
+	if !strings.Contains(NewMatern(2.5, 1, 1).String(), "2.5") {
+		t.Fatal("Matern String()")
+	}
+}
+
+// Finite-difference check of every kernel's analytic gradient.
+func TestEvalGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const h = 1e-6
+	for _, k := range allKernels(3) {
+		for trial := 0; trial < 10; trial++ {
+			x := randVec(rng, 3)
+			y := randVec(rng, 3)
+			v, g := k.EvalGrad(x, y)
+			if !approx(v, k.Eval(x, y), 1e-13) {
+				t.Fatalf("%v EvalGrad value mismatch", k)
+			}
+			p0 := k.Params()
+			for t2 := 0; t2 < k.NumParams(); t2++ {
+				p := mat.CopyVec(p0)
+				p[t2] += h
+				k.SetParams(p)
+				vp := k.Eval(x, y)
+				p[t2] -= 2 * h
+				k.SetParams(p)
+				vm := k.Eval(x, y)
+				k.SetParams(p0)
+				fd := (vp - vm) / (2 * h)
+				if math.Abs(fd-g[t2]) > 1e-5*math.Max(1, math.Abs(fd)) {
+					t.Fatalf("%v grad[%d] = %g, fd = %g", k, t2, g[t2], fd)
+				}
+			}
+		}
+	}
+}
+
+func TestARDRBFDimMismatchPanics(t *testing.T) {
+	k := NewARDRBF([]float64{1, 1}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Eval([]float64{1}, []float64{1})
+}
+
+func TestARDRBFAnisotropy(t *testing.T) {
+	// Short length scale in dim 0 → faster decay along dim 0.
+	k := NewARDRBF([]float64{0.1, 10}, 1)
+	v0 := k.Eval([]float64{0, 0}, []float64{1, 0})
+	v1 := k.Eval([]float64{0, 0}, []float64{0, 1})
+	if v0 >= v1 {
+		t.Fatalf("expected anisotropic decay: %g vs %g", v0, v1)
+	}
+}
+
+func TestMaternSmoothnessOrdering(t *testing.T) {
+	// At moderate distance, higher ν (smoother) stays closer to the RBF.
+	m32 := NewMatern(1.5, 1, 1)
+	m52 := NewMatern(2.5, 1, 1)
+	rbf := NewRBF(1, 1)
+	x, y := []float64{0}, []float64{1.0}
+	v32, v52, vr := m32.Eval(x, y), m52.Eval(x, y), rbf.Eval(x, y)
+	if !(math.Abs(v52-vr) < math.Abs(v32-vr)) {
+		t.Fatalf("ν ordering violated: |%g−%g| vs |%g−%g|", v52, vr, v32, vr)
+	}
+}
+
+func TestGramSymmetricPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randMat(rng, 12, 3)
+	for _, k := range allKernels(3) {
+		g := Gram(k, x)
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 12; j++ {
+				if g.At(i, j) != g.At(j, i) {
+					t.Fatalf("%v Gram not symmetric", k)
+				}
+			}
+		}
+		// PSD check: Cholesky with tiny jitter must succeed.
+		if _, err := mat.NewCholeskyJitter(g, 1e-12, 1e-6); err != nil {
+			t.Fatalf("%v Gram not PSD: %v", k, err)
+		}
+	}
+}
+
+func TestGramGradConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, 6, 2)
+	k := NewRBF(0.9, 1.1)
+	g, grads := GramGrad(k, x)
+	g2 := Gram(k, x)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if g.At(i, j) != g2.At(i, j) {
+				t.Fatal("GramGrad value differs from Gram")
+			}
+		}
+	}
+	if len(grads) != k.NumParams() {
+		t.Fatalf("grads count = %d", len(grads))
+	}
+	// Spot check one entry against EvalGrad.
+	_, dv := k.EvalGrad(x.Row(1), x.Row(4))
+	for t2 := range dv {
+		if !approx(grads[t2].At(1, 4), dv[t2], 1e-14) {
+			t.Fatalf("grad matrix mismatch at param %d", t2)
+		}
+	}
+}
+
+func TestCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 4, 2)
+	b := randMat(rng, 3, 2)
+	k := NewRBF(1, 1)
+	c := Cross(k, a, b)
+	r, cl := c.Dims()
+	if r != 4 || cl != 3 {
+		t.Fatalf("Cross dims %dx%d", r, cl)
+	}
+	if !approx(c.At(2, 1), k.Eval(a.Row(2), b.Row(1)), 1e-14) {
+		t.Fatal("Cross entry mismatch")
+	}
+}
+
+// Property: Gram matrices are PSD for arbitrary random inputs — the defining
+// property of a covariance function.
+func TestGramPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		d := 1 + rng.Intn(4)
+		x := randMat(rng, n, d)
+		for _, k := range allKernels(d) {
+			g := Gram(k, x)
+			// Quadratic form zᵀGz must be ≥ −tol for random z.
+			z := randVec(rng, n)
+			q := mat.Dot(z, g.MulVec(z))
+			if q < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: k(x,y) ≤ k(x,x) for all stationary kernels (Cauchy–Schwarz).
+func TestKernelBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		x := randVec(rng, d)
+		y := randVec(rng, d)
+		for _, k := range allKernels(d) {
+			if k.Eval(x, y) > k.Eval(x, x)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randMat(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.NewDense(r, c, nil)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func BenchmarkGramRBF200(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := randMat(rng, 200, 5)
+	k := NewRBF(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gram(k, x)
+	}
+}

@@ -1,0 +1,178 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
+// a non-positive pivot even after the maximum jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L Lᵀ, together with the diagonal jitter that
+// was required to make the factorization succeed.
+type Cholesky struct {
+	l      *Dense
+	jitter float64
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read. The input is not modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	return newCholesky(a, 0)
+}
+
+// NewCholeskyJitter factorizes a, adding an escalating diagonal jitter
+// (starting at start, multiplied by 10 each retry, up to max) whenever a
+// pivot is non-positive. This is the standard defence for Gram matrices with
+// duplicated rows, which are a normal condition in active learning datasets
+// containing repeated measurements.
+func NewCholeskyJitter(a *Dense, start, max float64) (*Cholesky, error) {
+	ch, err := newCholesky(a, 0)
+	if err == nil {
+		return ch, nil
+	}
+	for j := start; j <= max; j *= 10 {
+		ch, err = newCholesky(a, j)
+		if err == nil {
+			return ch, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (after jitter up to %g)", ErrNotPositiveDefinite, max)
+}
+
+func newCholesky(a *Dense, jitter float64) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic("mat: Cholesky of non-square matrix")
+	}
+	n := a.rows
+	l := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			if i == j {
+				s += jitter
+			}
+			li := l.data[i*n:]
+			lj := l.data[j*n:]
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.data[i*n+j] = math.Sqrt(s)
+			} else {
+				l.data[i*n+j] = s / l.data[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{l: l, jitter: jitter}, nil
+}
+
+// CholeskyFromFactor wraps an existing lower-triangular factor L (so that
+// A = L Lᵀ) without refactorizing. The caller asserts that l is lower
+// triangular with positive diagonal; it is not copied.
+func CholeskyFromFactor(l *Dense, jitter float64) *Cholesky {
+	if l.rows != l.cols {
+		panic("mat: CholeskyFromFactor of non-square factor")
+	}
+	return &Cholesky{l: l, jitter: jitter}
+}
+
+// L returns the lower-triangular factor. The caller must not modify it.
+func (c *Cholesky) L() *Dense { return c.l }
+
+// Jitter reports the diagonal jitter that was added before factorization.
+func (c *Cholesky) Jitter() float64 { return c.jitter }
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.l.rows }
+
+// SolveVec solves A x = b where A = L Lᵀ, returning x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.forwardSolve(b)
+	return c.backwardSolve(y)
+}
+
+// forwardSolve solves L y = b.
+func (c *Cholesky) forwardSolve(b []float64) []float64 {
+	n := c.l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveVec length %d does not match size %d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := c.l.data[i*n:]
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	return y
+}
+
+// backwardSolve solves Lᵀ x = y.
+func (c *Cholesky) backwardSolve(y []float64) []float64 {
+	n := c.l.rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.data[k*n+i] * x[k]
+		}
+		x[i] = s / c.l.data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A X = B column by column, returning X.
+func (c *Cholesky) Solve(b *Dense) *Dense {
+	n := c.l.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: Solve rows %d does not match size %d", b.rows, n))
+	}
+	x := NewDense(n, b.cols, nil)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		sol := c.SolveVec(col)
+		for i := 0; i < n; i++ {
+			x.data[i*x.cols+j] = sol[i]
+		}
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ computed column by column from the factorization.
+func (c *Cholesky) Inverse() *Dense {
+	return c.Solve(Eye(c.l.rows))
+}
+
+// LogDet returns log |A| = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	n := c.l.rows
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.data[i*n+i])
+	}
+	return 2 * s
+}
+
+// SolveLowerVec solves L y = b for a general lower-triangular matrix l.
+func SolveLowerVec(l *Dense, b []float64) []float64 {
+	ch := Cholesky{l: l}
+	return ch.forwardSolve(b)
+}
+
+// SolveUpperTransposedVec solves Lᵀ x = y given a lower-triangular L.
+func SolveUpperTransposedVec(l *Dense, y []float64) []float64 {
+	ch := Cholesky{l: l}
+	return ch.backwardSolve(y)
+}

@@ -1,0 +1,280 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewDense(2, 2, []float64{4, 2, 2, 3})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ch.L()
+	if !almostEqual(l.At(0, 0), 2, 1e-14) ||
+		!almostEqual(l.At(1, 0), 1, 1e-14) ||
+		!almostEqual(l.At(1, 1), math.Sqrt2, 1e-14) ||
+		l.At(0, 1) != 0 {
+		t.Fatalf("unexpected factor:\n%v", l)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, _ = NewCholesky(NewDense(2, 3, nil))
+}
+
+func TestCholeskyJitterRecoversSingular(t *testing.T) {
+	// Rank-deficient Gram matrix from duplicated rows — the normal condition
+	// for datasets with repeated measurements.
+	a := NewDense(2, 2, []float64{1, 1, 1, 1})
+	ch, err := NewCholeskyJitter(a, 1e-10, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Jitter() == 0 {
+		t.Fatal("expected nonzero jitter for singular matrix")
+	}
+	// Solution should still be finite and approximately solve (A+jI)x=b.
+	x := ch.SolveVec([]float64{1, 1})
+	if !AllFinite(x) {
+		t.Fatalf("solution not finite: %v", x)
+	}
+}
+
+func TestCholeskyJitterExhausted(t *testing.T) {
+	a := NewDense(2, 2, []float64{1, 2, 2, 1})
+	// Indefinite matrix: tiny jitter cannot fix eigenvalue -1.
+	if _, err := NewCholeskyJitter(a, 1e-12, 1e-9); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskySolveVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 6)
+	xTrue := randomVec(rng, 6)
+	b := a.MulVec(xTrue)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.SolveVec(b)
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("x[%d] = %g want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskySolveMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomSPD(rng, 5)
+	xTrue := randomDense(rng, 5, 3)
+	b := Mul(a, xTrue)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve(b)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(x.At(i, j), xTrue.At(i, j), 1e-8) {
+				t.Fatalf("X[%d,%d] = %g want %g", i, j, x.At(i, j), xTrue.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 4)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := ch.Inverse()
+	prod := Mul(a, inv)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-8) {
+				t.Fatalf("A*A^-1 at %d,%d = %g want %g", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCholeskyLogDetIdentity(t *testing.T) {
+	ch, err := NewCholesky(Eye(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.LogDet(); !almostEqual(got, 0, 1e-14) {
+		t.Fatalf("LogDet(I) = %g want 0", got)
+	}
+}
+
+func TestCholeskyLogDetDiagonal(t *testing.T) {
+	a := NewDense(3, 3, []float64{2, 0, 0, 0, 3, 0, 0, 0, 4})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(24)
+	if got := ch.LogDet(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("LogDet = %g want %g", got, want)
+	}
+}
+
+func TestSolveTriangularHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomSPD(rng, 5)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomVec(rng, 5)
+	y := SolveLowerVec(ch.L(), b)
+	// L y should reproduce b.
+	ly := ch.L().MulVec(y)
+	for i := range b {
+		if !almostEqual(ly[i], b[i], 1e-10) {
+			t.Fatalf("L y != b at %d: %g vs %g", i, ly[i], b[i])
+		}
+	}
+	x := SolveUpperTransposedVec(ch.L(), y)
+	ax := a.MulVec(x)
+	for i := range b {
+		if !almostEqual(ax[i], b[i], 1e-7) {
+			t.Fatalf("A x != b at %d: %g vs %g", i, ax[i], b[i])
+		}
+	}
+}
+
+// Property: L Lᵀ reconstructs A for random SPD matrices.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		rec := Mul(ch.L(), ch.L().T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEqual(rec.At(i, j), a.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveVec returns x with A x = b.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		b := randomVec(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.SolveVec(b)
+		ax := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: log|A| from Cholesky agrees with the product of eigenvalue
+// surrogate computed via the determinant of small matrices (n<=3, cofactor
+// expansion).
+func TestCholeskyLogDetProperty(t *testing.T) {
+	det2 := func(a *Dense) float64 {
+		return a.At(0, 0)*a.At(1, 1) - a.At(0, 1)*a.At(1, 0)
+	}
+	det3 := func(a *Dense) float64 {
+		return a.At(0, 0)*(a.At(1, 1)*a.At(2, 2)-a.At(1, 2)*a.At(2, 1)) -
+			a.At(0, 1)*(a.At(1, 0)*a.At(2, 2)-a.At(1, 2)*a.At(2, 0)) +
+			a.At(0, 2)*(a.At(1, 0)*a.At(2, 1)-a.At(1, 1)*a.At(2, 0))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2)
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		var det float64
+		if n == 2 {
+			det = det2(a)
+		} else {
+			det = det3(a)
+		}
+		return almostEqual(ch.LogDet(), math.Log(det), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCholesky100(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSPD(rng, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolve100(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSPD(rng, 100)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := randomVec(rng, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.SolveVec(rhs)
+	}
+}

@@ -1,0 +1,251 @@
+// Package mat provides the dense linear algebra needed by Gaussian process
+// regression: matrices, vectors, Cholesky factorization of symmetric
+// positive-definite systems, triangular solves, and log-determinants.
+//
+// The package is deliberately small and self-contained (stdlib only). All
+// matrices are dense, row-major float64. Dimensions are validated eagerly;
+// shape errors are programming errors and therefore panic, mirroring the
+// behaviour of slice indexing.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense, row-major matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates an r-by-c matrix. If data is nil a zero matrix is
+// allocated; otherwise data is used directly (not copied) and must have
+// length r*c.
+func NewDense(r, c int, data []float64) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	if data == nil {
+		data = make([]float64, r*c)
+	}
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice view (not a copy).
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// RawData returns the backing slice.
+func (m *Dense) RawData() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows, nil)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range ri {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element of m by s, in place.
+func (m *Dense) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AddDiag adds v to every diagonal element, in place. The matrix must be
+// square.
+func (m *Dense) AddDiag(v float64) {
+	if m.rows != m.cols {
+		panic("mat: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] += v
+	}
+}
+
+// Add stores a+b into m (which may alias a or b). All shapes must match.
+func (m *Dense) Add(a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols || m.rows != a.rows || m.cols != a.cols {
+		panic("mat: Add shape mismatch")
+	}
+	for i := range m.data {
+		m.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Sub stores a-b into m (which may alias a or b). All shapes must match.
+func (m *Dense) Sub(a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols || m.rows != a.rows || m.cols != a.cols {
+		panic("mat: Sub shape mismatch")
+	}
+	for i := range m.data {
+		m.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// Mul returns the product a*b as a new matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols, nil)
+	for i := 0; i < a.rows; i++ {
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVec length %d does not match cols %d", len(x), m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns the product mᵀ*x without materializing the transpose.
+func (m *Dense) MulVecT(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecT length %d does not match rows %d", len(x), m.rows))
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range ri {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Eye returns the n-by-n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Dense) Trace() float64 {
+	if m.rows != m.cols {
+		panic("mat: Trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Symmetrize replaces m with (m+mᵀ)/2, removing numerical asymmetry.
+func (m *Dense) Symmetrize() {
+	if m.rows != m.cols {
+		panic("mat: Symmetrize of non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			v := 0.5 * (m.data[i*m.cols+j] + m.data[j*m.cols+i])
+			m.data[i*m.cols+j] = v
+			m.data[j*m.cols+i] = v
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "% .6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,356 @@
+// Package online implements the "online" counterpart of the paper's offline
+// AL simulator (§IV): instead of replaying a database of precomputed
+// samples, the learner proposes any configuration from the full design grid
+// and a Lab actually runs it. The provided SimLab backs experiments with the
+// AMR performance emulator and the cluster machine model, so a complete
+// online campaign runs in seconds; the Lab interface is the seam where a
+// real batch system would plug in.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"alamr/internal/amr"
+	"alamr/internal/cluster"
+	"alamr/internal/core"
+	"alamr/internal/dataset"
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+	"alamr/internal/stats"
+)
+
+// Lab runs experiments on demand.
+type Lab interface {
+	// Run executes the configuration and returns the measured job.
+	Run(c dataset.Combo) (dataset.Job, error)
+	// Candidates enumerates the full design space.
+	Candidates() []dataset.Combo
+}
+
+// SimLab is a Lab backed by the AMR emulator + machine model. Reference
+// solutions are computed lazily (one per physical parameter pair) and
+// cached, so only the physics the learner actually explores is simulated.
+type SimLab struct {
+	machine  cluster.Machine
+	refNx    int
+	refTEnd  float64
+	refSnaps int
+	rootsX   int
+	rootsY   int
+	subcycle bool
+	seed     int64
+
+	mu   sync.Mutex
+	refs map[[2]float64]*amr.Reference
+	runs int
+}
+
+// SimLabConfig configures the simulation-backed lab; zero values match the
+// dataset generator's defaults.
+type SimLabConfig struct {
+	Machine  cluster.Machine
+	RefNx    int
+	RefTEnd  float64
+	RefSnaps int
+	RootsX   int
+	RootsY   int
+	Subcycle bool
+	Seed     int64
+}
+
+// NewSimLab creates a simulation-backed lab.
+func NewSimLab(cfg SimLabConfig) *SimLab {
+	if cfg.Machine.CoresPerNode == 0 {
+		cfg.Machine = cluster.Edison()
+	}
+	if cfg.RefNx <= 0 {
+		cfg.RefNx = 64
+	}
+	if cfg.RefTEnd <= 0 {
+		cfg.RefTEnd = 0.15
+	}
+	if cfg.RefSnaps <= 0 {
+		cfg.RefSnaps = 6
+	}
+	if cfg.RootsX <= 0 {
+		cfg.RootsX = 8
+	}
+	if cfg.RootsY <= 0 {
+		cfg.RootsY = 4
+	}
+	return &SimLab{
+		machine:  cfg.Machine,
+		refNx:    cfg.RefNx,
+		refTEnd:  cfg.RefTEnd,
+		refSnaps: cfg.RefSnaps,
+		rootsX:   cfg.RootsX,
+		rootsY:   cfg.RootsY,
+		subcycle: cfg.Subcycle,
+		seed:     cfg.Seed,
+		refs:     make(map[[2]float64]*amr.Reference),
+	}
+}
+
+// Candidates implements Lab: the paper's full 1920-combination grid.
+func (l *SimLab) Candidates() []dataset.Combo { return dataset.AllCombos() }
+
+// NumReferenceRuns reports how many physics references have been computed —
+// the expensive part of the lab, worth watching in experiments.
+func (l *SimLab) NumReferenceRuns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.refs)
+}
+
+// Run implements Lab.
+func (l *SimLab) Run(c dataset.Combo) (dataset.Job, error) {
+	ref, err := l.reference(c.R0, c.RhoIn)
+	if err != nil {
+		return dataset.Job{}, err
+	}
+	st, err := amr.Emulate(ref, amr.EmulateConfig{
+		Mx: c.Mx, MaxLevel: c.MaxLevel,
+		RootsX: l.rootsX, RootsY: l.rootsY,
+		Subcycle: l.subcycle,
+	})
+	if err != nil {
+		return dataset.Job{}, err
+	}
+	l.mu.Lock()
+	l.runs++
+	run := l.runs
+	l.mu.Unlock()
+	noise := rand.New(rand.NewSource(stats.SplitSeed(l.seed, run)))
+	acc, err := l.machine.Simulate(cluster.JobSpec{Nodes: c.P, Mx: c.Mx, Stats: st}, noise)
+	if err != nil {
+		return dataset.Job{}, err
+	}
+	return dataset.Job{
+		P: c.P, Mx: c.Mx, MaxLevel: c.MaxLevel, R0: c.R0, RhoIn: c.RhoIn,
+		WallSec: acc.WallClockSec,
+		CostNH:  acc.CostNodeHours,
+		MemMB:   acc.MaxRSSBytes / (1 << 20),
+	}, nil
+}
+
+func (l *SimLab) reference(r0, rhoin float64) (*amr.Reference, error) {
+	key := [2]float64{r0, rhoin}
+	l.mu.Lock()
+	ref, ok := l.refs[key]
+	l.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	ref, err := amr.ReferenceRun(amr.ShockBubble{R0: r0, RhoIn: rhoin}, l.refNx, l.refTEnd, l.refSnaps)
+	if err != nil {
+		return nil, fmt.Errorf("online: reference (r0=%g, rhoin=%g): %w", r0, rhoin, err)
+	}
+	l.mu.Lock()
+	l.refs[key] = ref
+	l.mu.Unlock()
+	return ref, nil
+}
+
+// Config drives an online AL campaign.
+type Config struct {
+	Policy core.Policy
+	// InitDesign is the experimenter-chosen warm-up set (the paper's
+	// "experimenters' intuition rather than AL" phase). Empty uses one
+	// median-ish configuration, mirroring the n_init=1 scenario.
+	InitDesign []dataset.Combo
+	// Budget stops the campaign once cumulative cost exceeds it
+	// (node-hours; 0 = unlimited).
+	Budget float64
+	// MaxExperiments bounds the number of AL-selected runs (default 50).
+	MaxExperiments int
+	// MemLimitMB, Kernel, GP, Seed as in core.LoopConfig.
+	MemLimitMB float64
+	Kernel     kernel.Kernel
+	GP         gp.Config
+	Seed       int64
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxExperiments <= 0 {
+		c.MaxExperiments = 50
+	}
+	if c.Kernel == nil {
+		c.Kernel = kernel.NewRBF(0.5, 1)
+	}
+	if c.GP.Noise == 0 {
+		c.GP.Noise = 0.1
+	}
+	c.GP.NormalizeY = true
+	if len(c.InitDesign) == 0 {
+		c.InitDesign = []dataset.Combo{{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1}}
+	}
+}
+
+// Result records an online campaign.
+type Result struct {
+	Jobs []dataset.Job // all executed jobs, init design first
+
+	// Per-AL-selection records (indices align with Jobs[len(InitDesign):]).
+	PredictedCost []float64 // one-step-ahead cost prediction (node-hours)
+	ActualCost    []float64
+	PredictedMem  []float64 // one-step-ahead memory prediction (MB)
+	ActualMem     []float64
+	CumCost       []float64
+	CumRegret     []float64
+	Violation     []bool
+
+	Reason core.StopReason
+}
+
+// OneStepMAPE returns the mean absolute percentage error of the
+// one-step-ahead cost predictions — the natural online accuracy metric when
+// no held-out test set exists.
+func (r *Result) OneStepMAPE() float64 {
+	if len(r.PredictedCost) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range r.PredictedCost {
+		s += math.Abs(r.PredictedCost[i]-r.ActualCost[i]) / r.ActualCost[i]
+	}
+	return s / float64(len(r.PredictedCost))
+}
+
+// Run executes an online AL campaign against the lab.
+func Run(lab Lab, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if cfg.Policy == nil {
+		return nil, errors.New("online: Config.Policy is required")
+	}
+
+	res := &Result{Reason: core.StopMaxIterations}
+
+	// Warm-up phase: run the initial design.
+	var xRows [][]float64
+	var logCost, logMem []float64
+	for _, c := range cfg.InitDesign {
+		job, err := lab.Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("online: init design run: %w", err)
+		}
+		res.Jobs = append(res.Jobs, job)
+		f := dataset.ScaleFeatures(job)
+		xRows = append(xRows, f[:])
+		logCost = append(logCost, math.Log10(job.CostNH))
+		logMem = append(logMem, math.Log10(job.MemMB))
+	}
+
+	gpCost := gp.New(cfg.Kernel, cfg.GP)
+	gpMem := gp.New(cfg.Kernel, cfg.GP)
+	if err := gpCost.Fit(rowsToDense(xRows), logCost); err != nil {
+		return nil, err
+	}
+	if err := gpMem.Fit(rowsToDense(xRows), logMem); err != nil {
+		return nil, err
+	}
+	gpCost.SetRestarts(0)
+	gpMem.SetRestarts(0)
+
+	// Candidate pool: the design grid minus what already ran.
+	ran := make(map[dataset.Combo]bool, len(cfg.InitDesign))
+	for _, c := range cfg.InitDesign {
+		ran[c] = true
+	}
+	var pool []dataset.Combo
+	for _, c := range lab.Candidates() {
+		if !ran[c] {
+			pool = append(pool, c)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(stats.SplitSeed(cfg.Seed, 0)))
+	memLimitLog := math.Inf(1)
+	memLimitRaw := math.Inf(1)
+	if cfg.MemLimitMB > 0 {
+		memLimitLog = math.Log10(cfg.MemLimitMB)
+		memLimitRaw = cfg.MemLimitMB
+	}
+
+	var cumCost, cumRegret float64
+	for sel := 0; sel < cfg.MaxExperiments && len(pool) > 0; sel++ {
+		x := mat.NewDense(len(pool), dataset.NumFeatures, nil)
+		for i, c := range pool {
+			f := dataset.ScaleFeatures(dataset.Job{P: c.P, Mx: c.Mx, MaxLevel: c.MaxLevel, R0: c.R0, RhoIn: c.RhoIn})
+			copy(x.Row(i), f[:])
+		}
+		muC, sigC := gpCost.Predict(x)
+		muM, sigM := gpMem.Predict(x)
+		cands := &core.Candidates{
+			X: x, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
+			MemLimitLog: memLimitLog,
+		}
+		pick, err := cfg.Policy.Select(cands, rng)
+		if err != nil {
+			if errors.Is(err, core.ErrAllExceedLimit) {
+				res.Reason = core.StopMemoryLimit
+				break
+			}
+			return nil, fmt.Errorf("online: selection %d: %w", sel, err)
+		}
+
+		combo := pool[pick]
+		job, err := lab.Run(combo)
+		if err != nil {
+			return nil, fmt.Errorf("online: running %+v: %w", combo, err)
+		}
+		res.Jobs = append(res.Jobs, job)
+		res.PredictedCost = append(res.PredictedCost, math.Pow(10, muC[pick]))
+		res.ActualCost = append(res.ActualCost, job.CostNH)
+		res.PredictedMem = append(res.PredictedMem, math.Pow(10, muM[pick]))
+		res.ActualMem = append(res.ActualMem, job.MemMB)
+
+		cumCost += job.CostNH
+		violated := job.MemMB >= memLimitRaw
+		if violated {
+			cumRegret += job.CostNH
+		}
+		res.CumCost = append(res.CumCost, cumCost)
+		res.CumRegret = append(res.CumRegret, cumRegret)
+		res.Violation = append(res.Violation, violated)
+
+		fx := dataset.ScaleFeatures(job)
+		if err := gpCost.Append(fx[:], math.Log10(job.CostNH)); err != nil {
+			return nil, err
+		}
+		if err := gpMem.Append(fx[:], math.Log10(job.MemMB)); err != nil {
+			return nil, err
+		}
+		if (sel+1)%10 == 0 {
+			if err := gpCost.Refit(); err != nil {
+				return nil, err
+			}
+			if err := gpMem.Refit(); err != nil {
+				return nil, err
+			}
+		}
+
+		pool = append(pool[:pick], pool[pick+1:]...)
+
+		if cfg.Budget > 0 && cumCost >= cfg.Budget {
+			res.Reason = core.StopReason("budget-exhausted")
+			break
+		}
+	}
+	if len(pool) == 0 && res.Reason == core.StopMaxIterations {
+		res.Reason = core.StopPoolExhausted
+	}
+	return res, nil
+}
+
+func rowsToDense(rows [][]float64) *mat.Dense {
+	x := mat.NewDense(len(rows), len(rows[0]), nil)
+	for i, r := range rows {
+		copy(x.Row(i), r)
+	}
+	return x
+}

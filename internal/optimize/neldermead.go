@@ -1,0 +1,154 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+
+	"alamr/internal/mat"
+)
+
+// NelderMeadConfig controls the derivative-free simplex minimizer. The zero
+// value selects standard coefficients.
+type NelderMeadConfig struct {
+	MaxIter     int     // maximum iterations (default 200*dim)
+	FuncTol     float64 // stop when simplex f-spread falls below (default 1e-10)
+	SimplexTol  float64 // stop when simplex diameter falls below (default 1e-10)
+	InitialStep float64 // initial simplex edge length (default 0.1)
+}
+
+func (c *NelderMeadConfig) setDefaults(dim int) {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200 * dim
+	}
+	if c.FuncTol <= 0 {
+		c.FuncTol = 1e-10
+	}
+	if c.SimplexTol <= 0 {
+		c.SimplexTol = 1e-10
+	}
+	if c.InitialStep <= 0 {
+		c.InitialStep = 0.1
+	}
+}
+
+// NelderMead minimizes f starting from x0 using the downhill simplex method
+// with standard reflection/expansion/contraction/shrink coefficients
+// (1, 2, 0.5, 0.5).
+func NelderMead(f Func, x0 []float64, cfg NelderMeadConfig) Result {
+	n := len(x0)
+	cfg.setDefaults(n)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: mat.CopyVec(x0), f: eval(x0)}
+	for i := 0; i < n; i++ {
+		x := mat.CopyVec(x0)
+		if x[i] != 0 {
+			x[i] += cfg.InitialStep * math.Abs(x[i])
+		} else {
+			x[i] = cfg.InitialStep
+		}
+		simplex[i+1] = vertex{x: x, f: eval(x)}
+	}
+
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		best, worst := simplex[0], simplex[n]
+
+		if worst.f-best.f <= cfg.FuncTol*(math.Abs(best.f)+1e-15) && simplexDiameter(simplex[0].x, simplex[n].x) <= cfg.SimplexTol {
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j, v := range simplex[i].x {
+				centroid[j] += v
+			}
+		}
+		mat.ScaleVec(1/float64(n), centroid)
+
+		// Reflection.
+		for j := range trial {
+			trial[j] = centroid[j] + (centroid[j] - worst.x[j])
+		}
+		fr := eval(trial)
+		switch {
+		case fr < best.f:
+			// Expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + 2*(centroid[j]-worst.x[j])
+			}
+			fe := eval(exp)
+			if fe < fr {
+				simplex[n] = vertex{x: exp, f: fe}
+			} else {
+				simplex[n] = vertex{x: mat.CopyVec(trial), f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: mat.CopyVec(trial), f: fr}
+		default:
+			// Contraction (outside if the reflected point improved on the
+			// worst, inside otherwise).
+			con := make([]float64, n)
+			if fr < worst.f {
+				for j := range con {
+					con[j] = centroid[j] + 0.5*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := range con {
+					con[j] = centroid[j] + 0.5*(worst.x[j]-centroid[j])
+				}
+			}
+			fc := eval(con)
+			if fc < math.Min(fr, worst.f) {
+				simplex[n] = vertex{x: con, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return Result{
+		X:          mat.CopyVec(simplex[0].x),
+		F:          simplex[0].f,
+		Iterations: iter,
+		Evals:      evals,
+		Converged:  iter < cfg.MaxIter,
+	}
+}
+
+func simplexDiameter(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
