@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test ci bench fmt vet race
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Race runs use -short: the equivalence tests scale their sizes down so the
+# instrumented binary stays within CI time budgets.
+race:
+	$(GO) test -race -short ./internal/mat ./internal/gp ./internal/core
+
+# ci is the gate for every PR: formatting, vet, full build, full test suite,
+# then the race detector over the parallel-heavy packages.
+ci: fmt vet build test race
+
+# bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
+# `go test -json` event stream to BENCH_gp.json (one JSON object per line;
+# benchmark results are in the "output" fields of Action=="output" events).
+# Compare runs with `benchstat old.txt new.txt` if available, or grep
+# "Benchmark.*ns/op". GOMAXPROCS governs the worker pool size; pin it for
+# stable numbers, e.g. `GOMAXPROCS=4 make bench`.
+bench:
+	$(GO) test -run '^$$' -bench 'Chol|Mul|KernelMatrix|Fit' -benchmem -json \
+		./internal/mat ./internal/kernel ./internal/gp > BENCH_gp.json
+	@grep -o '"Output":".*ns/op[^"]*"' BENCH_gp.json | sed 's/"Output":"//; s/\\t/\t/g; s/\\n"//' || true

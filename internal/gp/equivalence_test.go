@@ -1,0 +1,107 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+func withWorkers(n int, fn func()) {
+	prev := mat.SetWorkers(n)
+	defer mat.SetWorkers(prev)
+	fn()
+}
+
+func bitwiseEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqTrainingSet(rng *rand.Rand, n int) (*mat.Dense, []float64) {
+	x := mat.NewDense(n, 2, nil)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64()*4)
+		x.Set(i, 1, rng.Float64()*4)
+		y[i] = math.Sin(x.At(i, 0)) * math.Cos(x.At(i, 1))
+	}
+	return x, y
+}
+
+// The end-to-end guarantee: a full fit (hyperopt on), prediction, and a burst
+// of incremental appends produce bitwise-identical state regardless of the
+// worker count. Sizes straddle the Cholesky panel width.
+func TestFitSerialParallelIdentical(t *testing.T) {
+	sizes := []int{10, 63, 65, 130}
+	if testing.Short() {
+		sizes = []int{10, 65}
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x, y := eqTrainingSet(rng, n)
+		xtest, _ := eqTrainingSet(rand.New(rand.NewSource(int64(n)+99)), 17)
+
+		run := func(workers int) (alpha, mean, std []float64, lml float64) {
+			var g *GP
+			withWorkers(workers, func() {
+				g = New(kernel.NewRBF(1, 1), Config{Noise: 1e-2})
+				if err := g.Fit(x, y); err != nil {
+					t.Fatalf("n=%d workers=%d: Fit: %v", n, workers, err)
+				}
+				mean, std = g.Predict(xtest)
+			})
+			return append([]float64(nil), g.alpha...), mean, std, g.lml
+		}
+		aS, mS, sS, lmlS := run(1)
+		aP, mP, sP, lmlP := run(8)
+		if lmlS != lmlP {
+			t.Fatalf("n=%d: LML differs across worker counts: %v vs %v", n, lmlS, lmlP)
+		}
+		if !bitwiseEq(aS, aP) {
+			t.Fatalf("n=%d: alpha differs across worker counts", n)
+		}
+		if !bitwiseEq(mS, mP) || !bitwiseEq(sS, sP) {
+			t.Fatalf("n=%d: predictions differ across worker counts", n)
+		}
+	}
+}
+
+func TestAppendSerialParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := eqTrainingSet(rng, 60)
+	extra, ey := eqTrainingSet(rand.New(rand.NewSource(6)), 20)
+
+	run := func(workers int) (alpha []float64, lml float64) {
+		var g *GP
+		withWorkers(workers, func() {
+			g = New(kernel.NewRBF(1, 1), Config{Noise: 1e-2, NoOptimize: true})
+			if err := g.Fit(x, y); err != nil {
+				t.Fatalf("workers=%d: Fit: %v", workers, err)
+			}
+			for i := 0; i < extra.Rows(); i++ {
+				if err := g.Append(extra.Row(i), ey[i]); err != nil {
+					t.Fatalf("workers=%d: Append %d: %v", workers, i, err)
+				}
+			}
+		})
+		return append([]float64(nil), g.alpha...), g.lml
+	}
+	aS, lmlS := run(1)
+	aP, lmlP := run(8)
+	if lmlS != lmlP {
+		t.Fatalf("LML after appends differs across worker counts: %v vs %v", lmlS, lmlP)
+	}
+	if !bitwiseEq(aS, aP) {
+		t.Fatal("alpha after appends differs across worker counts")
+	}
+}

@@ -83,6 +83,12 @@ type GP struct {
 	alpha  []float64
 	lml    float64
 	fitted bool
+
+	// rowEval is the cached kernel-row fast path over the current training
+	// matrix and hyperparameters (rebuilt by precompute and Append); it
+	// evaluates a full row of k(x, ·) with hoisted hyperparameter
+	// transforms and precomputed squared norms.
+	rowEval func(x []float64, from int, out []float64)
 }
 
 // New creates a GP with the given kernel prototype and configuration. The
@@ -253,6 +259,7 @@ func (g *GP) precompute() error {
 	}
 	g.chol = ch
 	g.alpha = ch.SolveVec(g.y)
+	g.rowEval = kernel.RowEvaluator(g.kern, g.x)
 	n := float64(len(g.y))
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*ch.LogDet() - 0.5*n*math.Log(2*math.Pi)
 	g.fitted = true
@@ -261,7 +268,10 @@ func (g *GP) precompute() error {
 
 // Predict returns the posterior mean and standard deviation of the latent
 // function at each row of xs. Variances are clamped at zero before the
-// square root, the standard guard against roundoff.
+// square root, the standard guard against roundoff. Test points are
+// independent and are evaluated in parallel; each point's result is
+// computed in full by one goroutine, so the output does not depend on the
+// worker count.
 func (g *GP) Predict(xs *mat.Dense) (mean, std []float64) {
 	if !g.fitted {
 		panic("gp: Predict before Fit")
@@ -269,9 +279,12 @@ func (g *GP) Predict(xs *mat.Dense) (mean, std []float64) {
 	m := xs.Rows()
 	mean = make([]float64, m)
 	std = make([]float64, m)
-	for i := 0; i < m; i++ {
-		mean[i], std[i] = g.predictOne(xs.Row(i))
-	}
+	n := g.x.Rows()
+	mat.ParallelFor(m, mat.ChunkFor(n*n/2+32*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mean[i], std[i] = g.predictOne(xs.Row(i))
+		}
+	})
 	return mean, std
 }
 
@@ -287,12 +300,10 @@ func (g *GP) PredictOne(x []float64) (mean, std float64) {
 func (g *GP) predictOne(x []float64) (float64, float64) {
 	n := g.x.Rows()
 	ks := make([]float64, n)
-	for j := 0; j < n; j++ {
-		ks[j] = g.kern.Eval(x, g.x.Row(j))
-	}
+	g.rowEval(x, 0, ks)
 	mean := mat.Dot(ks, g.alpha) + g.yMean
 	// σ² = k** − vᵀv with v = L⁻¹ k*.
-	v := mat.SolveLowerVec(g.chol.L(), ks)
+	v := g.chol.ForwardSolveVec(ks)
 	variance := g.kern.Eval(x, x) - mat.Dot(v, v)
 	if variance < 0 {
 		variance = 0
@@ -339,17 +350,9 @@ func logMarginalLikelihood(k kernel.Kernel, logNoise float64, x *mat.Dense, y []
 }
 
 // traceInnerDiff computes tr((ααᵀ − K⁻¹)·D) = αᵀDα − tr(K⁻¹D) without
-// forming ααᵀ.
+// forming ααᵀ. The trace term is the Frobenius inner product of K⁻¹ and D,
+// evaluated row-parallel with a deterministic block-ordered reduction.
 func traceInnerDiff(alpha []float64, kinv, d *mat.Dense) float64 {
-	n := len(alpha)
 	quad := mat.Dot(alpha, d.MulVec(alpha))
-	var tr float64
-	for i := 0; i < n; i++ {
-		ki := kinv.Row(i)
-		di := d.Row(i)
-		for j := 0; j < n; j++ {
-			tr += ki[j] * di[j]
-		}
-	}
-	return quad - tr
+	return quad - mat.TraceMulElem(kinv, d)
 }

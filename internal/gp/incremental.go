@@ -5,14 +5,20 @@ import (
 	"fmt"
 	"math"
 
+	"alamr/internal/kernel"
 	"alamr/internal/mat"
 )
 
 // Append adds one training sample to a fitted GP without re-optimizing
 // hyperparameters, extending the Cholesky factor by a rank-1 border in
-// O(n²). This is the fast path of the active-learning loop (Algorithm 1 in
-// the paper): hyperparameters are re-optimized only periodically via Fit,
-// while every iteration's model update uses Append.
+// O(n²) arithmetic. This is the fast path of the active-learning loop
+// (Algorithm 1 in the paper): hyperparameters are re-optimized only
+// periodically via Fit, while every iteration's model update uses Append.
+//
+// Storage grows with amortized capacity doubling: the packed Cholesky
+// factor, the design matrix, and the target slice all extend by append
+// rather than by reallocating and copying every call, so a burst of k
+// appends moves O(n² + k²) memory instead of O(k·n²).
 func (g *GP) Append(x []float64, y float64) error {
 	if !g.fitted {
 		return errors.New("gp: Append before Fit")
@@ -25,44 +31,29 @@ func (g *GP) Append(x []float64, y float64) error {
 	}
 	n := g.x.Rows()
 
-	// Border column: k(x_i, x_new) for existing rows.
+	// Border column: k(x_i, x_new) for existing rows, via the batch row
+	// evaluator (hoisted hyperparameter transforms, precomputed norms).
 	k := make([]float64, n)
-	for i := 0; i < n; i++ {
-		k[i] = g.kern.Eval(g.x.Row(i), x)
-	}
+	g.rowEval(x, 0, k)
 	noise2 := math.Exp(2 * g.logNoise)
 	kss := g.kern.Eval(x, x) + noise2 + g.chol.Jitter()
 
 	// New factor row: l = L⁻¹ k, pivot d = sqrt(kss − lᵀl).
-	l := mat.SolveLowerVec(g.chol.L(), k)
+	l := g.chol.ForwardSolveVec(k)
 	d2 := kss - mat.Dot(l, l)
 	if d2 <= 0 {
 		// Duplicate or near-duplicate input: fall back to a guarded pivot
 		// proportional to the noise floor rather than failing.
 		d2 = math.Max(noise2*1e-8, 1e-12)
 	}
-	d := math.Sqrt(d2)
-
-	// Grow the stored factor.
-	oldL := g.chol.L()
-	newL := mat.NewDense(n+1, n+1, nil)
-	for i := 0; i < n; i++ {
-		copy(newL.Row(i)[:n], oldL.Row(i))
-	}
-	copy(newL.Row(n)[:n], l)
-	newL.Set(n, n, d)
-	g.chol = mat.CholeskyFromFactor(newL, g.chol.Jitter())
+	g.chol.Extend(l, math.Sqrt(d2))
 
 	// Grow the design matrix and (centred) targets. The centring mean is
 	// kept fixed between full fits — a shifting mean would silently change
 	// the values of all previous residuals.
-	newX := mat.NewDense(n+1, g.x.Cols(), nil)
-	for i := 0; i < n; i++ {
-		copy(newX.Row(i), g.x.Row(i))
-	}
-	copy(newX.Row(n), x)
-	g.x = newX
+	g.x = g.x.AppendRow(x)
 	g.y = append(g.y, y-g.yMean)
+	g.rowEval = kernel.RowEvaluator(g.kern, g.x)
 
 	g.alpha = g.chol.SolveVec(g.y)
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n+1)*math.Log(2*math.Pi)

@@ -36,6 +36,7 @@ type Sparse struct {
 	z     *mat.Dense // inducing inputs
 	aChol *mat.Cholesky
 	beta  []float64 // A⁻¹ K_nmᵀ y / σ²
+	zEval func(x []float64, from int, out []float64)
 
 	fitted bool
 }
@@ -185,6 +186,7 @@ func (s *Sparse) project() error {
 	kty := knm.MulVecT(s.y)
 	mat.ScaleVec(1/noise2, kty)
 	s.beta = ch.SolveVec(kty)
+	s.zEval = kernel.RowEvaluator(s.kern, s.z)
 	s.fitted = true
 	return nil
 }
@@ -198,19 +200,20 @@ func (s *Sparse) Predict(xs *mat.Dense) (mean, std []float64) {
 	mean = make([]float64, n)
 	std = make([]float64, n)
 	m := s.z.Rows()
-	km := make([]float64, m)
-	for i := 0; i < n; i++ {
-		xi := xs.Row(i)
-		for j := 0; j < m; j++ {
-			km[j] = s.kern.Eval(xi, s.z.Row(j))
+	// Test points are independent: batch kernel rows via the cached
+	// evaluator and fan out over the pool with per-chunk scratch.
+	mat.ParallelFor(n, mat.ChunkFor(m*m+4*m), func(lo, hi int) {
+		km := make([]float64, m)
+		for i := lo; i < hi; i++ {
+			s.zEval(xs.Row(i), 0, km)
+			mean[i] = mat.Dot(km, s.beta) + s.yMean
+			v := mat.Dot(km, s.aChol.SolveVec(km))
+			if v < 0 {
+				v = 0
+			}
+			std[i] = math.Sqrt(v)
 		}
-		mean[i] = mat.Dot(km, s.beta) + s.yMean
-		v := mat.Dot(km, s.aChol.SolveVec(km))
-		if v < 0 {
-			v = 0
-		}
-		std[i] = math.Sqrt(v)
-	}
+	})
 	return mean, std
 }
 
@@ -223,13 +226,9 @@ func (s *Sparse) Append(x []float64, y float64) error {
 	if len(x) != s.x.Cols() {
 		return fmt.Errorf("gp: sparse append dim %d, want %d", len(x), s.x.Cols())
 	}
-	n := s.x.Rows()
-	nx := mat.NewDense(n+1, s.x.Cols(), nil)
-	for i := 0; i < n; i++ {
-		copy(nx.Row(i), s.x.Row(i))
-	}
-	copy(nx.Row(n), x)
-	s.x = nx
+	// Amortized growth: append the new row in place of the old
+	// allocate-and-copy of the whole design matrix.
+	s.x = s.x.AppendRow(x)
 	s.y = append(s.y, y-s.yMean)
 	return s.project()
 }

@@ -277,23 +277,262 @@ func (k *Matern) String() string {
 	return fmt.Sprintf("Matern(ν=%g, ℓ=%.4g, σ_f=%.4g)", k.nu, math.Exp(k.logLen), math.Exp(k.logAmp))
 }
 
-// Gram fills an n×n covariance matrix for the rows of x.
+// RowEvaluator returns a batch fast path over a fixed design matrix xs:
+// the returned function fills out[t] = k(x, xs.Row(from+t)) for t in
+// [0, len(out)). For the RBF, ARD-RBF and Matérn kernels it hoists the
+// hyperparameter transforms (three math.Exp calls per pair in the naive
+// per-pair Eval) out of the loop and reuses squared norms of the rows of
+// xs precomputed once per evaluator, so a row costs one exponential per
+// pair plus a d-length dot. Other kernels fall back to per-pair Eval.
+//
+// The evaluator captures the kernel's hyperparameters at construction time
+// and is safe for concurrent use; it must be rebuilt if the kernel's
+// parameters or xs change.
+func RowEvaluator(k Kernel, xs *mat.Dense) func(x []float64, from int, out []float64) {
+	switch kk := k.(type) {
+	case *RBF:
+		l := math.Exp(kk.logLen)
+		inv2l2 := 1 / (2 * l * l)
+		amp2 := math.Exp(2 * kk.logAmp)
+		norms := rowSqNorms(xs)
+		return func(x []float64, from int, out []float64) {
+			nx := sqNorm(x)
+			for t := range out {
+				out[t] = amp2 * math.Exp(-sqDistVia(nx, norms[from+t], x, xs.Row(from+t))*inv2l2)
+			}
+		}
+	case *ARDRBF:
+		z, zn, invL := kk.scaledRows(xs)
+		amp2 := math.Exp(2 * kk.logAmp)
+		return func(x []float64, from int, out []float64) {
+			zx := scaleDims(x, invL)
+			nx := sqNorm(zx)
+			for t := range out {
+				out[t] = amp2 * math.Exp(-0.5*sqDistVia(nx, zn[from+t], zx, z.Row(from+t)))
+			}
+		}
+	case *Matern:
+		l := math.Exp(kk.logLen)
+		amp2 := math.Exp(2 * kk.logAmp)
+		c1 := math.Sqrt(3) / l
+		half := kk.nu == 1.5
+		if !half {
+			c1 = math.Sqrt(5) / l
+		}
+		norms := rowSqNorms(xs)
+		return func(x []float64, from int, out []float64) {
+			nx := sqNorm(x)
+			for t := range out {
+				a := c1 * math.Sqrt(sqDistVia(nx, norms[from+t], x, xs.Row(from+t)))
+				if half {
+					out[t] = amp2 * (1 + a) * math.Exp(-a)
+				} else {
+					out[t] = amp2 * (1 + a + a*a/3) * math.Exp(-a)
+				}
+			}
+		}
+	default:
+		return func(x []float64, from int, out []float64) {
+			for t := range out {
+				out[t] = k.Eval(x, xs.Row(from+t))
+			}
+		}
+	}
+}
+
+// GradRowEvaluator is the gradient companion of RowEvaluator: it fills
+// val[t] = k(x, xs.Row(from+t)) and grads[p][t] = dk/dθ_p for each
+// log-space hyperparameter. Safe for concurrent use.
+func GradRowEvaluator(k Kernel, xs *mat.Dense) func(x []float64, from int, val []float64, grads [][]float64) {
+	switch kk := k.(type) {
+	case *RBF:
+		l := math.Exp(kk.logLen)
+		invl2 := 1 / (l * l)
+		inv2l2 := 0.5 * invl2
+		amp2 := math.Exp(2 * kk.logAmp)
+		norms := rowSqNorms(xs)
+		return func(x []float64, from int, val []float64, grads [][]float64) {
+			nx := sqNorm(x)
+			g0, g1 := grads[0], grads[1]
+			for t := range val {
+				r2 := sqDistVia(nx, norms[from+t], x, xs.Row(from+t))
+				v := amp2 * math.Exp(-r2*inv2l2)
+				val[t] = v
+				g0[t] = v * r2 * invl2
+				g1[t] = 2 * v
+			}
+		}
+	case *ARDRBF:
+		d := len(kk.logLens)
+		invL := make([]float64, d)
+		for i, ll := range kk.logLens {
+			invL[i] = math.Exp(-ll)
+		}
+		amp2 := math.Exp(2 * kk.logAmp)
+		return func(x []float64, from int, val []float64, grads [][]float64) {
+			rd2 := make([]float64, d)
+			for t := range val {
+				y := xs.Row(from + t)
+				var s float64
+				for dd := 0; dd < d; dd++ {
+					r := (x[dd] - y[dd]) * invL[dd]
+					r2 := r * r
+					rd2[dd] = r2
+					s += r2
+				}
+				v := amp2 * math.Exp(-0.5*s)
+				val[t] = v
+				for dd := 0; dd < d; dd++ {
+					grads[dd][t] = v * rd2[dd]
+				}
+				grads[d][t] = 2 * v
+			}
+		}
+	case *Matern:
+		l := math.Exp(kk.logLen)
+		amp2 := math.Exp(2 * kk.logAmp)
+		half := kk.nu == 1.5
+		c1 := math.Sqrt(3) / l
+		if !half {
+			c1 = math.Sqrt(5) / l
+		}
+		norms := rowSqNorms(xs)
+		return func(x []float64, from int, val []float64, grads [][]float64) {
+			nx := sqNorm(x)
+			g0, g1 := grads[0], grads[1]
+			for t := range val {
+				a := c1 * math.Sqrt(sqDistVia(nx, norms[from+t], x, xs.Row(from+t)))
+				e := math.Exp(-a)
+				if half {
+					val[t] = amp2 * (1 + a) * e
+					g0[t] = amp2 * a * a * e
+				} else {
+					val[t] = amp2 * (1 + a + a*a/3) * e
+					g0[t] = amp2 * a * a * (1 + a) / 3 * e
+				}
+				g1[t] = 2 * val[t]
+			}
+		}
+	default:
+		return func(x []float64, from int, val []float64, grads [][]float64) {
+			for t := range val {
+				v, dv := k.EvalGrad(x, xs.Row(from+t))
+				val[t] = v
+				for p := range dv {
+					grads[p][t] = dv[p]
+				}
+			}
+		}
+	}
+}
+
+// sqNorm returns Σ v_d², in the same left-to-right order rowSqNorms uses,
+// so that diagonal distances cancel exactly.
+func sqNorm(v []float64) float64 {
+	var s float64
+	for _, a := range v {
+		s += a * a
+	}
+	return s
+}
+
+// rowSqNorms precomputes the squared norm of every row of xs.
+func rowSqNorms(xs *mat.Dense) []float64 {
+	n := xs.Rows()
+	norms := make([]float64, n)
+	mat.ParallelFor(n, mat.ChunkFor(2*xs.Cols()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			norms[i] = sqNorm(xs.Row(i))
+		}
+	})
+	return norms
+}
+
+// sqDistVia computes |x−y|² = |x|² + |y|² − 2x·y from precomputed norms,
+// clamped at zero against cancellation.
+func sqDistVia(nx, ny float64, x, y []float64) float64 {
+	var dot float64
+	for i, v := range x {
+		dot += v * y[i]
+	}
+	r2 := nx + ny - 2*dot
+	if r2 < 0 {
+		return 0
+	}
+	return r2
+}
+
+// scaleDims returns x scaled element-wise by invL.
+func scaleDims(x, invL []float64) []float64 {
+	z := make([]float64, len(x))
+	for i, v := range x {
+		z[i] = v * invL[i]
+	}
+	return z
+}
+
+// scaledRows precomputes the length-scale-normalized rows of xs, their
+// squared norms, and the scale factors themselves.
+func (k *ARDRBF) scaledRows(xs *mat.Dense) (*mat.Dense, []float64, []float64) {
+	d := len(k.logLens)
+	invL := make([]float64, d)
+	for i, ll := range k.logLens {
+		invL[i] = math.Exp(-ll)
+	}
+	n := xs.Rows()
+	z := mat.NewDense(n, d, nil)
+	zn := make([]float64, n)
+	mat.ParallelFor(n, mat.ChunkFor(4*d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := xs.Row(i)
+			zi := z.Row(i)
+			for dd := 0; dd < d; dd++ {
+				zi[dd] = row[dd] * invL[dd]
+			}
+			zn[i] = sqNorm(zi)
+		}
+	})
+	return z, zn, invL
+}
+
+// gramChunk sizes row chunks for symmetric assembly: a row of the Gram
+// matrix costs ~32 flops per pair (one exponential dominates).
+func gramChunk(n int) int { return mat.ChunkFor(32 * (n/2 + 1)) }
+
+// Gram fills an n×n covariance matrix for the rows of x. The upper
+// triangle is assembled row-parallel through the RowEvaluator fast path,
+// then mirrored; every element is written by exactly one goroutine, so the
+// result is identical for any worker count.
 func Gram(k Kernel, x *mat.Dense) *mat.Dense {
 	n := x.Rows()
 	g := mat.NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
-		xi := x.Row(i)
-		for j := i; j < n; j++ {
-			v := k.Eval(xi, x.Row(j))
-			g.Set(i, j, v)
-			g.Set(j, i, v)
+	ev := RowEvaluator(k, x)
+	mat.ParallelFor(n, gramChunk(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ev(x.Row(i), i, g.Row(i)[i:])
 		}
-	}
+	})
+	mirrorLower(g)
 	return g
 }
 
+// mirrorLower copies the upper triangle of g into the lower triangle,
+// row-parallel over destination rows.
+func mirrorLower(g *mat.Dense) {
+	n := g.Rows()
+	mat.ParallelFor(n, mat.ChunkFor(n), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			rj := g.Row(j)
+			for i := 0; i < j; i++ {
+				rj[i] = g.Row(i)[j]
+			}
+		}
+	})
+}
+
 // GramGrad returns the covariance matrix together with one matrix per
-// hyperparameter holding dK/dθ element-wise.
+// hyperparameter holding dK/dθ element-wise. Assembly is row-parallel via
+// the GradRowEvaluator fast path.
 func GramGrad(k Kernel, x *mat.Dense) (*mat.Dense, []*mat.Dense) {
 	n := x.Rows()
 	p := k.NumParams()
@@ -302,31 +541,33 @@ func GramGrad(k Kernel, x *mat.Dense) (*mat.Dense, []*mat.Dense) {
 	for t := range grads {
 		grads[t] = mat.NewDense(n, n, nil)
 	}
-	for i := 0; i < n; i++ {
-		xi := x.Row(i)
-		for j := i; j < n; j++ {
-			v, dv := k.EvalGrad(xi, x.Row(j))
-			g.Set(i, j, v)
-			g.Set(j, i, v)
+	ev := GradRowEvaluator(k, x)
+	mat.ParallelFor(n, gramChunk(n), func(lo, hi int) {
+		local := make([][]float64, p)
+		for i := lo; i < hi; i++ {
 			for t := 0; t < p; t++ {
-				grads[t].Set(i, j, dv[t])
-				grads[t].Set(j, i, dv[t])
+				local[t] = grads[t].Row(i)[i:]
 			}
+			ev(x.Row(i), i, g.Row(i)[i:], local)
 		}
+	})
+	mirrorLower(g)
+	for t := 0; t < p; t++ {
+		mirrorLower(grads[t])
 	}
 	return g, grads
 }
 
-// Cross fills the m×n covariance matrix between the rows of a and b.
+// Cross fills the m×n covariance matrix between the rows of a and b,
+// row-parallel over the rows of a.
 func Cross(k Kernel, a, b *mat.Dense) *mat.Dense {
 	m, n := a.Rows(), b.Rows()
 	g := mat.NewDense(m, n, nil)
-	for i := 0; i < m; i++ {
-		ai := a.Row(i)
-		row := g.Row(i)
-		for j := 0; j < n; j++ {
-			row[j] = k.Eval(ai, b.Row(j))
+	ev := RowEvaluator(k, b)
+	mat.ParallelFor(m, mat.ChunkFor(32*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ev(a.Row(i), 0, g.Row(i))
 		}
-	}
+	})
 	return g
 }

@@ -10,16 +10,40 @@ import (
 // a non-positive pivot even after the maximum jitter has been applied.
 var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 
+// cholBlock is the panel width of the blocked factorization and solves. It
+// is a fixed constant: the grouping of partial inner products — and hence
+// the floating-point result — must depend only on the problem size, never
+// on the worker count, for the determinism contract to hold.
+const cholBlock = 64
+
 // Cholesky holds the lower-triangular factor L of a symmetric
 // positive-definite matrix A = L Lᵀ, together with the diagonal jitter that
 // was required to make the factorization succeed.
+//
+// The factor is stored packed: row i occupies i+1 contiguous elements
+// starting at i(i+1)/2. Packed rows halve the memory of a square factor and
+// make Extend (growing the factor by one bordered row, the AL fast path) an
+// amortized O(n) append instead of an O(n²) reallocation-and-copy.
 type Cholesky struct {
-	l      *Dense
+	n      int
+	data   []float64
 	jitter float64
+}
+
+// row returns packed row i (length i+1).
+func (c *Cholesky) row(i int) []float64 {
+	off := i * (i + 1) / 2
+	return c.data[off : off+i+1]
 }
 
 // NewCholesky factorizes the symmetric positive-definite matrix a.
 // Only the lower triangle of a is read. The input is not modified.
+//
+// The factorization is right-looking and blocked: each iteration factors a
+// cholBlock-wide diagonal block serially, then fans the panel solve and the
+// trailing-matrix update out over the worker pool. Each element of the
+// factor is produced by exactly one goroutine with a summation order fixed
+// by (n, cholBlock) alone, so parallel and serial runs agree bitwise.
 func NewCholesky(a *Dense) (*Cholesky, error) {
 	return newCholesky(a, 0)
 }
@@ -48,131 +72,328 @@ func newCholesky(a *Dense, jitter float64) (*Cholesky, error) {
 		panic("mat: Cholesky of non-square matrix")
 	}
 	n := a.rows
-	l := NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			s := a.At(i, j)
-			if i == j {
-				s += jitter
-			}
-			li := l.data[i*n:]
-			lj := l.data[j*n:]
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
-			}
-			if i == j {
-				if s <= 0 || math.IsNaN(s) {
-					return nil, ErrNotPositiveDefinite
-				}
-				l.data[i*n+j] = math.Sqrt(s)
-			} else {
-				l.data[i*n+j] = s / l.data[j*n+j]
-			}
+	c := &Cholesky{n: n, data: make([]float64, n*(n+1)/2), jitter: jitter}
+	ParallelFor(n, chunkFor(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(c.row(i), a.data[i*a.cols:i*a.cols+i+1])
+		}
+	})
+	if jitter != 0 {
+		for i := 0; i < n; i++ {
+			c.row(i)[i] += jitter
 		}
 	}
-	return &Cholesky{l: l, jitter: jitter}, nil
+	if err := c.factor(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// factor runs the blocked right-looking factorization in place over the
+// packed lower triangle of A already loaded into c.data.
+func (c *Cholesky) factor() error {
+	n := c.n
+	for kb := 0; kb < n; kb += cholBlock {
+		kend := kb + cholBlock
+		if kend > n {
+			kend = n
+		}
+		// Diagonal block: unblocked serial factorization of A[kb:kend, kb:kend].
+		for j := kb; j < kend; j++ {
+			rj := c.row(j)
+			s := rj[j] - adot(rj[kb:j], rj[kb:j])
+			if s <= 0 || math.IsNaN(s) {
+				return ErrNotPositiveDefinite
+			}
+			d := math.Sqrt(s)
+			rj[j] = d
+			for i := j + 1; i < kend; i++ {
+				ri := c.row(i)
+				ri[j] = (ri[j] - adot(ri[kb:j], rj[kb:j])) / d
+			}
+		}
+		if kend == n {
+			break
+		}
+		// Panel solve: L[kend:, kb:kend] = A[kend:, kb:kend]·L_bbᵀ⁻¹,
+		// forward substitution per row; rows are independent.
+		bw := kend - kb
+		ParallelFor(n-kend, chunkFor(bw*bw), func(lo, hi int) {
+			for i := kend + lo; i < kend+hi; i++ {
+				ri := c.row(i)
+				for j := kb; j < kend; j++ {
+					rj := c.row(j)
+					ri[j] = (ri[j] - adot(ri[kb:j], rj[kb:j])) / rj[j]
+				}
+			}
+		})
+		// Trailing update: A[i,j] -= L[i, kb:kend]·L[j, kb:kend] for
+		// kend <= j <= i. Row-parallel and tiled over i so each (cold)
+		// j-panel row is streamed from cache once per tile instead of
+		// once per row. Tiling only reorders whole adot calls, never the
+		// summation inside one, so chunk and tile boundaries stay outside
+		// the numerical contract and each element is updated once per
+		// block.
+		const iTile = 8
+		ParallelFor(n-kend, chunkFor(bw*(n-kend)/2+1), func(lo, hi int) {
+			for it := kend + lo; it < kend+hi; it += iTile {
+				itEnd := it + iTile
+				if itEnd > kend+hi {
+					itEnd = kend + hi
+				}
+				for j := kend; j < itEnd; j++ {
+					pj := c.row(j)[kb:kend]
+					i := it
+					if j > i {
+						i = j
+					}
+					for ; i < itEnd; i++ {
+						ri := c.row(i)
+						ri[j] -= adot(ri[kb:kend], pj)
+					}
+				}
+			}
+		})
+	}
+	return nil
 }
 
 // CholeskyFromFactor wraps an existing lower-triangular factor L (so that
 // A = L Lᵀ) without refactorizing. The caller asserts that l is lower
-// triangular with positive diagonal; it is not copied.
+// triangular with positive diagonal. The factor is packed into private
+// storage; l is not retained.
 func CholeskyFromFactor(l *Dense, jitter float64) *Cholesky {
 	if l.rows != l.cols {
 		panic("mat: CholeskyFromFactor of non-square factor")
 	}
-	return &Cholesky{l: l, jitter: jitter}
+	n := l.rows
+	c := &Cholesky{n: n, data: make([]float64, n*(n+1)/2), jitter: jitter}
+	for i := 0; i < n; i++ {
+		copy(c.row(i), l.data[i*l.cols:i*l.cols+i+1])
+	}
+	return c
 }
 
-// L returns the lower-triangular factor. The caller must not modify it.
-func (c *Cholesky) L() *Dense { return c.l }
+// Extend grows the factorization of an n×n matrix A to n+1 by a bordered
+// row: given the solved border l = L⁻¹k and the new pivot d (so that the
+// extended matrix is [[A, k],[kᵀ, lᵀl+d²]]), it appends one packed row in
+// amortized O(n) — no reallocation of the existing factor.
+func (c *Cholesky) Extend(border []float64, pivot float64) {
+	if len(border) != c.n {
+		panic(fmt.Sprintf("mat: Extend border length %d does not match size %d", len(border), c.n))
+	}
+	if pivot <= 0 || math.IsNaN(pivot) {
+		panic(fmt.Sprintf("mat: Extend pivot %g must be positive", pivot))
+	}
+	c.data = append(c.data, border...)
+	c.data = append(c.data, pivot)
+	c.n++
+}
+
+// L returns the lower-triangular factor as a newly allocated dense matrix.
+// It is a copy: mutating it does not affect the factorization.
+func (c *Cholesky) L() *Dense {
+	l := NewDense(c.n, c.n, nil)
+	for i := 0; i < c.n; i++ {
+		copy(l.data[i*c.n:i*c.n+i+1], c.row(i))
+	}
+	return l
+}
 
 // Jitter reports the diagonal jitter that was added before factorization.
 func (c *Cholesky) Jitter() float64 { return c.jitter }
 
 // Size returns the dimension of the factored matrix.
-func (c *Cholesky) Size() int { return c.l.rows }
+func (c *Cholesky) Size() int { return c.n }
 
 // SolveVec solves A x = b where A = L Lᵀ, returning x.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.forwardSolve(b)
-	return c.backwardSolve(y)
-}
-
-// forwardSolve solves L y = b.
-func (c *Cholesky) forwardSolve(b []float64) []float64 {
-	n := c.l.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: SolveVec length %d does not match size %d", len(b), n))
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveVec length %d does not match size %d", len(b), c.n))
 	}
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		li := c.l.data[i*n:]
-		for k := 0; k < i; k++ {
-			s -= li[k] * y[k]
-		}
-		y[i] = s / li[i]
-	}
-	return y
-}
-
-// backwardSolve solves Lᵀ x = y.
-func (c *Cholesky) backwardSolve(y []float64) []float64 {
-	n := c.l.rows
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.l.data[k*n+i] * x[k]
-		}
-		x[i] = s / c.l.data[i*n+i]
-	}
+	x := make([]float64, c.n)
+	copy(x, b)
+	c.forwardInPlace(x)
+	c.backwardInPlace(x)
 	return x
 }
 
-// Solve solves A X = B column by column, returning X.
+// ForwardSolveVec solves L y = b, the half-solve used for predictive
+// variances (v = L⁻¹k*).
+func (c *Cholesky) ForwardSolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: ForwardSolveVec length %d does not match size %d", len(b), c.n))
+	}
+	y := make([]float64, c.n)
+	copy(y, b)
+	c.forwardInPlace(y)
+	return y
+}
+
+// forwardInPlace solves L y = y. Blocked: after the serial in-block
+// substitution, the updates to the rows below the block are independent and
+// fan out over the pool.
+func (c *Cholesky) forwardInPlace(y []float64) {
+	n := c.n
+	for kb := 0; kb < n; kb += cholBlock {
+		kend := kb + cholBlock
+		if kend > n {
+			kend = n
+		}
+		for i := kb; i < kend; i++ {
+			ri := c.row(i)
+			y[i] = (y[i] - adot(ri[kb:i], y[kb:i])) / ri[i]
+		}
+		if kend == n {
+			break
+		}
+		bw := kend - kb
+		ParallelFor(n-kend, chunkFor(2*bw), func(lo, hi int) {
+			for i := kend + lo; i < kend+hi; i++ {
+				y[i] -= adot(c.row(i)[kb:kend], y[kb:kend])
+			}
+		})
+	}
+}
+
+// backwardInPlace solves Lᵀ x = x. Blocks run from the bottom; after the
+// serial in-block substitution the remaining update is a sequence of
+// row-contiguous axpys, parallel over disjoint ranges of x.
+func (c *Cholesky) backwardInPlace(x []float64) {
+	n := c.n
+	if n == 0 {
+		return
+	}
+	kbStart := ((n - 1) / cholBlock) * cholBlock
+	for kb := kbStart; kb >= 0; kb -= cholBlock {
+		kend := kb + cholBlock
+		if kend > n {
+			kend = n
+		}
+		for i := kend - 1; i >= kb; i-- {
+			s := x[i]
+			for k := i + 1; k < kend; k++ {
+				s -= c.row(k)[i] * x[k]
+			}
+			x[i] = s / c.row(i)[i]
+		}
+		if kb == 0 {
+			break
+		}
+		bw := kend - kb
+		ParallelFor(kb, chunkFor(2*bw), func(lo, hi int) {
+			for k := kb; k < kend; k++ {
+				rk := c.row(k)[lo:hi]
+				xs := x[lo:hi]
+				xk := x[k]
+				for j, v := range rk {
+					xs[j] -= xk * v
+				}
+			}
+		})
+	}
+}
+
+// Solve solves A X = B column by column, returning X. Columns are
+// independent and solved in parallel.
 func (c *Cholesky) Solve(b *Dense) *Dense {
-	n := c.l.rows
+	n := c.n
 	if b.rows != n {
 		panic(fmt.Sprintf("mat: Solve rows %d does not match size %d", b.rows, n))
 	}
 	x := NewDense(n, b.cols, nil)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.data[i*b.cols+j]
+	ParallelFor(b.cols, chunkFor(2*n*n), func(lo, hi int) {
+		col := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.data[i*b.cols+j]
+			}
+			c.forwardInPlace(col)
+			c.backwardInPlace(col)
+			for i := 0; i < n; i++ {
+				x.data[i*x.cols+j] = col[i]
+			}
 		}
-		sol := c.SolveVec(col)
-		for i := 0; i < n; i++ {
-			x.data[i*x.cols+j] = sol[i]
-		}
-	}
+	})
 	return x
 }
 
-// Inverse returns A⁻¹ computed column by column from the factorization.
+// Inverse returns A⁻¹ from the factorization as L⁻ᵀL⁻¹: first U = L⁻ᵀ is
+// built one row at a time (row j of U is the forward solve of e_j, a
+// contiguous write), then A⁻¹_ij = U_i·U_j over the shared tail. Both
+// passes are row-parallel with contiguous access, roughly 6x less work
+// than solving for each unit vector through both triangles.
 func (c *Cholesky) Inverse() *Dense {
-	return c.Solve(Eye(c.l.rows))
+	n := c.n
+	u := NewDense(n, n, nil)
+	ParallelFor(n, chunkFor(n*n/2+1), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			uj := u.data[j*n : (j+1)*n]
+			uj[j] = 1 / c.row(j)[j]
+			for i := j + 1; i < n; i++ {
+				ri := c.row(i)
+				uj[i] = -adot(ri[j:i], uj[j:i]) / ri[i]
+			}
+		}
+	})
+	out := NewDense(n, n, nil)
+	ParallelFor(n, chunkFor(n*n/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ui := u.data[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				uj := u.data[j*n : (j+1)*n]
+				out.data[i*n+j] = adot(ui[j:], uj[j:])
+			}
+		}
+	})
+	// Mirror the upper triangle into the lower.
+	ParallelFor(n, chunkFor(n), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for i := 0; i < j; i++ {
+				out.data[j*n+i] = out.data[i*n+j]
+			}
+		}
+	})
+	return out
 }
 
 // LogDet returns log |A| = 2 Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
-	n := c.l.rows
 	var s float64
-	for i := 0; i < n; i++ {
-		s += math.Log(c.l.data[i*n+i])
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.row(i)[i])
 	}
 	return 2 * s
 }
 
-// SolveLowerVec solves L y = b for a general lower-triangular matrix l.
+// SolveLowerVec solves L y = b for a general lower-triangular dense l.
 func SolveLowerVec(l *Dense, b []float64) []float64 {
-	ch := Cholesky{l: l}
-	return ch.forwardSolve(b)
+	n := l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveLowerVec length %d does not match size %d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		li := l.data[i*l.cols : i*l.cols+i]
+		y[i] = (b[i] - adot(li, y[:i])) / l.data[i*l.cols+i]
+	}
+	return y
 }
 
-// SolveUpperTransposedVec solves Lᵀ x = y given a lower-triangular L.
+// SolveUpperTransposedVec solves Lᵀ x = y given a lower-triangular dense L.
 func SolveUpperTransposedVec(l *Dense, y []float64) []float64 {
-	ch := Cholesky{l: l}
-	return ch.backwardSolve(y)
+	n := l.rows
+	if len(y) != n {
+		panic(fmt.Sprintf("mat: SolveUpperTransposedVec length %d does not match size %d", len(y), n))
+	}
+	x := make([]float64, n)
+	copy(x, y)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*l.cols+i] * x[k]
+		}
+		x[i] = s / l.data[i*l.cols+i]
+	}
+	return x
 }

@@ -1,0 +1,111 @@
+// AVX2+FMA kernels for the hot inner loops. Only reached when runtime
+// detection (dot_amd64.go) confirms AVX2, FMA, and OS support for YMM
+// state; every function has a pure-Go fallback.
+//
+// Summation order is fixed by the vector layout: four 4-lane accumulators
+// striped over the input, combined as (Y0+Y1)+(Y2+Y3), then a fixed
+// horizontal reduction. The order is a function of the slice length only,
+// which is what the determinism contract requires.
+
+#include "textflag.h"
+
+// func dotAsm(a, b *float64, n int) float64
+TEXT ·dotAsm(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $4, DX            // DX = n / 16
+	JZ   dottail
+dotloop16:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  dotloop16
+dottail:
+	// Combine: Y0 = (Y0+Y1) + (Y2+Y3), then low128+high128, then
+	// lane0+lane1.
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VPERMILPD $1, X0, X1
+	VADDSD X1, X0, X0
+	// Scalar tail: remaining n mod 16 elements, fused into the total in
+	// ascending order.
+	ANDQ $15, CX
+	JZ   dotdone
+dottailloop:
+	VMOVSD (SI), X2
+	VFMADD231SD (DI), X2, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  dottailloop
+dotdone:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(alpha float64, x, y *float64, n int)
+// y[0:n] = fma(alpha, x[0:n], y[0:n]); n must be a multiple of 16
+// (the Go wrapper handles the tail with math.FMA for identical rounding).
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y7
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), DX
+	SHRQ $4, DX
+	JZ   axpydone
+axpyloop16:
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	VFMADD231PD (SI), Y7, Y0
+	VFMADD231PD 32(SI), Y7, Y1
+	VFMADD231PD 64(SI), Y7, Y2
+	VFMADD231PD 96(SI), Y7, Y3
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  axpyloop16
+axpydone:
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (lo, hi uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET

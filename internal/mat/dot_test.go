@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// adot and axpy dispatch to assembly kernels when the CPU supports them;
+// these tests pin the dispatching versions against naive references across
+// lengths that straddle the vector width, the unroll factor, and the
+// scalar-tail path.
+var dotLens = []int{0, 1, 3, 4, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 257}
+
+func TestADotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range dotLens {
+		a := randomVec(rng, n)
+		b := randomVec(rng, n)
+		var naive float64
+		for i := range a {
+			naive += a[i] * b[i]
+		}
+		got := adot(a, b)
+		scale := 1.0
+		if naive < -1 || naive > 1 {
+			scale = naive
+			if scale < 0 {
+				scale = -scale
+			}
+		}
+		if diff := got - naive; diff > 1e-12*scale || diff < -1e-12*scale {
+			t.Fatalf("n=%d: adot = %.17g, naive = %.17g", n, got, naive)
+		}
+	}
+}
+
+func TestADotDeterministicAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range dotLens {
+		a := randomVec(rng, n)
+		b := randomVec(rng, n)
+		first := adot(a, b)
+		for k := 0; k < 4; k++ {
+			if got := adot(a, b); got != first {
+				t.Fatalf("n=%d: adot not reproducible: %v vs %v", n, got, first)
+			}
+		}
+	}
+}
+
+func TestAxpyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range dotLens {
+		x := randomVec(rng, n)
+		y := randomVec(rng, n)
+		alpha := rng.NormFloat64()
+		want := make([]float64, n)
+		for i := range y {
+			want[i] = y[i] + alpha*x[i]
+		}
+		got := append([]float64(nil), y...)
+		axpy(alpha, x, got)
+		for i := range want {
+			diff := got[i] - want[i]
+			if diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("n=%d: axpy[%d] = %.17g, naive = %.17g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAxpyDeterministicAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range dotLens {
+		x := randomVec(rng, n)
+		y := randomVec(rng, n)
+		alpha := rng.NormFloat64()
+		first := append([]float64(nil), y...)
+		axpy(alpha, x, first)
+		for k := 0; k < 4; k++ {
+			got := append([]float64(nil), y...)
+			axpy(alpha, x, got)
+			if !bitwiseEqual(got, first) {
+				t.Fatalf("n=%d: axpy not reproducible", n)
+			}
+		}
+	}
+}
+
+func BenchmarkDotKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	for _, n := range []int{64, 600, 1920} {
+		x := randomVec(rng, n)
+		y := randomVec(rng, n)
+		b.Run(itoa(n), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += adot(x, y)
+			}
+			sinkFloat = s
+		})
+	}
+}
+
+var sinkFloat float64
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -81,6 +81,20 @@ func (m *Dense) Clone() *Dense {
 	return &Dense{rows: m.rows, cols: m.cols, data: d}
 }
 
+// AppendRow returns an (r+1)-by-c matrix consisting of m's rows followed by
+// row. The backing slice grows with append semantics, so repeated calls on
+// the returned matrix copy storage O(log n) times rather than every call —
+// the amortized-growth fast path of the AL loop. The receiver remains a
+// valid view of its original rows (which are shared with the result until
+// the next reallocation), so callers must treat m as frozen after the call.
+func (m *Dense) AppendRow(row []float64) *Dense {
+	if len(row) != m.cols {
+		panic(fmt.Sprintf("mat: AppendRow length %d does not match cols %d", len(row), m.cols))
+	}
+	data := append(m.data, row...)
+	return &Dense{rows: m.rows + 1, cols: m.cols, data: data}
+}
+
 // T returns a newly allocated transpose of m.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows, nil)
@@ -131,61 +145,70 @@ func (m *Dense) Sub(a, b *Dense) {
 	}
 }
 
-// Mul returns the product a*b as a new matrix.
+// mulKC is the k-dimension tile of Mul: at float64 width it keeps the
+// active panel of b (mulKC rows) resident in L2 while a row of the output
+// accumulates, which is what makes the classic i-k-j loop order scale past
+// cache-sized operands.
+const mulKC = 256
+
+// Mul returns the product a*b as a new matrix. Rows of the output are
+// computed in parallel; within a row, accumulation over k is in ascending
+// order regardless of tiling or worker count, so results are deterministic.
+// The inner loop is branch-free: GP covariance operands are dense, so
+// per-element zero tests only cost pipeline stalls.
 func Mul(a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	out := NewDense(a.rows, b.cols, nil)
-	for i := 0; i < a.rows; i++ {
-		ai := a.data[i*a.cols : (i+1)*a.cols]
-		oi := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range ai {
-			if av == 0 {
-				continue
+	ParallelFor(a.rows, chunkFor(a.cols*b.cols), func(lo, hi int) {
+		for kb := 0; kb < a.cols; kb += mulKC {
+			kend := kb + mulKC
+			if kend > a.cols {
+				kend = a.cols
 			}
-			bk := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range bk {
-				oi[j] += av * bv
+			for i := lo; i < hi; i++ {
+				ai := a.data[i*a.cols : (i+1)*a.cols]
+				oi := out.data[i*out.cols : (i+1)*out.cols]
+				for k := kb; k < kend; k++ {
+					bk := b.data[k*b.cols : (k+1)*b.cols]
+					axpy(ai[k], bk, oi)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// MulVec returns the matrix-vector product m*x.
+// MulVec returns the matrix-vector product m*x. Output rows are computed in
+// parallel with the unrolled deterministic dot kernel.
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("mat: MulVec length %d does not match cols %d", len(x), m.cols))
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range ri {
-			s += v * x[j]
+	ParallelFor(m.rows, chunkFor(2*m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = adot(m.data[i*m.cols:(i+1)*m.cols], x)
 		}
-		out[i] = s
-	}
+	})
 	return out
 }
 
 // MulVecT returns the product mᵀ*x without materializing the transpose.
+// Workers own disjoint column ranges of the output; each element
+// accumulates over rows in ascending order, so the result is deterministic
+// and branch-free.
 func (m *Dense) MulVecT(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("mat: MulVecT length %d does not match rows %d", len(x), m.rows))
 	}
 	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		xi := x[i]
-		if xi == 0 {
-			continue
+	ParallelFor(m.cols, chunkFor(2*m.rows), func(lo, hi int) {
+		for i := 0; i < m.rows; i++ {
+			axpy(x[i], m.data[i*m.cols+lo:i*m.cols+hi], out[lo:hi])
 		}
-		for j, v := range ri {
-			out[j] += xi * v
-		}
-	}
+	})
 	return out
 }
 
