@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench fmt vet race
+.PHONY: all build test ci bench fmt vet race chaos
 
 all: build
 
@@ -17,9 +17,19 @@ vet:
 	$(GO) vet ./...
 
 # Race runs use -short: the equivalence tests scale their sizes down so the
-# instrumented binary stays within CI time budgets.
+# instrumented binary stays within CI time budgets. faults and online carry
+# the concurrency-sensitive fault-injection and checkpoint paths.
 race:
-	$(GO) test -race -short ./internal/mat ./internal/gp ./internal/core
+	$(GO) test -race -short ./internal/mat ./internal/gp ./internal/core \
+		./internal/faults ./internal/online
+
+# chaos stress-tests the fault-tolerant campaign runtime: high fault rates
+# across 10 seeds (CHAOS=1 widens TestOnlineChaos from 3 to 10 seeds), plus
+# every fault-injection, retry, and checkpoint/resume test, under -race.
+chaos:
+	CHAOS=1 $(GO) test -race -count=1 \
+		-run 'Chaos|Fault|Retry|Censor|Checkpoint|Resume|Backoff' \
+		./internal/faults ./internal/online
 
 # ci is the gate for every PR: formatting, vet, full build, full test suite,
 # then the race detector over the parallel-heavy packages.

@@ -4,19 +4,29 @@
 // bubble hydrodynamics + machine model) on demand — the "online" system the
 // paper contrasts with its offline simulator.
 //
+// The campaign runtime is fault-tolerant: -checkpoint makes it resumable
+// after a crash, and the -ptransient/-pcorrupt/-rsslimit/-walllimit flags
+// inject seeded faults (for chaos-testing the runtime or studying how the
+// learner copes with OOM-censored observations).
+//
 // Usage:
 //
 //	al-online [-policy rgma] [-n 25] [-budget 2] [-memlimit 1] [-seed 17]
+//	          [-checkpoint campaign.ckpt] [-retries 3]
+//	          [-ptransient 0.1] [-pcorrupt 0.05] [-rsslimit 1] [-walllimit 300]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"alamr/internal/core"
+	"alamr/internal/faults"
 	"alamr/internal/online"
+	"alamr/internal/report"
 )
 
 func main() {
@@ -29,7 +39,46 @@ func main() {
 	memLimit := flag.Float64("memlimit", 0, "memory limit in MB (0 = none)")
 	seed := flag.Int64("seed", 17, "seed")
 	refnx := flag.Int("refnx", 64, "physics reference resolution")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: written after every experiment, resumed from if present")
+	retries := flag.Int("retries", 3, "per-job attempt budget for retryable faults")
+	pTransient := flag.Float64("ptransient", 0, "injected per-attempt transient-failure probability")
+	pCorrupt := flag.Float64("pcorrupt", 0, "injected per-attempt corrupted-measurement probability")
+	rssLimit := flag.Float64("rsslimit", 0, "injected OOM-killer RSS limit in MB (0 = off)")
+	wallLimit := flag.Float64("walllimit", 0, "injected wall-clock kill limit in seconds (0 = off)")
 	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "al-online: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n < 0 {
+		fail("-n must be non-negative, got %d", *n)
+	}
+	if *budget < 0 {
+		fail("-budget must be non-negative, got %g", *budget)
+	}
+	if *memLimit < 0 {
+		fail("-memlimit must be non-negative, got %g", *memLimit)
+	}
+	if *refnx <= 0 {
+		fail("-refnx must be positive, got %d", *refnx)
+	}
+	if *retries < 1 {
+		fail("-retries must be at least 1, got %d", *retries)
+	}
+	if *pTransient < 0 || *pTransient >= 1 {
+		fail("-ptransient must be in [0, 1), got %g", *pTransient)
+	}
+	if *pCorrupt < 0 || *pCorrupt >= 1 {
+		fail("-pcorrupt must be in [0, 1), got %g", *pCorrupt)
+	}
+	if *rssLimit < 0 {
+		fail("-rsslimit must be non-negative, got %g", *rssLimit)
+	}
+	if *wallLimit < 0 {
+		fail("-walllimit must be non-negative, got %g", *wallLimit)
+	}
 
 	var policy core.Policy
 	switch strings.ToLower(*policyName) {
@@ -44,23 +93,42 @@ func main() {
 	case "rgma":
 		policy = core.RGMA{}
 	default:
-		log.Fatalf("unknown policy %q", *policyName)
+		fail("unknown policy %q", *policyName)
 	}
 
-	lab := online.NewSimLab(online.SimLabConfig{RefNx: *refnx, Seed: *seed})
+	sim := online.NewSimLab(online.SimLabConfig{RefNx: *refnx, Seed: *seed})
+	var lab online.Lab = sim
+	injecting := *pTransient > 0 || *pCorrupt > 0 || *rssLimit > 0 || *wallLimit > 0
+	if injecting {
+		lab = faults.NewFaultyLab(sim, faults.LabConfig{
+			Seed:         *seed,
+			RSSLimitMB:   *rssLimit,
+			WallLimitSec: *wallLimit,
+			PTransient:   *pTransient,
+			PCorrupt:     *pCorrupt,
+		})
+	}
+
 	res, err := online.Run(lab, online.Config{
 		Policy:         policy,
 		MaxExperiments: *n,
 		Budget:         *budget,
 		MemLimitMB:     *memLimit,
 		Seed:           *seed,
+		CheckpointPath: *checkpoint,
+		Retry:          faults.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
 	})
 	if err != nil {
-		log.Fatal(err)
+		if res == nil {
+			log.Fatal(err)
+		}
+		// A fault-stopped campaign still carries partial results worth
+		// reporting; announce the error and fall through.
+		log.Printf("campaign stopped early: %v", err)
 	}
 
 	fmt.Printf("campaign: %d experiments, stop=%s, %d physics references simulated\n",
-		len(res.Jobs), res.Reason, lab.NumReferenceRuns())
+		len(res.Jobs), res.Reason, sim.NumReferenceRuns())
 	if len(res.CumCost) > 0 {
 		last := len(res.CumCost) - 1
 		fmt.Printf("spent %.4g node-hours (regret %.4g), one-step cost MAPE %.0f%%\n",
@@ -72,7 +140,17 @@ func main() {
 		if res.Violation[i] {
 			mark = "  !! memory"
 		}
+		if i < len(res.Censored) && res.Censored[i] {
+			mark += "  (censored)"
+		}
 		fmt.Printf("#%02d p=%-2d mx=%-2d ml=%d r0=%.1f rho=%.2f  pred=%.4g actual=%.4g nh%s\n",
 			i+1, j.P, j.Mx, j.MaxLevel, j.R0, j.RhoIn, res.PredictedCost[i], res.ActualCost[i], mark)
+	}
+	if injecting || res.Health.Attempts > res.Health.Successes {
+		fmt.Println("\ncampaign health")
+		fmt.Print(report.HealthTable(res.Health))
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }

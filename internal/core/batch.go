@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -63,6 +64,12 @@ func (c *BatchConfig) setDefaults() {
 // trajectories by spec key. Partitions are shared across specs with the same
 // NInit so policies are compared on identical data splits; all randomness is
 // derived deterministically from cfg.Seed.
+//
+// Worker failures are isolated: a task that errors (or panics) does not
+// abort the batch or discard its siblings. All completed trajectories are
+// returned grouped as usual, alongside an error joining every per-task
+// failure — callers distinguish "all good" (nil error), "partial" (non-nil
+// error, non-empty map), and "nothing" (non-nil error, empty map).
 func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, error) {
 	cfg.setDefaults()
 	if len(cfg.Specs) == 0 {
@@ -110,6 +117,13 @@ func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, e
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// A panicking worker must not take down the whole process: convert
+			// it into a per-task error like any other failure.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i], errs[i] = nil, fmt.Errorf("core: worker panic: %v", r)
+				}
+			}()
 			loopCfg := cfg.Template
 			loopCfg.Policy = tk.spec.Policy
 			loopCfg.Seed = tk.seed
@@ -118,17 +132,17 @@ func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, e
 		}(i, tk)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: batch task %d (%s): %w", i, tasks[i].spec.Key(), err)
-		}
-	}
 
+	var failures []error
 	grouped := make(map[string][]*Trajectory)
 	for i, tk := range tasks {
+		if errs[i] != nil {
+			failures = append(failures, fmt.Errorf("core: batch task %d (%s): %w", i, tk.spec.Key(), errs[i]))
+			continue
+		}
 		grouped[tk.spec.Key()] = append(grouped[tk.spec.Key()], results[i])
 	}
-	return grouped, nil
+	return grouped, errors.Join(failures...)
 }
 
 // CurveSet extracts one named per-iteration series from each trajectory.

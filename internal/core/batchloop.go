@@ -32,6 +32,9 @@ func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopCon
 	if len(part.Init) == 0 || len(part.Active) == 0 || len(part.Test) == 0 {
 		return nil, errors.New("core: partition must have non-empty Init, Active, and Test")
 	}
+	if err := checkLogPrecondition(ds, part); err != nil {
+		return nil, err
+	}
 
 	features := func(idx []int) *mat.Dense {
 		if cfg.Log2P {

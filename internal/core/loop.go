@@ -94,6 +94,11 @@ const (
 	StopMaxIterations StopReason = "max-iterations"
 	StopMemoryLimit   StopReason = "all-exceed-memory-limit"
 	StopStable        StopReason = "stable-predictions"
+	StopBudget        StopReason = "budget-exhausted"
+	// StopFault ends a campaign that hit a fatal (unclassifiable) lab error
+	// or spent a job's whole retry budget; partial results are returned
+	// alongside the error.
+	StopFault StopReason = "fatal-fault"
 )
 
 // Trajectory records everything the evaluation needs about one AL run: the
@@ -130,6 +135,19 @@ type Trajectory struct {
 // Iterations returns the number of AL selections performed.
 func (t *Trajectory) Iterations() int { return len(t.Selected) }
 
+// checkLogPrecondition verifies every job a loop will log-transform (the
+// Init seeds and the Active pool) carries strictly positive, finite
+// responses. Rejecting up front turns a silent NaN in a surrogate's
+// training set into a classified dataset.ErrBadResponse.
+func checkLogPrecondition(ds *dataset.Dataset, part dataset.Partition) error {
+	for _, idx := range [][]int{part.Init, part.Active} {
+		if err := ds.CheckResponses(idx); err != nil {
+			return fmt.Errorf("core: dataset fails the log-transform precondition: %w", err)
+		}
+	}
+	return nil
+}
+
 // RunTrajectory executes Algorithm 1 on one partition of the dataset and
 // returns the recorded trajectory.
 func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) (*Trajectory, error) {
@@ -142,6 +160,9 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 	}
 	if len(part.Init) == 0 || len(part.Active) == 0 || len(part.Test) == 0 {
 		return nil, errors.New("core: partition must have non-empty Init, Active, and Test")
+	}
+	if err := checkLogPrecondition(ds, part); err != nil {
+		return nil, err
 	}
 
 	features := func(idx []int) *mat.Dense {

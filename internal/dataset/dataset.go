@@ -5,11 +5,57 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"alamr/internal/mat"
 )
+
+// ErrBadResponse classifies a job whose measured responses cannot enter the
+// log-transformed models: zero, negative, or non-finite wall-clock, cost, or
+// memory values. Callers that feed measurements into the GPs (the AL loops,
+// the online campaign runtime) check for it with errors.Is and treat it as a
+// corrupted measurement rather than letting log10 propagate NaN/Inf into a
+// surrogate.
+var ErrBadResponse = errors.New("dataset: non-positive or non-finite response")
+
+// CheckResponses verifies that the job's measured responses are strictly
+// positive and finite — the precondition of the log10 transforms LogCost and
+// LogMem. A violation is reported as an error wrapping ErrBadResponse.
+func (j Job) CheckResponses() error {
+	bad := func(v float64) bool {
+		return v <= 0 || math.IsNaN(v) || math.IsInf(v, 0)
+	}
+	switch {
+	case bad(j.WallSec):
+		return fmt.Errorf("%w: wall-clock %g sec (%+v)", ErrBadResponse, j.WallSec, j.Config())
+	case bad(j.CostNH):
+		return fmt.Errorf("%w: cost %g node-hours (%+v)", ErrBadResponse, j.CostNH, j.Config())
+	case bad(j.MemMB):
+		return fmt.Errorf("%w: memory %g MB (%+v)", ErrBadResponse, j.MemMB, j.Config())
+	}
+	return nil
+}
+
+// CheckResponses verifies every indexed job (all jobs when idx is nil)
+// satisfies the log-transform precondition; see Job.CheckResponses.
+func (d *Dataset) CheckResponses(idx []int) error {
+	if idx == nil {
+		for i, j := range d.Jobs {
+			if err := j.CheckResponses(); err != nil {
+				return fmt.Errorf("job %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	for _, i := range idx {
+		if err := d.Jobs[i].CheckResponses(); err != nil {
+			return fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // Feature grids from the paper (Table I): 5·4·4·4·6 = 1920 combinations.
 var (

@@ -1,0 +1,187 @@
+// Package faults makes the campaign runtime's failure modes explicit. The
+// paper's central premise is that real AMR jobs die — a selection whose true
+// MaxRSS exceeds L_mem is killed by the batch system and its cost is wasted
+// (Cumulative Regret, §V), and RGMA "learns from its own failures" (§V-C) —
+// so this package provides:
+//
+//   - an error taxonomy (Class × Severity) that tells the campaign loop
+//     whether a failed experiment should be retried, absorbed as a censored
+//     observation, or must stop the campaign;
+//   - FaultyLab, a seeded, deterministic fault injector wrapped around any
+//     Lab: OOM kills at a configurable RSS limit, wall-clock timeout kills,
+//     transient node/launch failures, and corrupted measurements;
+//   - RunWithRetry, the retry layer with exponential backoff, deterministic
+//     jitter, and a per-job attempt budget.
+//
+// Everything is reproducible: each (seed, configuration, attempt) triple
+// derives an independent RNG, so fault sequences do not depend on goroutine
+// schedules or on how many other jobs ran in between.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"alamr/internal/dataset"
+)
+
+// Class names what physically went wrong with an experiment attempt.
+type Class string
+
+// Fault classes.
+const (
+	// ClassOOM: the job's resident set crossed the enforced RSS limit and
+	// the batch system killed it. The memory observation is censored at the
+	// limit (a lower bound on the true MaxRSS) and the cost spent until the
+	// kill is wasted.
+	ClassOOM Class = "oom"
+	// ClassTimeout: the job exceeded its wall-clock allocation and was
+	// killed; the cost of the full allocation is wasted and no trustworthy
+	// measurement survives.
+	ClassTimeout Class = "timeout"
+	// ClassTransient: a node or launch failure unrelated to the
+	// configuration — the canonical retryable error.
+	ClassTransient Class = "transient"
+	// ClassCorrupt: the job ran but its measurement is unusable
+	// (NaN/Inf/non-positive responses).
+	ClassCorrupt Class = "corrupt"
+	// ClassUnknown wraps errors the taxonomy cannot classify; they are
+	// always fatal.
+	ClassUnknown Class = "unknown"
+)
+
+// Classes lists the injectable fault classes in deterministic order (for
+// stable reports).
+func Classes() []Class {
+	return []Class{ClassOOM, ClassTimeout, ClassTransient, ClassCorrupt, ClassUnknown}
+}
+
+// Severity tells the campaign loop how to react to a fault.
+type Severity int
+
+// Severities, in escalation order.
+const (
+	// Retryable faults may succeed on a repeated attempt (transient node
+	// failures, corrupted measurements).
+	Retryable Severity = iota
+	// Censored faults killed the job deterministically (OOM, timeout):
+	// retrying the same configuration would fail again, but a partial,
+	// bound-type observation survives and the wasted cost is known.
+	Censored
+	// Fatal faults cannot be classified and must stop the campaign.
+	Fatal
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Retryable:
+		return "retryable"
+	case Censored:
+		return "censored"
+	case Fatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Fault is a classified experiment failure.
+type Fault struct {
+	Class    Class
+	Severity Severity
+	// Combo is the configuration whose attempt failed.
+	Combo dataset.Combo
+	// Attempt is the 1-based attempt number on this configuration.
+	Attempt int
+	// LostNH is the node-hours charged to the failed attempt (wasted cost).
+	LostNH float64
+	// Job carries the partial observation of a censored kill: for OOM the
+	// MemMB field is the RSS limit (a lower bound on the true usage) and
+	// WallSec/CostNH reflect the execution up to the kill; for timeouts the
+	// memory reading is lost (MemMB is 0).
+	Job dataset.Job
+	// Err is the underlying error, if any.
+	Err error
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	msg := fmt.Sprintf("faults: %s (%s) on %+v attempt %d, %.4g node-hours lost",
+		f.Class, f.Severity, f.Combo, f.Attempt, f.LostNH)
+	if f.Err != nil {
+		msg += ": " + f.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// AsFault extracts a *Fault from an error chain.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// Classify maps any error to its severity: classified faults carry their
+// own, everything else is fatal.
+func Classify(err error) Severity {
+	if f, ok := AsFault(err); ok {
+		return f.Severity
+	}
+	return Fatal
+}
+
+// ValidateJob checks a returned measurement for corruption (the guard the
+// online runtime applies to every lab result before feeding the GPs). A
+// violation is classified as a retryable ClassCorrupt fault wrapping
+// dataset.ErrBadResponse: the job may well produce a clean measurement when
+// re-run.
+func ValidateJob(job dataset.Job, attempt int) error {
+	if err := job.CheckResponses(); err != nil {
+		lost := job.CostNH
+		if math.IsNaN(lost) || math.IsInf(lost, 0) || lost < 0 {
+			lost = 0
+		}
+		return &Fault{
+			Class:    ClassCorrupt,
+			Severity: Retryable,
+			Combo:    job.Config(),
+			Attempt:  attempt,
+			LostNH:   lost,
+			Err:      err,
+		}
+	}
+	return nil
+}
+
+// attemptSeed derives the deterministic RNG seed of one attempt from the
+// injector seed, the configuration, and the attempt number, via FNV-1a over
+// the exact field bytes. Fault draws therefore depend only on *what* is run
+// and *how many times*, never on global ordering — the property that makes
+// retries and checkpoint/resume bitwise-reproducible.
+func attemptSeed(seed int64, c dataset.Combo, attempt int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(seed))
+	mix(uint64(c.P))
+	mix(uint64(c.Mx))
+	mix(uint64(c.MaxLevel))
+	mix(math.Float64bits(c.R0))
+	mix(math.Float64bits(c.RhoIn))
+	mix(uint64(attempt))
+	return int64(h)
+}

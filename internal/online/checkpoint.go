@@ -1,0 +1,159 @@
+package online
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+
+	"alamr/internal/core"
+	"alamr/internal/faults"
+	"alamr/internal/stats"
+)
+
+// checkpointVersion gates the on-disk schema; bump it whenever checkpointFile
+// or feedRec changes incompatibly.
+const checkpointVersion = 1
+
+// checkpointFile is the versioned JSON schema of a campaign checkpoint. A
+// checkpoint carries the full Result so far, the model feed log (replayed to
+// rebuild the exact GP state), the policy RNG stream position, and the
+// optional lab state — everything a fresh process needs to continue the
+// trajectory bitwise-identically.
+type checkpointFile struct {
+	Version   int             `json:"version"`
+	Policy    string          `json:"policy"`
+	Seed      int64           `json:"seed"`
+	InitLen   int             `json:"init_len"`
+	RNGDraws  uint64          `json:"rng_draws"`
+	CumCost   float64         `json:"cum_cost"`
+	CumRegret float64         `json:"cum_regret"`
+	Feeds     []feedRec       `json:"feeds"`
+	Result    *Result         `json:"result"`
+	LabState  json.RawMessage `json:"lab_state,omitempty"`
+	Done      bool            `json:"done,omitempty"`
+}
+
+// saveCheckpoint atomically serializes the campaign state: the checkpoint is
+// written to a temp file in the destination directory and renamed into
+// place, so a crash mid-write never corrupts the previous checkpoint.
+func (c *campaign) saveCheckpoint(done bool) error {
+	if c.cfg.CheckpointPath == "" {
+		return nil
+	}
+	ck := checkpointFile{
+		Version:   checkpointVersion,
+		Policy:    c.cfg.Policy.Name(),
+		Seed:      c.cfg.Seed,
+		InitLen:   c.initLen,
+		RNGDraws:  c.src.Draws(),
+		CumCost:   c.cumCost,
+		CumRegret: c.cumRegret,
+		Feeds:     c.feeds,
+		Result:    c.res,
+		Done:      done,
+	}
+	if r, ok := c.lab.(faults.Resumable); ok {
+		st, err := r.LabState()
+		if err != nil {
+			return fmt.Errorf("online: capturing lab state: %w", err)
+		}
+		ck.LabState = st
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("online: encoding checkpoint: %w", err)
+	}
+	tmp := c.cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("online: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("online: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads a checkpoint; a missing file returns (nil, nil) so
+// the caller starts a fresh campaign.
+func readCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("online: reading checkpoint: %w", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("online: decoding checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("online: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Result == nil {
+		return nil, fmt.Errorf("online: checkpoint %s carries no result", path)
+	}
+	return &ck, nil
+}
+
+// validateCheckpoint rejects checkpoints written under a different campaign
+// identity before any state is replayed or returned.
+func validateCheckpoint(cfg Config, ck *checkpointFile) error {
+	if ck.Policy != cfg.Policy.Name() {
+		return fmt.Errorf("online: checkpoint was written by policy %q, resuming with %q", ck.Policy, cfg.Policy.Name())
+	}
+	if ck.Seed != cfg.Seed {
+		return fmt.Errorf("online: checkpoint seed %d does not match config seed %d", ck.Seed, cfg.Seed)
+	}
+	if ck.InitLen > len(ck.Feeds) {
+		return fmt.Errorf("online: corrupt checkpoint: init length %d exceeds %d feed records", ck.InitLen, len(ck.Feeds))
+	}
+	return nil
+}
+
+// resumeCampaign reconstructs the exact mid-campaign state from a
+// checkpoint: surrogates by replaying the feed log (the GP hot path is
+// bitwise deterministic, so replay lands on the identical model), the
+// candidate pool by filtering the grid against executed configurations, the
+// policy RNG by skipping the recorded draw count, and the lab's own counters
+// via faults.Resumable.
+func resumeCampaign(lab Lab, cfg Config, ck *checkpointFile) (*campaign, error) {
+	c := newCampaign(lab, cfg)
+	c.res = ck.Result
+	c.res.Reason = core.StopMaxIterations
+	c.feeds = ck.Feeds
+	c.initLen = ck.InitLen
+	c.cumCost = ck.CumCost
+	c.cumRegret = ck.CumRegret
+
+	var err error
+	c.gpCost, c.gpMem, err = fitFromFeeds(cfg, c.feeds[:c.initLen])
+	if err != nil {
+		return nil, fmt.Errorf("online: replaying init fit: %w", err)
+	}
+	for _, f := range c.feeds[c.initLen:] {
+		if err := c.applyFeed(f); err != nil {
+			return nil, fmt.Errorf("online: replaying feed log: %w", err)
+		}
+	}
+
+	if len(ck.LabState) > 0 {
+		r, ok := lab.(faults.Resumable)
+		if !ok {
+			return nil, errors.New("online: checkpoint carries lab state but the lab cannot restore it")
+		}
+		if err := r.RestoreLabState(ck.LabState); err != nil {
+			return nil, err
+		}
+	}
+
+	c.src = stats.NewCountingSource(stats.SplitSeed(cfg.Seed, 0))
+	c.src.Skip(ck.RNGDraws)
+	c.rng = rand.New(c.src)
+
+	c.rebuildPool()
+	return c, nil
+}

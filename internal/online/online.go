@@ -5,9 +5,20 @@
 // AMR performance emulator and the cluster machine model, so a complete
 // online campaign runs in seconds; the Lab interface is the seam where a
 // real batch system would plug in.
+//
+// The campaign runtime is fault tolerant: lab failures are classified
+// through the internal/faults taxonomy, retryable faults are retried with
+// exponential backoff, OOM kills become censored memory observations (the
+// model learns MaxRSS >= limit while the wasted cost still accrues to
+// CC/CR, the §V-C "learns from its own failures" mechanism), and only fatal
+// errors or an exhausted retry budget stop a campaign — returning the
+// partial Result rather than discarding it. With Config.CheckpointPath set,
+// the loop state is atomically checkpointed after every experiment and a
+// killed campaign resumes bitwise-identically.
 package online
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +29,7 @@ import (
 	"alamr/internal/cluster"
 	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/faults"
 	"alamr/internal/gp"
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
@@ -138,6 +150,33 @@ func (l *SimLab) Run(c dataset.Combo) (dataset.Job, error) {
 	}, nil
 }
 
+// simLabState is the JSON schema of the lab's checkpointable state: the run
+// counter that seeds per-run measurement noise. The reference cache is pure
+// deterministic computation and is rebuilt lazily after a restore.
+type simLabState struct {
+	Runs int `json:"runs"`
+}
+
+// LabState implements faults.Resumable so campaign checkpoints can restore
+// the lab's noise stream position exactly.
+func (l *SimLab) LabState() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return json.Marshal(simLabState{Runs: l.runs})
+}
+
+// RestoreLabState implements faults.Resumable.
+func (l *SimLab) RestoreLabState(state []byte) error {
+	var st simLabState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("online: decoding SimLab state: %w", err)
+	}
+	l.mu.Lock()
+	l.runs = st.Runs
+	l.mu.Unlock()
+	return nil
+}
+
 func (l *SimLab) reference(r0, rhoin float64) (*amr.Reference, error) {
 	key := [2]float64{r0, rhoin}
 	l.mu.Lock()
@@ -173,6 +212,19 @@ type Config struct {
 	Kernel     kernel.Kernel
 	GP         gp.Config
 	Seed       int64
+
+	// Retry paces repeated attempts on failed jobs; the zero value means
+	// up to 3 attempts with 1s-base exponential backoff and deterministic
+	// jitter (see faults.RetryPolicy).
+	Retry faults.RetryPolicy
+	// CheckpointPath, when non-empty, enables campaign checkpoint/resume:
+	// the loop state is atomically serialized there (temp file + rename)
+	// and a fresh Run against an existing checkpoint resumes mid-campaign,
+	// reproducing the uninterrupted trajectory bit for bit.
+	CheckpointPath string
+	// CheckpointEvery writes the checkpoint every k-th experiment
+	// (default 1: after every experiment).
+	CheckpointEvery int
 }
 
 func (c *Config) setDefaults() {
@@ -189,7 +241,15 @@ func (c *Config) setDefaults() {
 	if len(c.InitDesign) == 0 {
 		c.InitDesign = []dataset.Combo{{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1}}
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
 }
+
+// hyperoptEvery is the online loop's full-refit cadence: every k-th
+// selection re-optimizes hyperparameters; the others use the O(n²)
+// incremental update.
+const hyperoptEvery = 10
 
 // Result records an online campaign.
 type Result struct {
@@ -203,13 +263,75 @@ type Result struct {
 	CumCost       []float64
 	CumRegret     []float64
 	Violation     []bool
+	// Censored marks selections that were killed (OOM/timeout): their
+	// ActualCost is the cost wasted up to the kill, and for OOM kills
+	// ActualMem is the RSS limit — a lower bound, not a measurement.
+	Censored []bool
+
+	// Health is the campaign's fault ledger: every lab attempt is accounted
+	// as a success, a retried failure, a censored kill, or a fatal stop.
+	Health Health
 
 	Reason core.StopReason
 }
 
+// Health aggregates the fault-tolerance bookkeeping of a campaign.
+type Health struct {
+	// Attempts counts every lab execution. The ledger always balances:
+	// Attempts = Successes + Retries + Censored + Fatal.
+	Attempts  int `json:"attempts"`
+	Successes int `json:"successes"`
+	Retries   int `json:"retries"`
+	Censored  int `json:"censored"`
+	Fatal     int `json:"fatal"`
+	// FaultsByClass counts failed attempts per fault class;
+	// LostNHByClass attributes the wasted node-hours to each class.
+	FaultsByClass map[string]int     `json:"faults_by_class,omitempty"`
+	LostNHByClass map[string]float64 `json:"lost_nh_by_class,omitempty"`
+	// LostNH is the total node-hours charged to failed attempts.
+	LostNH float64 `json:"lost_nh"`
+	// BackoffSec is the total (virtual or real) retry backoff delay.
+	BackoffSec float64 `json:"backoff_sec,omitempty"`
+}
+
+// absorb folds one retry-layer outcome into the ledger.
+func (h *Health) absorb(o faults.Outcome) {
+	h.Attempts += o.Attempts
+	h.Retries += o.Retries
+	switch {
+	case o.OK:
+		h.Successes++
+	case o.Fault != nil && o.Fault.Severity == faults.Censored:
+		h.Censored++
+	default:
+		h.Fatal++
+	}
+	h.LostNH += o.LostNH
+	h.BackoffSec += o.BackoffSec
+	if len(o.ByClass) > 0 && h.FaultsByClass == nil {
+		h.FaultsByClass = make(map[string]int)
+	}
+	for cl, n := range o.ByClass {
+		h.FaultsByClass[string(cl)] += n
+	}
+	if len(o.LostNHByClass) > 0 && h.LostNHByClass == nil {
+		h.LostNHByClass = make(map[string]float64)
+	}
+	for cl, nh := range o.LostNHByClass {
+		h.LostNHByClass[string(cl)] += nh
+	}
+}
+
+// Consistent verifies the attempt ledger balances: every attempt is exactly
+// one of success, retried failure, censored kill, or fatal stop.
+func (h *Health) Consistent() bool {
+	return h.Attempts == h.Successes+h.Retries+h.Censored+h.Fatal
+}
+
 // OneStepMAPE returns the mean absolute percentage error of the
 // one-step-ahead cost predictions — the natural online accuracy metric when
-// no held-out test set exists.
+// no held-out test set exists. Censored selections enter with the partial
+// cost observed up to the kill.
 func (r *Result) OneStepMAPE() float64 {
 	if len(r.PredictedCost) == 0 {
 		return math.NaN()
@@ -221,130 +343,330 @@ func (r *Result) OneStepMAPE() float64 {
 	return s / float64(len(r.PredictedCost))
 }
 
-// Run executes an online AL campaign against the lab.
-func Run(lab Lab, cfg Config) (*Result, error) {
-	cfg.setDefaults()
-	if cfg.Policy == nil {
-		return nil, errors.New("online: Config.Policy is required")
+// campaign is the mutable state of one online run. Everything needed to
+// resume bitwise-identically is either here or derivable from the feed log:
+// the GPs are rebuilt by replaying feeds, the candidate pool by filtering
+// the grid against executed configurations, and the policy RNG by skipping
+// the recorded number of draws.
+type campaign struct {
+	lab Lab
+	cfg Config
+	res *Result
+
+	gpCost, gpMem *gp.GP
+	pool          []dataset.Combo
+	src           *stats.CountingSource
+	rng           *rand.Rand
+	feeds         []feedRec
+	initLen       int
+
+	memLimitLog, memLimitRaw float64
+	cumCost, cumRegret       float64
+}
+
+// feedRec is one entry of the model feed log: which scaled-feature row was
+// absorbed by which surrogate (a censored OOM kill feeds only the memory
+// model, with the clamped lower bound), and whether a hyperparameter refit
+// followed. Replaying the log reproduces the GP state exactly.
+type feedRec struct {
+	X       []float64 `json:"x"`
+	LogCost *float64  `json:"log_cost,omitempty"`
+	LogMem  *float64  `json:"log_mem,omitempty"`
+	Refit   bool      `json:"refit,omitempty"`
+	Init    bool      `json:"init,omitempty"`
+}
+
+func newCampaign(lab Lab, cfg Config) *campaign {
+	c := &campaign{
+		lab: lab,
+		cfg: cfg,
+		res: &Result{Reason: core.StopMaxIterations},
+		src: stats.NewCountingSource(stats.SplitSeed(cfg.Seed, 0)),
 	}
+	c.rng = rand.New(c.src)
+	c.memLimitLog = math.Inf(1)
+	c.memLimitRaw = math.Inf(1)
+	if cfg.MemLimitMB > 0 {
+		c.memLimitLog = math.Log10(cfg.MemLimitMB)
+		c.memLimitRaw = cfg.MemLimitMB
+	}
+	return c
+}
 
-	res := &Result{Reason: core.StopMaxIterations}
+// runJob executes one configuration through the retry layer and folds the
+// outcome into the campaign health ledger.
+func (c *campaign) runJob(combo dataset.Combo) faults.Outcome {
+	p := c.cfg.Retry
+	if p.Seed == 0 {
+		p.Seed = c.cfg.Seed
+	}
+	out := faults.RunWithRetry(c.lab, combo, p)
+	c.res.Health.absorb(out)
+	return out
+}
 
-	// Warm-up phase: run the initial design.
-	var xRows [][]float64
-	var logCost, logMem []float64
-	for _, c := range cfg.InitDesign {
-		job, err := lab.Run(c)
-		if err != nil {
-			return nil, fmt.Errorf("online: init design run: %w", err)
+// fatalError wraps a terminal outcome into the campaign-stopping error.
+func fatalError(combo dataset.Combo, out faults.Outcome) error {
+	if out.Exhausted {
+		return fmt.Errorf("online: retry budget exhausted on %+v after %d attempts: %w",
+			combo, out.Attempts, out.Fault)
+	}
+	return fmt.Errorf("online: running %+v: %w", combo, out.Fault)
+}
+
+// init runs the warm-up design and fits the initial surrogates. Jobs that
+// completed before a failure are preserved: on a fatal fault the partial
+// Result is returned to the caller alongside the error.
+func (c *campaign) init() error {
+	for _, combo := range c.cfg.InitDesign {
+		out := c.runJob(combo)
+		switch {
+		case out.OK:
+			job := out.Job
+			c.res.Jobs = append(c.res.Jobs, job)
+			f := dataset.ScaleFeatures(job)
+			lc, lm := math.Log10(job.CostNH), math.Log10(job.MemMB)
+			c.feeds = append(c.feeds, feedRec{X: append([]float64(nil), f[:]...), LogCost: &lc, LogMem: &lm, Init: true})
+		case out.Fault != nil && out.Fault.Severity == faults.Censored && !out.Exhausted:
+			// A killed warm-up job still teaches what it can: an OOM kill
+			// contributes the censored memory bound; a timeout contributes
+			// nothing but its wasted cost stays on the ledger.
+			job := out.Fault.Job
+			c.res.Jobs = append(c.res.Jobs, job)
+			if out.Fault.Class == faults.ClassOOM && job.MemMB > 0 {
+				f := dataset.ScaleFeatures(job)
+				lm := math.Log10(job.MemMB)
+				c.feeds = append(c.feeds, feedRec{X: append([]float64(nil), f[:]...), LogMem: &lm, Init: true})
+			}
+		default:
+			c.res.Reason = core.StopFault
+			return fatalError(combo, out)
 		}
-		res.Jobs = append(res.Jobs, job)
-		f := dataset.ScaleFeatures(job)
-		xRows = append(xRows, f[:])
-		logCost = append(logCost, math.Log10(job.CostNH))
-		logMem = append(logMem, math.Log10(job.MemMB))
 	}
+	c.initLen = len(c.feeds)
 
+	var err error
+	c.gpCost, c.gpMem, err = fitFromFeeds(c.cfg, c.feeds[:c.initLen])
+	if err != nil {
+		c.res.Reason = core.StopFault
+		return err
+	}
+	c.rebuildPool()
+	return c.saveCheckpoint(false)
+}
+
+// fitFromFeeds builds and fits both surrogates from init-phase feed
+// records. The cost and memory training sets may differ: censored warm-up
+// jobs contribute only their memory bound.
+func fitFromFeeds(cfg Config, init []feedRec) (*gp.GP, *gp.GP, error) {
+	var xc, xm [][]float64
+	var yc, ym []float64
+	for _, f := range init {
+		if f.LogCost != nil {
+			xc = append(xc, f.X)
+			yc = append(yc, *f.LogCost)
+		}
+		if f.LogMem != nil {
+			xm = append(xm, f.X)
+			ym = append(ym, *f.LogMem)
+		}
+	}
+	if len(yc) == 0 || len(ym) == 0 {
+		return nil, nil, errors.New("online: init design yielded no usable observations (all warm-up jobs failed)")
+	}
 	gpCost := gp.New(cfg.Kernel, cfg.GP)
 	gpMem := gp.New(cfg.Kernel, cfg.GP)
-	if err := gpCost.Fit(rowsToDense(xRows), logCost); err != nil {
-		return nil, err
+	if err := gpCost.Fit(rowsToDense(xc), yc); err != nil {
+		return nil, nil, err
 	}
-	if err := gpMem.Fit(rowsToDense(xRows), logMem); err != nil {
-		return nil, err
+	if err := gpMem.Fit(rowsToDense(xm), ym); err != nil {
+		return nil, nil, err
 	}
 	gpCost.SetRestarts(0)
 	gpMem.SetRestarts(0)
+	return gpCost, gpMem, nil
+}
 
-	// Candidate pool: the design grid minus what already ran.
-	ran := make(map[dataset.Combo]bool, len(cfg.InitDesign))
-	for _, c := range cfg.InitDesign {
-		ran[c] = true
+// rebuildPool derives the candidate pool: the design grid minus every
+// configuration that has already executed (including censored kills).
+// Filtering preserves grid order, so a resumed pool is identical to one
+// maintained incrementally.
+func (c *campaign) rebuildPool() {
+	ran := make(map[dataset.Combo]bool, len(c.res.Jobs))
+	for _, j := range c.res.Jobs {
+		ran[j.Config()] = true
 	}
-	var pool []dataset.Combo
-	for _, c := range lab.Candidates() {
-		if !ran[c] {
-			pool = append(pool, c)
+	c.pool = c.pool[:0]
+	for _, combo := range c.lab.Candidates() {
+		if !ran[combo] {
+			c.pool = append(c.pool, combo)
 		}
 	}
+}
 
-	rng := rand.New(rand.NewSource(stats.SplitSeed(cfg.Seed, 0)))
-	memLimitLog := math.Inf(1)
-	memLimitRaw := math.Inf(1)
-	if cfg.MemLimitMB > 0 {
-		memLimitLog = math.Log10(cfg.MemLimitMB)
-		memLimitRaw = cfg.MemLimitMB
+// applyFeed absorbs one selection's feed record into the live surrogates.
+func (c *campaign) applyFeed(f feedRec) error {
+	if f.LogCost != nil {
+		if err := c.gpCost.Append(f.X, *f.LogCost); err != nil {
+			return fmt.Errorf("online: cost update: %w", err)
+		}
 	}
+	if f.LogMem != nil {
+		if err := c.gpMem.Append(f.X, *f.LogMem); err != nil {
+			return fmt.Errorf("online: memory update: %w", err)
+		}
+	}
+	if f.Refit {
+		if err := c.gpCost.Refit(); err != nil {
+			return fmt.Errorf("online: cost refit: %w", err)
+		}
+		if err := c.gpMem.Refit(); err != nil {
+			return fmt.Errorf("online: memory refit: %w", err)
+		}
+	}
+	return nil
+}
 
-	var cumCost, cumRegret float64
-	for sel := 0; sel < cfg.MaxExperiments && len(pool) > 0; sel++ {
-		x := mat.NewDense(len(pool), dataset.NumFeatures, nil)
-		for i, c := range pool {
-			f := dataset.ScaleFeatures(dataset.Job{P: c.P, Mx: c.Mx, MaxLevel: c.MaxLevel, R0: c.R0, RhoIn: c.RhoIn})
+// loop runs AL selections until a stop condition fires. It degrades
+// gracefully: censored kills are absorbed as partial observations and only
+// fatal faults abort — returning the partial Result with the error.
+func (c *campaign) loop() (*Result, error) {
+	res := c.res
+	for sel := len(res.PredictedCost); sel < c.cfg.MaxExperiments && len(c.pool) > 0; sel++ {
+		x := mat.NewDense(len(c.pool), dataset.NumFeatures, nil)
+		for i, combo := range c.pool {
+			f := dataset.ScaleFeatures(dataset.Job{P: combo.P, Mx: combo.Mx, MaxLevel: combo.MaxLevel, R0: combo.R0, RhoIn: combo.RhoIn})
 			copy(x.Row(i), f[:])
 		}
-		muC, sigC := gpCost.Predict(x)
-		muM, sigM := gpMem.Predict(x)
+		muC, sigC := c.gpCost.Predict(x)
+		muM, sigM := c.gpMem.Predict(x)
 		cands := &core.Candidates{
 			X: x, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
-			MemLimitLog: memLimitLog,
+			MemLimitLog: c.memLimitLog,
 		}
-		pick, err := cfg.Policy.Select(cands, rng)
+		pick, err := c.cfg.Policy.Select(cands, c.rng)
 		if err != nil {
 			if errors.Is(err, core.ErrAllExceedLimit) {
 				res.Reason = core.StopMemoryLimit
 				break
 			}
-			return nil, fmt.Errorf("online: selection %d: %w", sel, err)
+			res.Reason = core.StopFault
+			return res, fmt.Errorf("online: selection %d: %w", sel, err)
 		}
 
-		combo := pool[pick]
-		job, err := lab.Run(combo)
-		if err != nil {
-			return nil, fmt.Errorf("online: running %+v: %w", combo, err)
+		combo := c.pool[pick]
+		out := c.runJob(combo)
+
+		var job dataset.Job
+		var violated, censored bool
+		feed := feedRec{Refit: (sel+1)%hyperoptEvery == 0}
+		switch {
+		case out.OK:
+			job = out.Job
+			f := dataset.ScaleFeatures(job)
+			feed.X = append([]float64(nil), f[:]...)
+			lc, lm := math.Log10(job.CostNH), math.Log10(job.MemMB)
+			feed.LogCost, feed.LogMem = &lc, &lm
+		case out.Fault != nil && out.Fault.Severity == faults.Censored && !out.Exhausted:
+			job = out.Fault.Job
+			censored = true
+			if out.Fault.Class == faults.ClassOOM {
+				// The kill itself is the limit violation; the model learns
+				// avoidance from the clamped observation y >= log10(L_mem)
+				// while the wasted cost accrues to CC and CR (§V-C).
+				violated = true
+				if job.MemMB > 0 {
+					f := dataset.ScaleFeatures(job)
+					feed.X = append([]float64(nil), f[:]...)
+					lm := math.Log10(job.MemMB)
+					feed.LogMem = &lm
+				}
+			}
+		default:
+			res.Reason = core.StopFault
+			return res, fatalError(combo, out)
 		}
+
 		res.Jobs = append(res.Jobs, job)
 		res.PredictedCost = append(res.PredictedCost, math.Pow(10, muC[pick]))
 		res.ActualCost = append(res.ActualCost, job.CostNH)
 		res.PredictedMem = append(res.PredictedMem, math.Pow(10, muM[pick]))
 		res.ActualMem = append(res.ActualMem, job.MemMB)
 
-		cumCost += job.CostNH
-		violated := job.MemMB >= memLimitRaw
+		c.cumCost += job.CostNH
+		if !censored && job.MemMB >= c.memLimitRaw {
+			violated = true
+		}
 		if violated {
-			cumRegret += job.CostNH
+			c.cumRegret += job.CostNH
 		}
-		res.CumCost = append(res.CumCost, cumCost)
-		res.CumRegret = append(res.CumRegret, cumRegret)
+		res.CumCost = append(res.CumCost, c.cumCost)
+		res.CumRegret = append(res.CumRegret, c.cumRegret)
 		res.Violation = append(res.Violation, violated)
+		res.Censored = append(res.Censored, censored)
 
-		fx := dataset.ScaleFeatures(job)
-		if err := gpCost.Append(fx[:], math.Log10(job.CostNH)); err != nil {
-			return nil, err
+		if err := c.applyFeed(feed); err != nil {
+			res.Reason = core.StopFault
+			return res, err
 		}
-		if err := gpMem.Append(fx[:], math.Log10(job.MemMB)); err != nil {
-			return nil, err
-		}
-		if (sel+1)%10 == 0 {
-			if err := gpCost.Refit(); err != nil {
-				return nil, err
-			}
-			if err := gpMem.Refit(); err != nil {
-				return nil, err
-			}
-		}
+		c.feeds = append(c.feeds, feed)
 
-		pool = append(pool[:pick], pool[pick+1:]...)
+		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
 
-		if cfg.Budget > 0 && cumCost >= cfg.Budget {
-			res.Reason = core.StopReason("budget-exhausted")
+		if c.cfg.Budget > 0 && c.cumCost >= c.cfg.Budget {
+			res.Reason = core.StopBudget
 			break
 		}
+		if (sel+1)%c.cfg.CheckpointEvery == 0 {
+			if err := c.saveCheckpoint(false); err != nil {
+				return res, err
+			}
+		}
 	}
-	if len(pool) == 0 && res.Reason == core.StopMaxIterations {
+	if len(c.pool) == 0 && res.Reason == core.StopMaxIterations {
 		res.Reason = core.StopPoolExhausted
 	}
+	if err := c.saveCheckpoint(true); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// Run executes an online AL campaign against the lab. On fatal faults the
+// partial Result accumulated so far is returned alongside the error; with
+// Config.CheckpointPath set, an existing checkpoint is resumed instead of
+// starting over.
+func Run(lab Lab, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	if cfg.Policy == nil {
+		return nil, errors.New("online: Config.Policy is required")
+	}
+
+	if cfg.CheckpointPath != "" {
+		ck, err := readCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			if err := validateCheckpoint(cfg, ck); err != nil {
+				return nil, err
+			}
+			if ck.Done {
+				return ck.Result, nil
+			}
+			c, err := resumeCampaign(lab, cfg, ck)
+			if err != nil {
+				return nil, err
+			}
+			return c.loop()
+		}
+	}
+
+	c := newCampaign(lab, cfg)
+	if err := c.init(); err != nil {
+		return c.res, err
+	}
+	return c.loop()
 }
 
 func rowsToDense(rows [][]float64) *mat.Dense {

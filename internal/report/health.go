@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+
+	"alamr/internal/faults"
+	"alamr/internal/online"
+)
+
+// HealthTable renders a campaign's fault-tolerance ledger: the attempt
+// accounting, the per-class fault counts, and the node-hours lost to each
+// class. Classes are emitted in the canonical faults.Classes() order so the
+// table is stable across runs.
+func HealthTable(h online.Health) *Table {
+	t := &Table{Header: []string{"metric", "count", "node-hours lost"}}
+	t.Add("attempts", h.Attempts, "")
+	t.Add("successes", h.Successes, "")
+	t.Add("retries", h.Retries, "")
+	t.Add("censored", h.Censored, "")
+	t.Add("fatal", h.Fatal, "")
+	for _, cl := range faults.Classes() {
+		n := h.FaultsByClass[string(cl)]
+		nh := h.LostNHByClass[string(cl)]
+		if n == 0 && nh == 0 {
+			continue
+		}
+		t.Add("fault:"+string(cl), n, nh)
+	}
+	t.Add("total lost", "", h.LostNH)
+	if h.BackoffSec > 0 {
+		t.Add("backoff (sec)", "", h.BackoffSec)
+	}
+	balance := "balanced"
+	if !h.Consistent() {
+		balance = fmt.Sprintf("UNBALANCED (%d != %d+%d+%d+%d)",
+			h.Attempts, h.Successes, h.Retries, h.Censored, h.Fatal)
+	}
+	t.Add("ledger", balance, "")
+	return t
+}

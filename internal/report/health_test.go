@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"alamr/internal/online"
+)
+
+func TestHealthTable(t *testing.T) {
+	h := online.Health{
+		Attempts:      12,
+		Successes:     8,
+		Retries:       2,
+		Censored:      1,
+		Fatal:         1,
+		FaultsByClass: map[string]int{"transient": 2, "oom": 1, "unknown": 1},
+		LostNHByClass: map[string]float64{"transient": 0.4, "oom": 1.5},
+		LostNH:        1.9,
+		BackoffSec:    4.5,
+	}
+	out := HealthTable(h).String()
+	for _, want := range []string{
+		"attempts", "12", "fault:oom", "fault:transient", "1.9", "backoff", "balanced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Canonical class order: oom before transient.
+	if strings.Index(out, "fault:oom") > strings.Index(out, "fault:transient") {
+		t.Fatalf("classes out of canonical order:\n%s", out)
+	}
+	// Classes never seen are omitted.
+	if strings.Contains(out, "timeout") {
+		t.Fatalf("unseen class rendered:\n%s", out)
+	}
+
+	h.Attempts = 99
+	if !strings.Contains(HealthTable(h).String(), "UNBALANCED") {
+		t.Fatal("broken ledger not flagged")
+	}
+}
