@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench fmt vet race chaos
+.PHONY: all build test ci bench bench-al fmt vet race chaos
 
 all: build
 
@@ -20,8 +20,8 @@ vet:
 # instrumented binary stays within CI time budgets. faults and online carry
 # the concurrency-sensitive fault-injection and checkpoint paths.
 race:
-	$(GO) test -race -short ./internal/mat ./internal/gp ./internal/core \
-		./internal/faults ./internal/online
+	$(GO) test -race -short ./internal/mat ./internal/kernel ./internal/gp \
+		./internal/core ./internal/faults ./internal/online
 
 # chaos stress-tests the fault-tolerant campaign runtime: high fault rates
 # across 10 seeds (CHAOS=1 widens TestOnlineChaos from 3 to 10 seeds), plus
@@ -45,3 +45,13 @@ bench:
 	$(GO) test -run '^$$' -bench 'Chol|Mul|KernelMatrix|Fit' -benchmem -json \
 		./internal/mat ./internal/kernel ./internal/gp > BENCH_gp.json
 	@grep -o '"Output":".*ns/op[^"]*"' BENCH_gp.json | sed 's/"Output":"//; s/\\t/\t/g; s/\\n"//' || true
+
+# bench-al measures the active-learning scoring engine: per-iteration pool
+# re-scoring (both surrogates, direct Predict vs the incremental
+# ScoringCache) across training sizes n and pool sizes m, plus the
+# allocation-free Predict hot path. Raw `go test -json` events go to
+# BENCH_al.json, same format as BENCH_gp.json.
+bench-al:
+	$(GO) test -run '^$$' -bench 'TrajectoryScoring|Predict' -benchmem -json \
+		./internal/gp > BENCH_al.json
+	@grep -o '"Output":".*ns/op[^"]*"' BENCH_al.json | sed 's/"Output":"//; s/\\t/\t/g; s/\\n"//' || true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"alamr/internal/dataset"
 	"alamr/internal/mat"
@@ -83,19 +84,18 @@ func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopCon
 
 	var cumCost, cumRegret float64
 	round := 0
+	// As in the sequential loop, the scorer owns the pool features and
+	// serves each round's Candidates from the incremental posterior caches
+	// (or direct Predict for non-GP surrogates / DirectScoring).
+	scorer := newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
+	defer scorer.close()
 	tr.Reason = StopPoolExhausted
 	for len(tr.Selected) < maxSel && len(remaining) > 0 {
 		want := q
 		if rem := maxSel - len(tr.Selected); rem < want {
 			want = rem
 		}
-		xRem := features(remaining)
-		muC, sigC := gpCost.Predict(xRem)
-		muM, sigM := gpMem.Predict(xRem)
-		cands := &Candidates{
-			X: xRem, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
-			MemLimitLog: memLimitLog,
-		}
+		cands := scorer.candidates(memLimitLog)
 		picks, err := SelectBatch(cfg.Policy, cands, want, strategy, rng)
 		if err != nil && !errors.Is(err, ErrAllExceedLimit) {
 			return nil, fmt.Errorf("core: batch round %d: %w", round, err)
@@ -122,15 +122,16 @@ func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopCon
 			tr.CumRegret = append(tr.CumRegret, cumRegret)
 			tr.Violation = append(tr.Violation, violated)
 
-			if err := gpCost.Append(xRem.Row(pick), math.Log10(job.CostNH)); err != nil {
+			if err := gpCost.Append(scorer.row(pick), math.Log10(job.CostNH)); err != nil {
 				return nil, fmt.Errorf("core: cost update round %d: %w", round, err)
 			}
-			if err := gpMem.Append(xRem.Row(pick), math.Log10(job.MemMB)); err != nil {
+			if err := gpMem.Append(scorer.row(pick), math.Log10(job.MemMB)); err != nil {
 				return nil, fmt.Errorf("core: memory update round %d: %w", round, err)
 			}
 		}
-		// Remove picked indices from the pool (descending positions would be
-		// fragile after swaps; rebuild via set).
+		// Remove picked indices from the pool: the index slice is rebuilt
+		// via a drop set, the scorer in descending position order (so
+		// earlier removals do not shift later positions).
 		drop := make(map[int]bool, len(picks))
 		for _, p := range picks {
 			drop[p] = true
@@ -142,6 +143,11 @@ func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopCon
 			}
 		}
 		remaining = next
+		sorted := append([]int(nil), picks...)
+		sort.Ints(sorted)
+		for i := len(sorted) - 1; i >= 0; i-- {
+			scorer.remove(sorted[i])
+		}
 
 		round++
 		if round%maxInt(cfg.HyperoptEvery/q, 1) == 0 {

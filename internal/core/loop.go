@@ -45,6 +45,11 @@ type LoopConfig struct {
 	// with Kernel and GP config). Use gp.NewTreed for the partitioned
 	// local-model variant of the paper’s future work.
 	NewModel func() gp.Model
+	// DirectScoring disables the incremental posterior cache and re-scores
+	// the remaining pool with full GP predictions every iteration — the
+	// O(m·n²) reference path the cache is pinned against in the equivalence
+	// tests. Non-*gp.GP surrogates always use this path.
+	DirectScoring bool
 }
 
 // newModel builds one surrogate instance.
@@ -219,19 +224,16 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 		memLimitLog = math.Log10(cfg.MemLimitMB)
 	}
 
+	// The scorer owns the pool features for the whole run: candidates are
+	// re-scored each iteration through the incremental posterior caches
+	// (or direct Predict, see LoopConfig.DirectScoring) and rows leave the
+	// matrix in lockstep with the index bookkeeping below.
+	scorer := newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
+	defer scorer.close()
+
 	tr.Reason = StopPoolExhausted
 	for iter := 0; iter < maxIter; iter++ {
-		xRem := features(remaining)
-		muC, sigC := gpCost.Predict(xRem)
-		muM, sigM := gpMem.Predict(xRem)
-		cands := &Candidates{
-			X:           xRem,
-			MuCost:      muC,
-			SigmaCost:   sigC,
-			MuMem:       muM,
-			SigmaMem:    sigM,
-			MemLimitLog: memLimitLog,
-		}
+		cands := scorer.candidates(memLimitLog)
 		pick, err := cfg.Policy.Select(cands, rng)
 		if err != nil {
 			if errors.Is(err, ErrAllExceedLimit) {
@@ -261,8 +263,9 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 
 		// Absorb the measurement into both models (Algorithm 1 lines 10-11):
 		// periodic full refit with warm-started hyperparameters, incremental
-		// rank-1 update otherwise.
-		xNew := xRem.Row(pick)
+		// rank-1 update otherwise. The row view must be consumed before
+		// scorer.remove shifts the pool matrix; Append copies it.
+		xNew := scorer.row(pick)
 		logC := math.Log10(job.CostNH)
 		logM := math.Log10(job.MemMB)
 		if (iter+1)%cfg.HyperoptEvery == 0 {
@@ -282,6 +285,7 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 		}
 
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		scorer.remove(pick)
 
 		tr.CostRMSE = append(tr.CostRMSE, nonLogRMSE(gpCost, xTest, costTest))
 		tr.MemRMSE = append(tr.MemRMSE, nonLogRMSE(gpMem, xTest, memTest))

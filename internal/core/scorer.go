@@ -1,0 +1,75 @@
+package core
+
+import (
+	"alamr/internal/gp"
+	"alamr/internal/mat"
+)
+
+// poolScorer produces each iteration's Candidates over the remaining pool.
+// When both surrogates are plain *gp.GP it scores through a pair of
+// incremental gp.ScoringCache instances — O(m·n) per iteration instead of
+// the O(m·n²) of predicting the whole pool from scratch — and falls back to
+// direct Predict for other gp.Model implementations (treed, sparse) or when
+// the caller forces the reference path (LoopConfig.DirectScoring).
+//
+// The scorer also owns the pool-order feature matrix: rows are removed in
+// lockstep with the caller's index bookkeeping, so policies and batch
+// selection keep seeing exactly the matrix the per-iteration rebuild used
+// to produce.
+type poolScorer struct {
+	costModel, memModel gp.Model
+	costCache, memCache *gp.ScoringCache
+	x                   *mat.Dense
+}
+
+func newPoolScorer(costModel, memModel gp.Model, x *mat.Dense, direct bool) *poolScorer {
+	s := &poolScorer{costModel: costModel, memModel: memModel, x: x}
+	if direct {
+		return s
+	}
+	gc, okCost := costModel.(*gp.GP)
+	gm, okMem := memModel.(*gp.GP)
+	if okCost && okMem {
+		s.costCache = gp.NewScoringCache(gc, x)
+		s.memCache = gp.NewScoringCache(gm, x)
+	}
+	return s
+}
+
+// candidates scores the live pool with both surrogates.
+func (s *poolScorer) candidates(memLimitLog float64) *Candidates {
+	var muC, sigC, muM, sigM []float64
+	if s.costCache != nil {
+		muC, sigC = s.costCache.Scores()
+		muM, sigM = s.memCache.Scores()
+	} else {
+		muC, sigC = s.costModel.Predict(s.x)
+		muM, sigM = s.memModel.Predict(s.x)
+	}
+	return &Candidates{
+		X: s.x, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
+		MemLimitLog: memLimitLog,
+	}
+}
+
+// row returns the feature row at pool position p. The view is invalidated
+// by remove; callers must use it (or copy it) before removing.
+func (s *poolScorer) row(p int) []float64 { return s.x.Row(p) }
+
+// remove drops pool position p from the feature matrix and both caches,
+// mirroring the caller's own order-preserving index delete.
+func (s *poolScorer) remove(p int) {
+	s.x = s.x.RemoveRow(p)
+	if s.costCache != nil {
+		s.costCache.Remove(p)
+		s.memCache.Remove(p)
+	}
+}
+
+// close detaches the caches so the surrogates stop maintaining them.
+func (s *poolScorer) close() {
+	if s.costCache != nil {
+		s.costCache.Close()
+		s.memCache.Close()
+	}
+}

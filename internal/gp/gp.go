@@ -84,11 +84,17 @@ type GP struct {
 	lml    float64
 	fitted bool
 
-	// rowEval is the cached kernel-row fast path over the current training
-	// matrix and hyperparameters (rebuilt by precompute and Append); it
-	// evaluates a full row of k(x, ·) with hoisted hyperparameter
-	// transforms and precomputed squared norms.
-	rowEval func(x []float64, from int, out []float64)
+	// rowEval is the kernel-row fast path over the current training matrix
+	// and hyperparameters: it evaluates a full row of k(x, ·) with hoisted
+	// hyperparameter transforms and precomputed squared norms. precompute
+	// rebuilds it (hyperparameters may have changed); Append grows it by one
+	// row in O(d).
+	rowEval kernel.RowEval
+
+	// caches are the attached incremental scoring caches; precompute marks
+	// them stale (new hyperparameters invalidate every stored solve) and
+	// Append extends them by one border step.
+	caches []*ScoringCache
 }
 
 // New creates a GP with the given kernel prototype and configuration. The
@@ -259,10 +265,13 @@ func (g *GP) precompute() error {
 	}
 	g.chol = ch
 	g.alpha = ch.SolveVec(g.y)
-	g.rowEval = kernel.RowEvaluator(g.kern, g.x)
+	g.rowEval = kernel.NewRowEval(g.kern, g.x)
 	n := float64(len(g.y))
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*ch.LogDet() - 0.5*n*math.Log(2*math.Pi)
 	g.fitted = true
+	for _, c := range g.caches {
+		c.invalidate()
+	}
 	return nil
 }
 
@@ -281,8 +290,13 @@ func (g *GP) Predict(xs *mat.Dense) (mean, std []float64) {
 	std = make([]float64, m)
 	n := g.x.Rows()
 	mat.ParallelFor(m, mat.ChunkFor(n*n/2+32*n), func(lo, hi int) {
+		// One scratch pair per worker chunk: predictOneInto reuses it for
+		// every point in the chunk, so the hot path allocates nothing per
+		// candidate.
+		scratch := make([]float64, 2*n)
+		ks, v := scratch[:n], scratch[n:]
 		for i := lo; i < hi; i++ {
-			mean[i], std[i] = g.predictOne(xs.Row(i))
+			mean[i], std[i] = g.predictOneInto(xs.Row(i), ks, v)
 		}
 	})
 	return mean, std
@@ -294,16 +308,20 @@ func (g *GP) PredictOne(x []float64) (mean, std float64) {
 	if !g.fitted {
 		panic("gp: PredictOne before Fit")
 	}
-	return g.predictOne(x)
+	n := g.x.Rows()
+	scratch := make([]float64, 2*n)
+	return g.predictOneInto(x, scratch[:n], scratch[n:])
 }
 
-func (g *GP) predictOne(x []float64) (float64, float64) {
-	n := g.x.Rows()
-	ks := make([]float64, n)
-	g.rowEval(x, 0, ks)
+// predictOneInto computes one posterior (mean, std) using caller-provided
+// scratch: ks and v must each have length NumTrain and are overwritten.
+func (g *GP) predictOneInto(x, ks, v []float64) (float64, float64) {
+	g.rowEval.Eval(x, 0, ks)
 	mean := mat.Dot(ks, g.alpha) + g.yMean
-	// σ² = k** − vᵀv with v = L⁻¹ k*.
-	v := g.chol.ForwardSolveVec(ks)
+	// σ² = k** − vᵀv with v = L⁻¹ k*. The serial solve is bitwise-identical
+	// to the parallel one; callers of this method are themselves chunks of a
+	// ParallelFor, so nested dispatch would only allocate.
+	g.chol.ForwardSolveVecToSerial(v, ks)
 	variance := g.kern.Eval(x, x) - mat.Dot(v, v)
 	if variance < 0 {
 		variance = 0

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"alamr/internal/kernel"
 	"alamr/internal/mat"
 )
 
@@ -34,7 +33,7 @@ func (g *GP) Append(x []float64, y float64) error {
 	// Border column: k(x_i, x_new) for existing rows, via the batch row
 	// evaluator (hoisted hyperparameter transforms, precomputed norms).
 	k := make([]float64, n)
-	g.rowEval(x, 0, k)
+	g.rowEval.Eval(x, 0, k)
 	noise2 := math.Exp(2 * g.logNoise)
 	kss := g.kern.Eval(x, x) + noise2 + g.chol.Jitter()
 
@@ -53,10 +52,15 @@ func (g *GP) Append(x []float64, y float64) error {
 	// the values of all previous residuals.
 	g.x = g.x.AppendRow(x)
 	g.y = append(g.y, y-g.yMean)
-	g.rowEval = kernel.RowEvaluator(g.kern, g.x)
+	// Hyperparameters are unchanged on this path, so the row evaluator only
+	// needs to absorb the new row — O(d) instead of rebuilding all n norms.
+	g.rowEval.Extend(g.x)
 
 	g.alpha = g.chol.SolveVec(g.y)
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n+1)*math.Log(2*math.Pi)
+	for _, c := range g.caches {
+		c.extendAppend()
+	}
 	return nil
 }
 

@@ -1,0 +1,236 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// scoringTol is the pinned agreement between cached scores and direct
+// Predict (the two paths group floating-point operations differently, so
+// they are close, not bitwise-equal).
+const scoringTol = 1e-12
+
+func poolRows(rng *rand.Rand, m, d int) [][]float64 {
+	rows := make([][]float64, m)
+	for i := range rows {
+		r := make([]float64, d)
+		for j := range r {
+			r[j] = rng.Float64() * 4
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func denseOf(rows [][]float64) *mat.Dense {
+	x := mat.NewDense(len(rows), len(rows[0]), nil)
+	for i, r := range rows {
+		copy(x.Row(i), r)
+	}
+	return x
+}
+
+func checkAgainstPredict(t *testing.T, tag string, g *GP, c *ScoringCache, pool [][]float64) {
+	t.Helper()
+	if c.Len() != len(pool) {
+		t.Fatalf("%s: cache has %d candidates, pool has %d", tag, c.Len(), len(pool))
+	}
+	if len(pool) == 0 {
+		return
+	}
+	mu, sigma := c.Scores()
+	wantMu, wantSigma := g.Predict(denseOf(pool))
+	for i := range pool {
+		if math.Abs(mu[i]-wantMu[i]) > scoringTol {
+			t.Fatalf("%s: candidate %d: cached mu %.17g, Predict %.17g", tag, i, mu[i], wantMu[i])
+		}
+		if math.Abs(sigma[i]-wantSigma[i]) > scoringTol {
+			t.Fatalf("%s: candidate %d: cached sigma %.17g, Predict %.17g", tag, i, sigma[i], wantSigma[i])
+		}
+	}
+}
+
+func fitTestGP(t *testing.T, rng *rand.Rand, n int) *GP {
+	t.Helper()
+	x, y := eqTrainingSet(rng, n)
+	g := New(kernel.NewRBF(0.8, 1.2), Config{Noise: 0.05, NoOptimize: true})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The core equivalence property: over a randomized schedule of appends,
+// removals, and hyperparameter refits, cached scores track direct Predict
+// within 1e-12 for every live candidate.
+func TestScoringCacheMatchesPredict(t *testing.T) {
+	ops := 80
+	if testing.Short() {
+		ops = 30
+	}
+	rng := rand.New(rand.NewSource(11))
+	g := fitTestGP(t, rng, 14)
+	pool := poolRows(rng, 32, 2)
+	c := NewScoringCache(g, denseOf(pool))
+	defer c.Close()
+	checkAgainstPredict(t, "initial", g, c, pool)
+
+	for op := 0; op < ops; op++ {
+		switch {
+		case op%9 == 8:
+			// Perturb hyperparameters and refit: every cached row is wrong
+			// until the rebuild pass runs.
+			hp := g.Hyperparams()
+			for i := range hp {
+				hp[i] += 0.05 * rng.NormFloat64()
+			}
+			g.SetHyperparams(hp)
+			if err := g.Refit(); err != nil {
+				t.Fatalf("op %d: Refit: %v", op, err)
+			}
+		case op%3 == 1 && len(pool) > 4:
+			p := rng.Intn(len(pool))
+			pool = append(pool[:p], pool[p+1:]...)
+			c.Remove(p)
+		default:
+			x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+			y := math.Sin(x[0]) * math.Cos(x[1])
+			if err := g.Append(x, y); err != nil {
+				t.Fatalf("op %d: Append: %v", op, err)
+			}
+		}
+		checkAgainstPredict(t, "after op", g, c, pool)
+	}
+}
+
+// The censored-OOM feed pattern of the online runtime: the memory surrogate
+// absorbs observations the cost surrogate never sees. Each cache tracks
+// exactly its own model, so asymmetric appends keep both caches correct.
+func TestScoringCacheCensoredFeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gCost := fitTestGP(t, rng, 12)
+	gMem := fitTestGP(t, rng, 12)
+	pool := poolRows(rng, 20, 2)
+	cCost := NewScoringCache(gCost, denseOf(pool))
+	defer cCost.Close()
+	cMem := NewScoringCache(gMem, denseOf(pool))
+	defer cMem.Close()
+
+	for op := 0; op < 40; op++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+		y := math.Sin(x[0]) * math.Cos(x[1])
+		censored := op%4 == 1
+		if !censored {
+			if err := gCost.Append(x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// An OOM kill feeds the memory model its clamped lower bound.
+		if err := gMem.Append(x, y+0.5); err != nil {
+			t.Fatal(err)
+		}
+		if op%10 == 9 {
+			if err := gCost.Refit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := gMem.Refit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%5 == 3 && len(pool) > 2 {
+			p := rng.Intn(len(pool))
+			pool = append(pool[:p], pool[p+1:]...)
+			cCost.Remove(p)
+			cMem.Remove(p)
+		}
+		checkAgainstPredict(t, "cost", gCost, cCost, pool)
+		checkAgainstPredict(t, "mem", gMem, cMem, pool)
+	}
+}
+
+// The checkpoint-resume contract: a cache maintained incrementally across a
+// run of appends holds bit-for-bit the state of a cache freshly built (and
+// hence rebuilt) at the final model size.
+func TestScoringCacheIncrementalMatchesRebuildBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := fitTestGP(t, rng, 10)
+	pool := poolRows(rng, 25, 2)
+	live := NewScoringCache(g, denseOf(pool))
+	defer live.Close()
+	// Force the initial build before the appends so the live cache really
+	// takes the incremental path below.
+	live.Scores()
+	for op := 0; op < 70; op++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+		if err := g.Append(x, math.Sin(x[0])); err != nil {
+			t.Fatal(err)
+		}
+		if op%6 == 5 && len(pool) > 3 {
+			p := rng.Intn(len(pool))
+			pool = append(pool[:p], pool[p+1:]...)
+			live.Remove(p)
+		}
+	}
+	fresh := NewScoringCache(g, denseOf(pool))
+	defer fresh.Close()
+
+	liveMu, liveSigma := live.Scores()
+	freshMu, freshSigma := fresh.Scores()
+	if !bitwiseEq(liveMu, freshMu) {
+		t.Fatal("incrementally maintained means differ bitwise from a fresh rebuild")
+	}
+	if !bitwiseEq(liveSigma, freshSigma) {
+		t.Fatal("incrementally maintained sigmas differ bitwise from a fresh rebuild")
+	}
+}
+
+// Worker-count independence: the cache's parallel passes (rebuild, extend,
+// score) must produce identical bits for any pool size.
+func TestScoringCacheSerialParallelIdentical(t *testing.T) {
+	run := func(workers int) (mu, sigma []float64) {
+		withWorkers(workers, func() {
+			rng := rand.New(rand.NewSource(31))
+			g := fitTestGP(t, rng, 12)
+			pool := poolRows(rng, 40, 2)
+			c := NewScoringCache(g, denseOf(pool))
+			defer c.Close()
+			for op := 0; op < 30; op++ {
+				x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+				if err := g.Append(x, math.Cos(x[1])); err != nil {
+					t.Fatal(err)
+				}
+				if op%7 == 6 {
+					c.Remove(rng.Intn(c.Len()))
+				}
+			}
+			m, s := c.Scores()
+			mu = append([]float64(nil), m...)
+			sigma = append([]float64(nil), s...)
+		})
+		return mu, sigma
+	}
+	mu1, sigma1 := run(1)
+	mu8, sigma8 := run(8)
+	if !bitwiseEq(mu1, mu8) || !bitwiseEq(sigma1, sigma8) {
+		t.Fatal("cached scores depend on the worker count")
+	}
+}
+
+// Close must detach: a closed cache no longer burns time (or breaks) when
+// the model keeps evolving, and the GP's cache list shrinks.
+func TestScoringCacheClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := fitTestGP(t, rng, 10)
+	c := NewScoringCache(g, denseOf(poolRows(rng, 5, 2)))
+	c.Close()
+	if len(g.caches) != 0 {
+		t.Fatalf("GP still tracks %d caches after Close", len(g.caches))
+	}
+	if err := g.Append([]float64{1, 1}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}

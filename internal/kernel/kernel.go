@@ -287,57 +287,10 @@ func (k *Matern) String() string {
 //
 // The evaluator captures the kernel's hyperparameters at construction time
 // and is safe for concurrent use; it must be rebuilt if the kernel's
-// parameters or xs change.
+// parameters or xs change. Callers that grow xs incrementally should hold a
+// RowEval (NewRowEval) instead and use its O(d) Extend.
 func RowEvaluator(k Kernel, xs *mat.Dense) func(x []float64, from int, out []float64) {
-	switch kk := k.(type) {
-	case *RBF:
-		l := math.Exp(kk.logLen)
-		inv2l2 := 1 / (2 * l * l)
-		amp2 := math.Exp(2 * kk.logAmp)
-		norms := rowSqNorms(xs)
-		return func(x []float64, from int, out []float64) {
-			nx := sqNorm(x)
-			for t := range out {
-				out[t] = amp2 * math.Exp(-sqDistVia(nx, norms[from+t], x, xs.Row(from+t))*inv2l2)
-			}
-		}
-	case *ARDRBF:
-		z, zn, invL := kk.scaledRows(xs)
-		amp2 := math.Exp(2 * kk.logAmp)
-		return func(x []float64, from int, out []float64) {
-			zx := scaleDims(x, invL)
-			nx := sqNorm(zx)
-			for t := range out {
-				out[t] = amp2 * math.Exp(-0.5*sqDistVia(nx, zn[from+t], zx, z.Row(from+t)))
-			}
-		}
-	case *Matern:
-		l := math.Exp(kk.logLen)
-		amp2 := math.Exp(2 * kk.logAmp)
-		c1 := math.Sqrt(3) / l
-		half := kk.nu == 1.5
-		if !half {
-			c1 = math.Sqrt(5) / l
-		}
-		norms := rowSqNorms(xs)
-		return func(x []float64, from int, out []float64) {
-			nx := sqNorm(x)
-			for t := range out {
-				a := c1 * math.Sqrt(sqDistVia(nx, norms[from+t], x, xs.Row(from+t)))
-				if half {
-					out[t] = amp2 * (1 + a) * math.Exp(-a)
-				} else {
-					out[t] = amp2 * (1 + a + a*a/3) * math.Exp(-a)
-				}
-			}
-		}
-	default:
-		return func(x []float64, from int, out []float64) {
-			for t := range out {
-				out[t] = k.Eval(x, xs.Row(from+t))
-			}
-		}
-	}
+	return NewRowEval(k, xs).Eval
 }
 
 // GradRowEvaluator is the gradient companion of RowEvaluator: it fills

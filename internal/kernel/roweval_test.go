@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"alamr/internal/mat"
+)
+
+// linKernel is a minimal custom kernel used to exercise the generic RowEval
+// fallback.
+type linKernel struct{ c float64 }
+
+func (k *linKernel) Eval(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s + k.c
+}
+func (k *linKernel) EvalGrad(x, y []float64) (float64, []float64) {
+	return k.Eval(x, y), []float64{0}
+}
+func (k *linKernel) NumParams() int        { return 1 }
+func (k *linKernel) Params() []float64     { return []float64{k.c} }
+func (k *linKernel) SetParams(p []float64) { k.c = p[0] }
+func (k *linKernel) Clone() Kernel         { c := *k; return &c }
+func (k *linKernel) String() string        { return "lin" }
+
+func randRows(rng *rand.Rand, n, d int) *mat.Dense {
+	x := mat.NewDense(n, d, nil)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// An evaluator grown one Extend at a time must agree bitwise with one built
+// fresh over the final matrix — the invariant that lets gp.Append skip the
+// O(n·d) norm rebuild and that keeps incrementally maintained scoring
+// caches equal to checkpoint-resume rebuilds.
+func TestRowEvalExtendMatchesRebuildBitwise(t *testing.T) {
+	const d, n0, appends = 3, 11, 25
+	kernels := map[string]Kernel{
+		"rbf":       NewRBF(0.7, 1.3),
+		"ard":       NewARDRBF([]float64{0.5, 1.1, 2.0}, 0.9),
+		"matern3/2": NewMatern(1.5, 0.8, 1.1),
+		"matern5/2": NewMatern(2.5, 0.8, 1.1),
+		"generic":   &linKernel{c: 0.25},
+	}
+	for name, k := range kernels {
+		rng := rand.New(rand.NewSource(17))
+		xs := randRows(rng, n0, d)
+		grown := NewRowEval(k, xs)
+		for a := 0; a < appends; a++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			xs = xs.AppendRow(row)
+			grown.Extend(xs)
+		}
+		fresh := NewRowEval(k, xs)
+
+		probe := make([]float64, d)
+		for trial := 0; trial < 5; trial++ {
+			for j := range probe {
+				probe[j] = rng.NormFloat64()
+			}
+			n := xs.Rows()
+			a := make([]float64, n)
+			b := make([]float64, n)
+			grown.Eval(probe, 0, a)
+			fresh.Eval(probe, 0, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: grown[%d] = %g, fresh = %g (must be bitwise equal)", name, i, a[i], b[i])
+				}
+			}
+			// Offsets (the gp.Append border uses from = n−1 windows).
+			tail := make([]float64, 1)
+			grown.Eval(probe, n-1, tail)
+			if tail[0] != b[n-1] {
+				t.Fatalf("%s: offset eval %g, full eval %g", name, tail[0], b[n-1])
+			}
+		}
+		// Both must agree with the scalar kernel within roundoff.
+		vals := make([]float64, xs.Rows())
+		fresh.Eval(probe, 0, vals)
+		for i := range vals {
+			want := k.Eval(probe, xs.Row(i))
+			if diff := vals[i] - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%s: row eval[%d] = %g, scalar Eval = %g", name, i, vals[i], want)
+			}
+		}
+	}
+}

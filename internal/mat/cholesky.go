@@ -234,6 +234,16 @@ func (c *Cholesky) ForwardSolveVec(b []float64) []float64 {
 // substitution, the updates to the rows below the block are independent and
 // fan out over the pool.
 func (c *Cholesky) forwardInPlace(y []float64) {
+	c.forwardBlocked(y, true)
+}
+
+// forwardBlocked is the blocked forward substitution behind both solve
+// entry points. The parallel and serial paths compute every y[i] from the
+// same adot groupings in the same order, so they are bitwise-identical; the
+// serial path exists for per-candidate solves that already run inside an
+// outer parallel section, where a nested dispatch is pure allocation
+// overhead.
+func (c *Cholesky) forwardBlocked(y []float64, parallel bool) {
 	n := c.n
 	for kb := 0; kb < n; kb += cholBlock {
 		kend := kb + cholBlock
@@ -247,12 +257,18 @@ func (c *Cholesky) forwardInPlace(y []float64) {
 		if kend == n {
 			break
 		}
-		bw := kend - kb
-		ParallelFor(n-kend, chunkFor(2*bw), func(lo, hi int) {
-			for i := kend + lo; i < kend+hi; i++ {
+		if parallel {
+			bw := kend - kb
+			ParallelFor(n-kend, chunkFor(2*bw), func(lo, hi int) {
+				for i := kend + lo; i < kend+hi; i++ {
+					y[i] -= adot(c.row(i)[kb:kend], y[kb:kend])
+				}
+			})
+		} else {
+			for i := kend; i < n; i++ {
 				y[i] -= adot(c.row(i)[kb:kend], y[kb:kend])
 			}
-		})
+		}
 	}
 }
 

@@ -95,6 +95,22 @@ func (m *Dense) AppendRow(row []float64) *Dense {
 	return &Dense{rows: m.rows + 1, cols: m.cols, data: data}
 }
 
+// RemoveRow returns an (r−1)-by-c matrix with row i deleted, preserving the
+// order of the remaining rows. The backing storage is reused (rows below i
+// are copied down in place), so a pool matrix shrunk once per AL iteration
+// never reallocates. The receiver must be treated as consumed: its storage
+// is shared with — and partially overwritten by — the result.
+func (m *Dense) RemoveRow(i int) *Dense {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: RemoveRow index %d out of range %d", i, m.rows))
+	}
+	if m.rows == 1 {
+		return &Dense{rows: 0, cols: m.cols, data: m.data[:0]}
+	}
+	copy(m.data[i*m.cols:], m.data[(i+1)*m.cols:])
+	return &Dense{rows: m.rows - 1, cols: m.cols, data: m.data[:(m.rows-1)*m.cols]}
+}
+
 // T returns a newly allocated transpose of m.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows, nil)

@@ -155,5 +155,10 @@ func resumeCampaign(lab Lab, cfg Config, ck *checkpointFile) (*campaign, error) 
 	c.rng = rand.New(c.src)
 
 	c.rebuildPool()
+	// Freshly built caches rebuild through the flat solve path, which is
+	// bitwise identical to the incremental extension an uninterrupted run
+	// performed — the resumed trajectory's scores, and hence selections,
+	// match exactly.
+	c.buildCaches()
 	return c, nil
 }

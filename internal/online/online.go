@@ -360,6 +360,16 @@ type campaign struct {
 	feeds         []feedRec
 	initLen       int
 
+	// poolX and the two caches mirror pool: scaled features in grid order
+	// plus one incremental posterior cache per surrogate, so each
+	// selection re-scores the pool in O(m·n) instead of O(m·n²). Caches
+	// built after a checkpoint resume rebuild through the flat solve path
+	// and therefore agree bitwise with caches maintained across an
+	// uninterrupted run — the kill-and-resume contract is unchanged.
+	poolX     *mat.Dense
+	costCache *gp.ScoringCache
+	memCache  *gp.ScoringCache
+
 	memLimitLog, memLimitRaw float64
 	cumCost, cumRegret       float64
 }
@@ -452,6 +462,7 @@ func (c *campaign) init() error {
 		return err
 	}
 	c.rebuildPool()
+	c.buildCaches()
 	return c.saveCheckpoint(false)
 }
 
@@ -504,6 +515,25 @@ func (c *campaign) rebuildPool() {
 	}
 }
 
+// buildCaches attaches the incremental scoring caches (and the pool-order
+// feature matrix they score) to the fitted surrogates. Called once the
+// pool and both GPs exist — after init and after a checkpoint resume. A
+// censored OOM feed appends only to the memory GP; since each cache tracks
+// exactly its own GP, the cost cache simply stays valid through it.
+func (c *campaign) buildCaches() {
+	if len(c.pool) == 0 {
+		return
+	}
+	x := mat.NewDense(len(c.pool), dataset.NumFeatures, nil)
+	for i, combo := range c.pool {
+		f := dataset.ScaleFeatures(dataset.Job{P: combo.P, Mx: combo.Mx, MaxLevel: combo.MaxLevel, R0: combo.R0, RhoIn: combo.RhoIn})
+		copy(x.Row(i), f[:])
+	}
+	c.poolX = x
+	c.costCache = gp.NewScoringCache(c.gpCost, x)
+	c.memCache = gp.NewScoringCache(c.gpMem, x)
+}
+
 // applyFeed absorbs one selection's feed record into the live surrogates.
 func (c *campaign) applyFeed(f feedRec) error {
 	if f.LogCost != nil {
@@ -533,15 +563,10 @@ func (c *campaign) applyFeed(f feedRec) error {
 func (c *campaign) loop() (*Result, error) {
 	res := c.res
 	for sel := len(res.PredictedCost); sel < c.cfg.MaxExperiments && len(c.pool) > 0; sel++ {
-		x := mat.NewDense(len(c.pool), dataset.NumFeatures, nil)
-		for i, combo := range c.pool {
-			f := dataset.ScaleFeatures(dataset.Job{P: combo.P, Mx: combo.Mx, MaxLevel: combo.MaxLevel, R0: combo.R0, RhoIn: combo.RhoIn})
-			copy(x.Row(i), f[:])
-		}
-		muC, sigC := c.gpCost.Predict(x)
-		muM, sigM := c.gpMem.Predict(x)
+		muC, sigC := c.costCache.Scores()
+		muM, sigM := c.memCache.Scores()
 		cands := &core.Candidates{
-			X: x, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
+			X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
 			MemLimitLog: c.memLimitLog,
 		}
 		pick, err := c.cfg.Policy.Select(cands, c.rng)
@@ -612,6 +637,9 @@ func (c *campaign) loop() (*Result, error) {
 		c.feeds = append(c.feeds, feed)
 
 		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
+		c.poolX = c.poolX.RemoveRow(pick)
+		c.costCache.Remove(pick)
+		c.memCache.Remove(pick)
 
 		if c.cfg.Budget > 0 && c.cumCost >= c.cfg.Budget {
 			res.Reason = core.StopBudget

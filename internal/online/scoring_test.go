@@ -1,0 +1,57 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"alamr/internal/dataset"
+	"alamr/internal/faults"
+	"alamr/internal/mat"
+)
+
+// After a full faults-injected campaign — censored OOM feeds that grow only
+// the memory surrogate, retries, periodic refits, and pool removals — the
+// live scoring caches must still agree with direct Predict over the final
+// pool within the pinned 1e-12 tolerance. This is the online counterpart of
+// the gp-level equivalence suite, driven by the real feed paths instead of
+// a synthetic schedule.
+func TestOnlineScoringCacheMatchesPredict(t *testing.T) {
+	lab := faults.NewFaultyLab(newFakeLab(), faultyCfg(19))
+	c := newCampaign(lab, campaignCfg(19))
+	c.cfg.setDefaults()
+	if err := c.init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if _, err := c.loop(); err != nil {
+		t.Fatalf("loop: %v", err)
+	}
+	if c.res.Health.Censored == 0 {
+		t.Fatal("fault cocktail produced no censored feeds; the test lost its point")
+	}
+	if got, want := c.costCache.Len(), len(c.pool); got != want {
+		t.Fatalf("cost cache tracks %d candidates, pool has %d", got, want)
+	}
+
+	x := mat.NewDense(len(c.pool), dataset.NumFeatures, nil)
+	for i, combo := range c.pool {
+		f := dataset.ScaleFeatures(dataset.Job{P: combo.P, Mx: combo.Mx, MaxLevel: combo.MaxLevel, R0: combo.R0, RhoIn: combo.RhoIn})
+		copy(x.Row(i), f[:])
+	}
+	for _, m := range []struct {
+		name    string
+		scores  func() (mu, sigma []float64)
+		predict func(*mat.Dense) (mu, sigma []float64)
+	}{
+		{"cost", c.costCache.Scores, c.gpCost.Predict},
+		{"mem", c.memCache.Scores, c.gpMem.Predict},
+	} {
+		mu, sigma := m.scores()
+		wantMu, wantSigma := m.predict(x)
+		for i := range wantMu {
+			if math.Abs(mu[i]-wantMu[i]) > 1e-12 || math.Abs(sigma[i]-wantSigma[i]) > 1e-12 {
+				t.Fatalf("%s surrogate: candidate %d: cached (%.17g, %.17g) vs Predict (%.17g, %.17g)",
+					m.name, i, mu[i], sigma[i], wantMu[i], wantSigma[i])
+			}
+		}
+	}
+}
