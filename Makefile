@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al fmt vet race chaos
+.PHONY: all build test ci bench bench-al fmt vet race chaos obs-check
 
 all: build
 
@@ -31,9 +31,21 @@ chaos:
 		-run 'Chaos|Fault|Retry|Censor|Checkpoint|Resume|Backoff' \
 		./internal/faults ./internal/online
 
+# obs-check gates the observability layer: vet over the instrumented
+# packages, the metric-name lint (unique names, alamr_ prefix, every name
+# bound at Enable), the <2% disabled-overhead bound on the scoring hot path,
+# and the bitwise kill-and-resume contract with tracing enabled, under -race.
+obs-check:
+	$(GO) vet ./internal/obs ./cmd/...
+	$(GO) test -run 'TestMetricNamesUnique|TestAllMetricNamesBound' ./internal/obs
+	$(GO) test -run 'TestObsOverheadGate' ./internal/gp
+	$(GO) test -race -count=1 -run 'TracingEnabled|ObsSummary' \
+		./internal/online ./internal/report
+
 # ci is the gate for every PR: formatting, vet, full build, full test suite,
-# then the race detector over the parallel-heavy packages.
-ci: fmt vet build test race
+# then the race detector over the parallel-heavy packages, then the
+# observability gates.
+ci: fmt vet build test race obs-check
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;

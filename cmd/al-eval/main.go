@@ -4,9 +4,12 @@
 // Usage:
 //
 //	al-eval -data dataset.csv -fig all [-partitions 10] [-iters 150]
-//	        [-csv out/] [-seed 1]
+//	        [-csv out/] [-seed 1] [-metrics-addr 127.0.0.1:9090]
+//	        [-trace-out trace.jsonl]
 //
 // With -generate, the dataset is regenerated in-process instead of loaded.
+// -metrics-addr serves live Prometheus metrics and pprof endpoints for the
+// duration of the evaluation — useful for profiling the long ablation runs.
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 
 	"alamr/internal/dataset"
 	"alamr/internal/experiments"
+	"alamr/internal/obs"
+	"alamr/internal/report"
 )
 
 func main() {
@@ -33,10 +38,17 @@ func main() {
 	csvDir := flag.String("csv", "", "directory for CSV series output")
 	seed := flag.Int64("seed", 1, "seed")
 	workers := flag.Int("workers", 0, "parallel trajectories (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the evaluation runs")
+	traceOut := flag.String("trace-out", "", "write span trace events as JSONL to this file")
 	flag.Parse()
 
+	bundle, err := obs.Boot(*metricsAddr, *traceOut)
+	if err != nil {
+		log.Fatalf("observability setup: %v", err)
+	}
+	defer bundle.Close()
+
 	var ds *dataset.Dataset
-	var err error
 	if *generate {
 		t0 := time.Now()
 		ds, err = dataset.Generate(dataset.GenConfig{Seed: 42})
@@ -129,5 +141,12 @@ func main() {
 	}
 	if all || want["ablations"] || want["weighted"] {
 		run("weighted-error study", func() error { _, err := experiments.WeightedErrorStudy(opts); return err })
+	}
+
+	if t := report.ObsSummary(obs.Default()); t != nil {
+		fmt.Println("\nobservability summary")
+		if err := t.Write(os.Stdout); err != nil {
+			log.Print(err)
+		}
 	}
 }

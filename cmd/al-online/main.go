@@ -9,11 +9,16 @@
 // inject seeded faults (for chaos-testing the runtime or studying how the
 // learner copes with OOM-censored observations).
 //
+// With -metrics-addr the campaign serves live Prometheus metrics (cumulative
+// cost, regret, memory headroom, fault counters) and pprof profiling
+// endpoints while it runs; -trace-out streams span events as JSONL.
+//
 // Usage:
 //
 //	al-online [-policy rgma] [-n 25] [-budget 2] [-memlimit 1] [-seed 17]
 //	          [-checkpoint campaign.ckpt] [-retries 3]
 //	          [-ptransient 0.1] [-pcorrupt 0.05] [-rsslimit 1] [-walllimit 300]
+//	          [-metrics-addr 127.0.0.1:9090] [-trace-out trace.jsonl]
 package main
 
 import (
@@ -25,101 +30,140 @@ import (
 
 	"alamr/internal/core"
 	"alamr/internal/faults"
+	"alamr/internal/obs"
 	"alamr/internal/online"
 	"alamr/internal/report"
 )
+
+// options carries every flag value that needs validation, so the checks can
+// be exercised by a table test without forking the process.
+type options struct {
+	policy     string
+	n          int
+	budget     float64
+	memLimit   float64
+	refNx      int
+	retries    int
+	pTransient float64
+	pCorrupt   float64
+	rssLimit   float64
+	wallLimit  float64
+}
+
+// validate returns the first flag error, or nil. It covers every numeric
+// range and the policy name; main routes the error to stderr and exits
+// non-zero.
+func (o options) validate() error {
+	if o.n < 0 {
+		return fmt.Errorf("-n must be non-negative, got %d", o.n)
+	}
+	if o.budget < 0 {
+		return fmt.Errorf("-budget must be non-negative, got %g", o.budget)
+	}
+	if o.memLimit < 0 {
+		return fmt.Errorf("-memlimit must be non-negative, got %g", o.memLimit)
+	}
+	if o.refNx <= 0 {
+		return fmt.Errorf("-refnx must be positive, got %d", o.refNx)
+	}
+	if o.retries < 1 {
+		return fmt.Errorf("-retries must be at least 1, got %d", o.retries)
+	}
+	if o.pTransient < 0 || o.pTransient >= 1 {
+		return fmt.Errorf("-ptransient must be in [0, 1), got %g", o.pTransient)
+	}
+	if o.pCorrupt < 0 || o.pCorrupt >= 1 {
+		return fmt.Errorf("-pcorrupt must be in [0, 1), got %g", o.pCorrupt)
+	}
+	if o.rssLimit < 0 {
+		return fmt.Errorf("-rsslimit must be non-negative, got %g", o.rssLimit)
+	}
+	if o.wallLimit < 0 {
+		return fmt.Errorf("-walllimit must be non-negative, got %g", o.wallLimit)
+	}
+	if _, err := policyByName(o.policy); err != nil {
+		return err
+	}
+	return nil
+}
+
+func policyByName(name string) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "randuniform", "uniform":
+		return core.RandUniform{}, nil
+	case "maxsigma":
+		return core.MaxSigma{}, nil
+	case "minpred":
+		return core.MinPred{}, nil
+	case "randgoodness", "goodness":
+		return core.RandGoodness{}, nil
+	case "rgma":
+		return core.RGMA{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want randuniform|maxsigma|minpred|randgoodness|rgma)", name)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("al-online: ")
 
-	policyName := flag.String("policy", "rgma", "selection policy (randuniform|maxsigma|minpred|randgoodness|rgma)")
-	n := flag.Int("n", 25, "maximum AL-selected experiments")
-	budget := flag.Float64("budget", 0, "node-hour budget (0 = unlimited)")
-	memLimit := flag.Float64("memlimit", 0, "memory limit in MB (0 = none)")
+	var o options
+	flag.StringVar(&o.policy, "policy", "rgma", "selection policy (randuniform|maxsigma|minpred|randgoodness|rgma)")
+	flag.IntVar(&o.n, "n", 25, "maximum AL-selected experiments")
+	flag.Float64Var(&o.budget, "budget", 0, "node-hour budget (0 = unlimited)")
+	flag.Float64Var(&o.memLimit, "memlimit", 0, "memory limit in MB (0 = none)")
 	seed := flag.Int64("seed", 17, "seed")
-	refnx := flag.Int("refnx", 64, "physics reference resolution")
+	flag.IntVar(&o.refNx, "refnx", 64, "physics reference resolution")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: written after every experiment, resumed from if present")
-	retries := flag.Int("retries", 3, "per-job attempt budget for retryable faults")
-	pTransient := flag.Float64("ptransient", 0, "injected per-attempt transient-failure probability")
-	pCorrupt := flag.Float64("pcorrupt", 0, "injected per-attempt corrupted-measurement probability")
-	rssLimit := flag.Float64("rsslimit", 0, "injected OOM-killer RSS limit in MB (0 = off)")
-	wallLimit := flag.Float64("walllimit", 0, "injected wall-clock kill limit in seconds (0 = off)")
+	flag.IntVar(&o.retries, "retries", 3, "per-job attempt budget for retryable faults")
+	flag.Float64Var(&o.pTransient, "ptransient", 0, "injected per-attempt transient-failure probability")
+	flag.Float64Var(&o.pCorrupt, "pcorrupt", 0, "injected per-attempt corrupted-measurement probability")
+	flag.Float64Var(&o.rssLimit, "rsslimit", 0, "injected OOM-killer RSS limit in MB (0 = off)")
+	flag.Float64Var(&o.wallLimit, "walllimit", 0, "injected wall-clock kill limit in seconds (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the campaign runs")
+	traceOut := flag.String("trace-out", "", "write span trace events as JSONL to this file")
 	flag.Parse()
 
-	fail := func(format string, args ...interface{}) {
-		fmt.Fprintf(os.Stderr, "al-online: "+format+"\n", args...)
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "al-online: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *n < 0 {
-		fail("-n must be non-negative, got %d", *n)
-	}
-	if *budget < 0 {
-		fail("-budget must be non-negative, got %g", *budget)
-	}
-	if *memLimit < 0 {
-		fail("-memlimit must be non-negative, got %g", *memLimit)
-	}
-	if *refnx <= 0 {
-		fail("-refnx must be positive, got %d", *refnx)
-	}
-	if *retries < 1 {
-		fail("-retries must be at least 1, got %d", *retries)
-	}
-	if *pTransient < 0 || *pTransient >= 1 {
-		fail("-ptransient must be in [0, 1), got %g", *pTransient)
-	}
-	if *pCorrupt < 0 || *pCorrupt >= 1 {
-		fail("-pcorrupt must be in [0, 1), got %g", *pCorrupt)
-	}
-	if *rssLimit < 0 {
-		fail("-rsslimit must be non-negative, got %g", *rssLimit)
-	}
-	if *wallLimit < 0 {
-		fail("-walllimit must be non-negative, got %g", *wallLimit)
-	}
+	policy, _ := policyByName(o.policy)
 
-	var policy core.Policy
-	switch strings.ToLower(*policyName) {
-	case "randuniform", "uniform":
-		policy = core.RandUniform{}
-	case "maxsigma":
-		policy = core.MaxSigma{}
-	case "minpred":
-		policy = core.MinPred{}
-	case "randgoodness", "goodness":
-		policy = core.RandGoodness{}
-	case "rgma":
-		policy = core.RGMA{}
-	default:
-		fail("unknown policy %q", *policyName)
+	bundle, err := obs.Boot(*metricsAddr, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "al-online: observability setup: %v\n", err)
+		os.Exit(2)
 	}
+	defer bundle.Close()
 
-	sim := online.NewSimLab(online.SimLabConfig{RefNx: *refnx, Seed: *seed})
+	sim := online.NewSimLab(online.SimLabConfig{RefNx: o.refNx, Seed: *seed})
 	var lab online.Lab = sim
-	injecting := *pTransient > 0 || *pCorrupt > 0 || *rssLimit > 0 || *wallLimit > 0
+	injecting := o.pTransient > 0 || o.pCorrupt > 0 || o.rssLimit > 0 || o.wallLimit > 0
 	if injecting {
 		lab = faults.NewFaultyLab(sim, faults.LabConfig{
 			Seed:         *seed,
-			RSSLimitMB:   *rssLimit,
-			WallLimitSec: *wallLimit,
-			PTransient:   *pTransient,
-			PCorrupt:     *pCorrupt,
+			RSSLimitMB:   o.rssLimit,
+			WallLimitSec: o.wallLimit,
+			PTransient:   o.pTransient,
+			PCorrupt:     o.pCorrupt,
 		})
 	}
 
 	res, err := online.Run(lab, online.Config{
 		Policy:         policy,
-		MaxExperiments: *n,
-		Budget:         *budget,
-		MemLimitMB:     *memLimit,
+		MaxExperiments: o.n,
+		Budget:         o.budget,
+		MemLimitMB:     o.memLimit,
 		Seed:           *seed,
 		CheckpointPath: *checkpoint,
-		Retry:          faults.RetryPolicy{MaxAttempts: *retries, Seed: *seed},
+		Retry:          faults.RetryPolicy{MaxAttempts: o.retries, Seed: *seed},
 	})
 	if err != nil {
 		if res == nil {
+			bundle.Close()
 			log.Fatal(err)
 		}
 		// A fault-stopped campaign still carries partial results worth
@@ -150,7 +194,14 @@ func main() {
 		fmt.Println("\ncampaign health")
 		fmt.Print(report.HealthTable(res.Health))
 	}
+	if t := report.ObsSummary(obs.Default()); t != nil {
+		fmt.Println("\nobservability summary")
+		if err := t.Write(os.Stdout); err != nil {
+			log.Print(err)
+		}
+	}
 	if err != nil {
+		bundle.Close()
 		os.Exit(1)
 	}
 }

@@ -1,10 +1,15 @@
 // Command al-run executes a single active-learning trajectory on a dataset
 // and prints its selection log and learning curves.
 //
+// With -metrics-addr the run serves live Prometheus metrics and pprof
+// profiling endpoints while it executes; -trace-out streams phase span
+// events (fit/score/select/run/feed) as JSONL.
+//
 // Usage:
 //
 //	al-run -data dataset.csv -policy rgma [-ninit 50] [-ntest 200]
 //	       [-iters 150] [-memlimit 0] [-seed 1] [-log2p] [-verbose]
+//	       [-metrics-addr 127.0.0.1:9090] [-trace-out trace.jsonl]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/obs"
 	"alamr/internal/report"
 )
 
@@ -52,7 +58,15 @@ func main() {
 	log2p := flag.Bool("log2p", false, "use log2(p) feature transform")
 	verbose := flag.Bool("verbose", false, "print every selection")
 	jsonOut := flag.String("json", "", "write the full trajectory as JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run executes")
+	traceOut := flag.String("trace-out", "", "write span trace events as JSONL to this file")
 	flag.Parse()
+
+	bundle, err := obs.Boot(*metricsAddr, *traceOut)
+	if err != nil {
+		log.Fatalf("observability setup: %v", err)
+	}
+	defer bundle.Close()
 
 	ds, err := dataset.LoadFile(*data)
 	if err != nil {
@@ -133,4 +147,11 @@ func main() {
 	fmt.Print(report.ASCIIChart("cost RMSE / cumulative regret",
 		[]string{"cost RMSE", "cum regret"},
 		[][]float64{tr.CostRMSE, tr.CumRegret}, 64, 14))
+
+	if t := report.ObsSummary(obs.Default()); t != nil {
+		fmt.Println("\nobservability summary")
+		if err := t.Write(os.Stdout); err != nil {
+			log.Print(err)
+		}
+	}
 }

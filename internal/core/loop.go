@@ -10,6 +10,7 @@ import (
 	"alamr/internal/gp"
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 	"alamr/internal/stats"
 )
 
@@ -182,6 +183,7 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 	costTest := ds.Cost(part.Test)
 	memTest := ds.Mem(part.Test)
 
+	spFit := obs.SpanFit.Start()
 	gpCost := cfg.newModel()
 	if err := gpCost.Fit(xInit, ds.LogCost(part.Init)); err != nil {
 		return nil, fmt.Errorf("core: initial cost fit: %w", err)
@@ -190,6 +192,7 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 	if err := gpMem.Fit(xInit, ds.LogMem(part.Init)); err != nil {
 		return nil, fmt.Errorf("core: initial memory fit: %w", err)
 	}
+	spFit.End()
 	// Subsequent refits warm start from the previous optimum (Algorithm 1's
 	// note); random restarts are only needed for the initial fit.
 	gpCost.SetRestarts(0)
@@ -233,8 +236,12 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 
 	tr.Reason = StopPoolExhausted
 	for iter := 0; iter < maxIter; iter++ {
+		spScore := obs.SpanScore.Start()
 		cands := scorer.candidates(memLimitLog)
+		spScore.End()
+		spSelect := obs.SpanSelect.Start()
 		pick, err := cfg.Policy.Select(cands, rng)
+		spSelect.End()
 		if err != nil {
 			if errors.Is(err, ErrAllExceedLimit) {
 				tr.Reason = StopMemoryLimit
@@ -246,6 +253,7 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 			return nil, fmt.Errorf("core: policy %s returned out-of-range index %d of %d", cfg.Policy.Name(), pick, len(remaining))
 		}
 
+		spRun := obs.SpanRun.Start()
 		dsIdx := remaining[pick]
 		job := ds.Jobs[dsIdx]
 		tr.Selected = append(tr.Selected, dsIdx)
@@ -256,10 +264,19 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 		violated := job.MemMB >= memLimitRaw
 		if violated {
 			cumRegret += job.CostNH
+			obs.CampaignViolations.Inc()
 		}
 		tr.CumCost = append(tr.CumCost, cumCost)
 		tr.CumRegret = append(tr.CumRegret, cumRegret)
 		tr.Violation = append(tr.Violation, violated)
+		spRun.End()
+		obs.CampaignCumCost.Set(cumCost)
+		obs.CampaignCumRegret.Set(cumRegret)
+		if cfg.MemLimitMB > 0 {
+			obs.CampaignHeadroom.Set(memLimitRaw - job.MemMB)
+		}
+		obs.JobCost.Observe(job.CostNH)
+		obs.JobMem.Observe(job.MemMB)
 
 		// Absorb the measurement into both models (Algorithm 1 lines 10-11):
 		// periodic full refit with warm-started hyperparameters, incremental
@@ -269,23 +286,29 @@ func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) 
 		logC := math.Log10(job.CostNH)
 		logM := math.Log10(job.MemMB)
 		if (iter+1)%cfg.HyperoptEvery == 0 {
+			spHyper := obs.SpanHyperopt.Start()
 			if err := appendAndRefit(gpCost, xNew, logC); err != nil {
 				return nil, fmt.Errorf("core: cost refit at iteration %d: %w", iter, err)
 			}
 			if err := appendAndRefit(gpMem, xNew, logM); err != nil {
 				return nil, fmt.Errorf("core: memory refit at iteration %d: %w", iter, err)
 			}
+			spHyper.End()
 		} else {
+			spFeed := obs.SpanFeed.Start()
 			if err := gpCost.Append(xNew, logC); err != nil {
 				return nil, fmt.Errorf("core: cost update at iteration %d: %w", iter, err)
 			}
 			if err := gpMem.Append(xNew, logM); err != nil {
 				return nil, fmt.Errorf("core: memory update at iteration %d: %w", iter, err)
 			}
+			spFeed.End()
 		}
 
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 		scorer.remove(pick)
+		obs.LoopIterations.Inc()
+		obs.PoolSize.Set(float64(len(remaining)))
 
 		tr.CostRMSE = append(tr.CostRMSE, nonLogRMSE(gpCost, xTest, costTest))
 		tr.MemRMSE = append(tr.MemRMSE, nonLogRMSE(gpMem, xTest, memTest))

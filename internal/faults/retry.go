@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"alamr/internal/dataset"
+	"alamr/internal/obs"
 )
 
 // RetryPolicy bounds and paces repeated attempts on one configuration.
@@ -91,6 +92,7 @@ func RunWithRetry(lab Lab, c dataset.Combo, p RetryPolicy) Outcome {
 	out := Outcome{ByClass: make(map[Class]int), LostNHByClass: make(map[Class]float64)}
 	for {
 		out.Attempts++
+		obs.FaultAttempts.Inc()
 		job, err := lab.Run(c)
 		if err == nil {
 			err = ValidateJob(job, out.Attempts)
@@ -98,6 +100,7 @@ func RunWithRetry(lab Lab, c dataset.Combo, p RetryPolicy) Outcome {
 		if err == nil {
 			out.Job = job
 			out.OK = true
+			obs.FaultSuccess.Inc()
 			return out
 		}
 
@@ -116,17 +119,30 @@ func RunWithRetry(lab Lab, c dataset.Combo, p RetryPolicy) Outcome {
 			}
 			out.ByClass[ClassUnknown]++
 		}
+		obs.FaultByClass.Inc(string(out.Fault.Class))
 
+		// Terminal classification mirrors online.Health.absorb: a censored
+		// kill counts as censored, every other terminal failure (fatal or an
+		// exhausted retry budget) counts as fatal — so the obs counters
+		// reconcile with the campaign health ledger by construction.
 		if out.Fault.Severity != Retryable {
+			if out.Fault.Severity == Censored {
+				obs.FaultCensored.Inc()
+			} else {
+				obs.FaultFatal.Inc()
+			}
 			return out
 		}
 		if out.Attempts >= p.MaxAttempts {
 			out.Exhausted = true
+			obs.FaultFatal.Inc()
 			return out
 		}
 		out.Retries++
+		obs.FaultRetries.Inc()
 		delay := p.Backoff(c, out.Attempts)
 		out.BackoffSec += delay
+		obs.FaultBackoff.Observe(delay)
 		if p.Sleep != nil {
 			p.Sleep(delay)
 		}

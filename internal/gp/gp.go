@@ -25,6 +25,7 @@ import (
 
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 	"alamr/internal/optimize"
 )
 
@@ -269,6 +270,8 @@ func (g *GP) precompute() error {
 	n := float64(len(g.y))
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*ch.LogDet() - 0.5*n*math.Log(2*math.Pi)
 	g.fitted = true
+	obs.GPRebuilds.Inc()
+	obs.GPTrainRows.Set(n)
 	for _, c := range g.caches {
 		c.invalidate()
 	}

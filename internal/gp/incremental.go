@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 )
 
 // Append adds one training sample to a fitted GP without re-optimizing
@@ -58,6 +59,8 @@ func (g *GP) Append(x []float64, y float64) error {
 
 	g.alpha = g.chol.SolveVec(g.y)
 	g.lml = -0.5*mat.Dot(g.y, g.alpha) - 0.5*g.chol.LogDet() - 0.5*float64(n+1)*math.Log(2*math.Pi)
+	obs.GPExtends.Inc()
+	obs.GPTrainRows.Set(float64(n + 1))
 	for _, c := range g.caches {
 		c.extendAppend()
 	}

@@ -1,0 +1,85 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"alamr/internal/obs"
+)
+
+// TestObsOverheadGate is the CI-enforceable form of the <2% disabled-
+// observability budget on the scoring hot path. Run-to-run ratios of two
+// full benchmark runs are too noisy to gate on, so the gate bounds the
+// overhead analytically from quantities that are individually stable:
+//
+//	overhead ≈ (instrument events per trajectory op) × (cost of one
+//	           disabled no-op handle call)
+//
+// The event count is measured exactly — run one cached trajectory with a
+// live registry and sum every counter and histogram — and the per-call
+// no-op cost is measured with testing.Benchmark. A 4× safety factor
+// absorbs gauge writes (which the registry cannot count), span handles,
+// and timer noise. The before/after evidence for the same claim lives in
+// results/bench_baseline_pr4.txt and results/bench_after_pr4.txt.
+func TestObsOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate uses testing.Benchmark; skipped in -short")
+	}
+	// The smallest benchmark case is the most overhead-sensitive: fixed
+	// instrumentation cost against the least numerical work.
+	const n, m, d = 50, 100, 5
+
+	// 1. Exact instrument-event count of one cached trajectory op.
+	obs.Disable()
+	reg := obs.NewRegistry()
+	obs.Enable(reg, nil)
+	gc, gm := benchFitPair(t, n, d)
+	scoreTrajectory(t, gc, gm, benchPool(m, d, 99), true)
+	obs.Disable()
+	snap := reg.TakeSnapshot()
+	var events int64
+	for _, v := range snap.Counters {
+		events += v
+	}
+	for _, h := range snap.Histograms {
+		events += h.Count
+	}
+	if events == 0 {
+		t.Fatal("instrumentation did not fire on the scoring path")
+	}
+
+	// 2. Cost of one disabled handle call (all flavors; take the worst).
+	perOp := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	worst := math.Max(
+		math.Max(perOp(func() { obs.CacheHits.Inc() }), perOp(func() { obs.GPTrainRows.Set(1) })),
+		math.Max(perOp(func() { obs.JobCost.Observe(1) }), perOp(func() { obs.SpanScore.Start().End() })),
+	)
+
+	// 3. Wall time of the same trajectory op with observability disabled.
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gc, gm := benchFitPair(b, n, d)
+			pool := benchPool(m, d, 99)
+			b.StartTimer()
+			benchSink += scoreTrajectory(b, gc, gm, pool, true)
+		}
+	})
+	iterNs := float64(r.T.Nanoseconds()) / float64(r.N)
+
+	overheadNs := 4 * float64(events) * worst
+	limitNs := 0.02 * iterNs
+	t.Logf("events/op=%d worst-handle=%.2f ns overhead≈%.0f ns vs op=%.0f ns (%.4f%%, gate 2%%)",
+		events, worst, overheadNs, iterNs, 100*overheadNs/iterNs)
+	if overheadNs > limitNs {
+		t.Fatalf("disabled-observability overhead bound %.0f ns exceeds 2%% of the %.0f ns scoring op",
+			overheadNs, iterNs)
+	}
+}

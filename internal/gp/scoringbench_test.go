@@ -37,7 +37,7 @@ func benchDense(rows [][]float64) *mat.Dense {
 	return x
 }
 
-func benchFitPair(b *testing.B, n, d int) (*GP, *GP) {
+func benchFitPair(b testing.TB, n, d int) (*GP, *GP) {
 	b.Helper()
 	x, y := benchTraining(n, d)
 	gc := New(kernel.NewRBF(1, 1), Config{Noise: 0.1, NoOptimize: true})
@@ -55,7 +55,7 @@ func benchFitPair(b *testing.B, n, d int) (*GP, *GP) {
 // returns a checksum. The pick rule (argmax of summed uncertainty, ties to
 // the lower index) is deterministic, so direct and cached runs follow the
 // same trajectory.
-func scoreTrajectory(b *testing.B, gc, gm *GP, pool [][]float64, cached bool) float64 {
+func scoreTrajectory(b testing.TB, gc, gm *GP, pool [][]float64, cached bool) float64 {
 	b.Helper()
 	var sum float64
 	absorb := func(x []float64, mu float64) {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 )
 
 // ScoringCache is a persistent posterior cache over a candidate pool: for
@@ -105,7 +106,10 @@ func (c *ScoringCache) Close() {
 // invalidate marks every stored row stale; called by precompute, i.e.
 // whenever hyperparameters (and hence the factor and all kernel rows) may
 // have changed.
-func (c *ScoringCache) invalidate() { c.stale = true }
+func (c *ScoringCache) invalidate() {
+	c.stale = true
+	obs.CacheInvalidations.Inc()
+}
 
 // Scores returns the posterior mean and standard deviation for every live
 // candidate in pool order. The returned slices are owned by the cache and
@@ -114,6 +118,8 @@ func (c *ScoringCache) invalidate() { c.stale = true }
 func (c *ScoringCache) Scores() (mu, sigma []float64) {
 	if c.stale {
 		c.rebuild()
+	} else {
+		obs.CacheHits.Inc()
 	}
 	m := len(c.order)
 	if cap(c.mu) < m {
@@ -167,6 +173,7 @@ func (c *ScoringCache) Remove(p int) {
 // forward solve keeps rebuilt state bitwise identical to incrementally
 // extended state (see the type comment).
 func (c *ScoringCache) rebuild() {
+	obs.CacheRebuilds.Inc()
 	g := c.g
 	n := g.x.Rows()
 	mat.ParallelFor(len(c.xs), mat.ChunkFor(n*n/2+32*n+8), func(lo, hi int) {
@@ -190,6 +197,7 @@ func (c *ScoringCache) extendAppend() {
 	if c.stale || len(c.xs) == 0 {
 		return
 	}
+	obs.CacheExtends.Inc()
 	g := c.g
 	n := g.x.Rows() // post-append size; cached rows have n−1 entries
 	mat.ParallelFor(len(c.xs), mat.ChunkFor(2*n+64), func(lo, hi int) {

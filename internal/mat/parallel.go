@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"alamr/internal/obs"
 )
 
 // This file implements the parallel compute layer used by the dense kernels
@@ -104,9 +106,12 @@ func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
 	}
 	w := Workers()
 	if w == 1 || n < 2*minChunk {
+		obs.MatInline.Inc()
 		fn(0, n)
 		return
 	}
+	obs.MatDispatch.Inc()
+	obs.MatWorkers.Set(float64(w))
 	nchunks := (n + minChunk - 1) / minChunk
 	if nchunks > w {
 		nchunks = w

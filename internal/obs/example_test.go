@@ -1,0 +1,73 @@
+package obs_test
+
+import (
+	"os"
+
+	"alamr/internal/obs"
+)
+
+// Example_metrics builds a registry, drives each instrument kind, and
+// renders the Prometheus text exposition — the same bytes -metrics-addr
+// serves at /metrics. Production code does not usually touch instruments
+// directly: it calls obs.Enable(reg, tracer) once and the instrumented
+// packages write through the package-level nil-safe handles
+// (obs.LoopIterations, obs.SpanScore, ...); see examples/observability for
+// that end-to-end flow.
+func Example_metrics() {
+	reg := obs.NewRegistry()
+
+	hits := reg.Counter("demo_cache_hits_total", "cache hits served without a rebuild")
+	depth := reg.Gauge("demo_pool_size", "candidates remaining in the pool")
+	lat := reg.Histogram("demo_score_seconds", "time to score the pool", obs.LatencyBuckets)
+
+	hits.Inc()
+	hits.Inc()
+	depth.Set(118)
+	lat.Observe(0.004)
+
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	// Output:
+	// # HELP demo_cache_hits_total cache hits served without a rebuild
+	// # TYPE demo_cache_hits_total counter
+	// demo_cache_hits_total 2
+	// # HELP demo_pool_size candidates remaining in the pool
+	// # TYPE demo_pool_size gauge
+	// demo_pool_size 118
+	// # HELP demo_score_seconds time to score the pool
+	// # TYPE demo_score_seconds histogram
+	// demo_score_seconds_bucket{le="1e-05"} 0
+	// demo_score_seconds_bucket{le="0.0001"} 0
+	// demo_score_seconds_bucket{le="0.001"} 0
+	// demo_score_seconds_bucket{le="0.01"} 1
+	// demo_score_seconds_bucket{le="0.1"} 1
+	// demo_score_seconds_bucket{le="0.5"} 1
+	// demo_score_seconds_bucket{le="1"} 1
+	// demo_score_seconds_bucket{le="5"} 1
+	// demo_score_seconds_bucket{le="30"} 1
+	// demo_score_seconds_bucket{le="+Inf"} 1
+	// demo_score_seconds_sum 0.004
+	// demo_score_seconds_count 1
+}
+
+// Example_tracer records span events deterministically (wall-clock fields
+// zeroed) — the mode the bitwise checkpoint-resume tests run under.
+func Example_tracer() {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.TracerConfig{Deterministic: true, Out: os.Stdout})
+	obs.Enable(reg, tr)
+	defer obs.Disable()
+
+	sp := obs.SpanScore.Start()
+	sp.EndDetail("pool=120")
+	obs.SpanSelect.Start().End()
+	if err := tr.Flush(); err != nil {
+		panic(err)
+	}
+
+	// Output:
+	// {"seq":1,"name":"score","detail":"pool=120"}
+	// {"seq":2,"name":"select"}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Handles are the indirection that makes instrumentation free when
+// observability is off. Instrumented packages call the package-level
+// handle vars below (obs.CacheHits.Inc(), obs.SpanScore.Start(), ...);
+// each handle holds an atomic pointer to its instrument, nil while
+// disabled, so a disabled call is one atomic load plus a nil-check no-op.
+// Enable/bindHandles swaps live instruments in; Disable swaps nils back.
+
+// CounterHandle is a nil-safe indirection to a Counter.
+type CounterHandle struct{ p atomic.Pointer[Counter] }
+
+// Inc adds one; no-op while disabled.
+func (h *CounterHandle) Inc() { h.p.Load().Inc() }
+
+// Add adds n; no-op while disabled.
+func (h *CounterHandle) Add(n int64) { h.p.Load().Add(n) }
+
+// GaugeHandle is a nil-safe indirection to a Gauge.
+type GaugeHandle struct{ p atomic.Pointer[Gauge] }
+
+// Set stores v; no-op while disabled.
+func (h *GaugeHandle) Set(v float64) { h.p.Load().Set(v) }
+
+// HistogramHandle is a nil-safe indirection to a Histogram.
+type HistogramHandle struct{ p atomic.Pointer[Histogram] }
+
+// Observe records v; no-op while disabled.
+func (h *HistogramHandle) Observe(v float64) { h.p.Load().Observe(v) }
+
+// CounterVecHandle is a nil-safe indirection to a fixed set of labeled
+// counters keyed by label value (e.g. fault class). Unknown values are
+// silently dropped.
+type CounterVecHandle struct {
+	p atomic.Pointer[map[string]*Counter]
+}
+
+// Inc increments the counter for the given label value; no-op while
+// disabled or for unknown values.
+func (h *CounterVecHandle) Inc(value string) {
+	m := h.p.Load()
+	if m == nil {
+		return
+	}
+	(*m)[value].Inc()
+}
+
+// SpanHandle times a named region into a latency histogram and, when a
+// tracer is bound, emits a trace event. Usage:
+//
+//	sp := obs.SpanScore.Start()
+//	... work ...
+//	sp.End()
+//
+// While disabled Start returns an inert Span and never reads the clock.
+type SpanHandle struct {
+	name string
+	hist atomic.Pointer[Histogram]
+}
+
+// Start begins timing the region; returns an inert Span while disabled.
+func (h *SpanHandle) Start() Span {
+	hist := h.hist.Load()
+	if hist == nil {
+		return Span{}
+	}
+	return Span{name: h.name, hist: hist, start: time.Now()}
+}
+
+// Span is an in-flight timed region produced by SpanHandle.Start.
+type Span struct {
+	name  string
+	hist  *Histogram
+	start time.Time
+}
+
+// End closes the span: observes the elapsed seconds into the handle's
+// histogram and emits a trace event if a tracer is bound.
+func (s Span) End() { s.EndDetail("") }
+
+// EndDetail is End with a free-form detail string attached to the trace
+// event (ignored by the histogram).
+func (s Span) EndDetail(detail string) {
+	if s.hist == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	if t := CurrentTracer(); t != nil {
+		t.emit(s.name, s.start, d, detail)
+	}
+}
+
+// The process-wide instrument handles. One var per metric in names.go;
+// all no-ops until Enable binds them.
+var (
+	// AL loop / campaign.
+	LoopIterations     CounterHandle
+	CampaignViolations CounterHandle
+	CampaignCumCost    GaugeHandle
+	CampaignCumRegret  GaugeHandle
+	CampaignHeadroom   GaugeHandle
+	PoolSize           GaugeHandle
+	JobCost            HistogramHandle
+	JobMem             HistogramHandle
+
+	// Loop phase spans (histogram alamr_loop_phase_seconds{phase=...}).
+	SpanFit      = SpanHandle{name: PhaseFit}
+	SpanHyperopt = SpanHandle{name: PhaseHyperopt}
+	SpanScore    = SpanHandle{name: PhaseScore}
+	SpanSelect   = SpanHandle{name: PhaseSelect}
+	SpanRun      = SpanHandle{name: PhaseRun}
+	SpanFeed     = SpanHandle{name: PhaseFeed}
+
+	// GP internals.
+	GPRebuilds  CounterHandle
+	GPExtends   CounterHandle
+	GPTrainRows GaugeHandle
+
+	// ScoringCache.
+	CacheHits          CounterHandle
+	CacheRebuilds      CounterHandle
+	CacheInvalidations CounterHandle
+	CacheExtends       CounterHandle
+
+	// mat worker pool.
+	MatDispatch CounterHandle
+	MatInline   CounterHandle
+	MatWorkers  GaugeHandle
+
+	// Faults runtime.
+	FaultAttempts CounterHandle
+	FaultRetries  CounterHandle
+	FaultSuccess  CounterHandle
+	FaultCensored CounterHandle
+	FaultFatal    CounterHandle
+	FaultByClass  CounterVecHandle
+	FaultBackoff  HistogramHandle
+
+	// Checkpointing (spans carry both the counter-adjacent trace event and
+	// the duration histogram; the counters count completed operations).
+	CheckpointWrites      CounterHandle
+	CheckpointRestores    CounterHandle
+	SpanCheckpointWrite   = SpanHandle{name: "checkpoint.write"}
+	SpanCheckpointRestore = SpanHandle{name: "checkpoint.restore"}
+)
+
+// faultClassValues mirrors faults.Classes(); kept here so obs has no
+// dependency on the packages it instruments.
+var faultClassValues = []string{"oom", "timeout", "transient", "corrupt", "unknown"}
+
+// bindHandles points every handle at live instruments in r. Called under
+// global.mu by Enable.
+func bindHandles(r *Registry) {
+	LoopIterations.p.Store(r.Counter(MetricLoopIterations, "AL loop iterations completed"))
+	CampaignViolations.p.Store(r.Counter(MetricCampaignViolations, "selected jobs that exceeded the memory limit"))
+	CampaignCumCost.p.Store(r.Gauge(MetricCampaignCumCost, "cumulative cost (node-hours) so far"))
+	CampaignCumRegret.p.Store(r.Gauge(MetricCampaignCumRegret, "cumulative regret (node-hours wasted on violations) so far"))
+	CampaignHeadroom.p.Store(r.Gauge(MetricCampaignHeadroom, "memory headroom of the last run job (limit - MaxRSS, MB)"))
+	PoolSize.p.Store(r.Gauge(MetricPoolSize, "candidate pool size"))
+	JobCost.p.Store(r.Histogram(MetricJobCost, "per-job cost (node-hours)", CostBuckets))
+	JobMem.p.Store(r.Histogram(MetricJobMem, "per-job peak memory (MB)", SizeBuckets))
+
+	for _, sp := range []*SpanHandle{&SpanFit, &SpanHyperopt, &SpanScore, &SpanSelect, &SpanRun, &SpanFeed} {
+		sp.hist.Store(r.Histogram(Labeled(MetricLoopPhaseSeconds, "phase", sp.name),
+			"AL loop phase duration (seconds)", LatencyBuckets))
+	}
+
+	GPRebuilds.p.Store(r.Counter(MetricGPRebuilds, "full Cholesky factorizations (Fit/Refit)"))
+	GPExtends.p.Store(r.Counter(MetricGPExtends, "incremental rank-1 Cholesky extensions (Append)"))
+	GPTrainRows.p.Store(r.Gauge(MetricGPTrainRows, "GP training-set size after the last (re)build"))
+
+	CacheHits.p.Store(r.Counter(MetricCacheHits, "ScoringCache.Scores calls served warm"))
+	CacheRebuilds.p.Store(r.Counter(MetricCacheRebuilds, "ScoringCache full rebuilds"))
+	CacheInvalidations.p.Store(r.Counter(MetricCacheInvalidations, "ScoringCache invalidations (Fit/Refit)"))
+	CacheExtends.p.Store(r.Counter(MetricCacheExtends, "ScoringCache incremental extensions (Append)"))
+
+	MatDispatch.p.Store(r.Counter(MetricMatDispatch, "ParallelFor calls dispatched to the worker pool"))
+	MatInline.p.Store(r.Counter(MetricMatInline, "ParallelFor calls run inline (serial fast path)"))
+	MatWorkers.p.Store(r.Gauge(MetricMatWorkers, "worker-pool size at last dispatch"))
+
+	FaultAttempts.p.Store(r.Counter(MetricFaultAttempts, "experiment attempts (including retries)"))
+	FaultRetries.p.Store(r.Counter(MetricFaultRetries, "attempts that faulted and were retried"))
+	FaultSuccess.p.Store(r.Counter(MetricFaultSuccesses, "experiments that ended in success"))
+	FaultCensored.p.Store(r.Counter(MetricFaultCensored, "experiments that ended censored (oom/timeout kill)"))
+	FaultFatal.p.Store(r.Counter(MetricFaultFatal, "experiments that ended fatally"))
+	classes := make(map[string]*Counter, len(faultClassValues))
+	for _, cl := range faultClassValues {
+		classes[cl] = r.Counter(Labeled(MetricFaultByClass, "class", cl), "faults observed, by class")
+	}
+	FaultByClass.p.Store(&classes)
+	FaultBackoff.p.Store(r.Histogram(MetricFaultBackoffSeconds, "simulated backoff waits (seconds)", BackoffBuckets))
+
+	CheckpointWrites.p.Store(r.Counter(MetricCheckpointWrites, "checkpoints written"))
+	CheckpointRestores.p.Store(r.Counter(MetricCheckpointRestores, "campaigns resumed from a checkpoint"))
+	SpanCheckpointWrite.hist.Store(r.Histogram(MetricCheckpointWriteSeconds, "checkpoint write duration (seconds)", LatencyBuckets))
+	SpanCheckpointRestore.hist.Store(r.Histogram(MetricCheckpointRestoreSeconds, "checkpoint restore duration (seconds)", LatencyBuckets))
+}
+
+// unbindHandles reverts every handle to a no-op. Called under global.mu.
+func unbindHandles() {
+	for _, c := range []*CounterHandle{
+		&LoopIterations, &CampaignViolations,
+		&GPRebuilds, &GPExtends,
+		&CacheHits, &CacheRebuilds, &CacheInvalidations, &CacheExtends,
+		&MatDispatch, &MatInline,
+		&FaultAttempts, &FaultRetries, &FaultSuccess, &FaultCensored, &FaultFatal,
+		&CheckpointWrites, &CheckpointRestores,
+	} {
+		c.p.Store(nil)
+	}
+	for _, g := range []*GaugeHandle{
+		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
+		&PoolSize, &GPTrainRows, &MatWorkers,
+	} {
+		g.p.Store(nil)
+	}
+	for _, h := range []*HistogramHandle{&JobCost, &JobMem, &FaultBackoff} {
+		h.p.Store(nil)
+	}
+	for _, sp := range []*SpanHandle{
+		&SpanFit, &SpanHyperopt, &SpanScore, &SpanSelect, &SpanRun, &SpanFeed,
+		&SpanCheckpointWrite, &SpanCheckpointRestore,
+	} {
+		sp.hist.Store(nil)
+	}
+	FaultByClass.p.Store(nil)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// Server exposes a registry over HTTP:
+//
+//	/metrics        Prometheus text exposition format
+//	/metrics.json   indented JSON snapshot
+//	/debug/pprof/   the standard net/http/pprof profile endpoints
+//
+// It listens on its own mux (net/http/pprof's init only touches
+// http.DefaultServeMux, so the profile handlers are registered explicitly).
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving reg on addr (e.g. ":9090", or ":0" to pick a
+// free port — see Addr). It returns once the listener is bound; requests
+// are served on a background goroutine.
+func NewServer(reg *Registry, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Bundle is the process-level observability kit Boot assembles for the
+// campaign binaries: a registry (bound as the global sink), an optional
+// HTTP server, and an optional JSONL tracer.
+type Bundle struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Server   *Server
+	traceF   *os.File
+}
+
+// Boot wires observability for a campaign binary from its flag values:
+// metricsAddr ("" = no HTTP server) and tracePath ("" = no trace file).
+// If either is set, a registry is created, bound globally via Enable, and
+// — when metricsAddr is non-empty — served over HTTP. The caller must
+// defer Close. When both are empty Boot returns (nil, nil) and the
+// process stays on the zero-overhead no-op path.
+func Boot(metricsAddr, tracePath string) (*Bundle, error) {
+	if metricsAddr == "" && tracePath == "" {
+		return nil, nil
+	}
+	b := &Bundle{Registry: NewRegistry()}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create trace file: %w", err)
+		}
+		b.traceF = f
+		b.Tracer = NewTracer(TracerConfig{Out: f})
+	}
+	if metricsAddr != "" {
+		srv, err := NewServer(b.Registry, metricsAddr)
+		if err != nil {
+			if b.traceF != nil {
+				b.traceF.Close()
+			}
+			return nil, err
+		}
+		b.Server = srv
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
+	Enable(b.Registry, b.Tracer)
+	return b, nil
+}
+
+// Close disables the global sink, flushes the trace stream, and stops the
+// HTTP server. Safe on a nil *Bundle (the disabled case), so callers can
+// unconditionally `defer b.Close()`.
+func (b *Bundle) Close() error {
+	if b == nil {
+		return nil
+	}
+	Disable()
+	var firstErr error
+	if b.Tracer != nil {
+		if err := b.Tracer.Flush(); err != nil {
+			firstErr = err
+		}
+	}
+	if b.traceF != nil {
+		if err := b.traceF.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if b.Server != nil {
+		if err := b.Server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(MetricCampaignCumCost, "cc").Set(12.5)
+	r.Counter(MetricLoopIterations, "iters").Add(3)
+
+	s, err := NewServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, MetricCampaignCumCost+" 12.5") {
+		t.Fatalf("/metrics missing cum-cost gauge:\n%s", body)
+	}
+	if !strings.Contains(body, MetricLoopIterations+" 3") {
+		t.Fatalf("/metrics missing iteration counter:\n%s", body)
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"`+MetricCampaignCumCost+`": 12.5`) {
+		t.Fatalf("/metrics.json status %d body:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestBootDisabledIsNil(t *testing.T) {
+	b, err := Boot("", "")
+	if err != nil || b != nil {
+		t.Fatalf("Boot(\"\",\"\") = %v, %v; want nil, nil", b, err)
+	}
+	if err := b.Close(); err != nil { // nil-safe Close
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("Boot with no flags must leave obs disabled")
+	}
+}
+
+func TestBootTraceFile(t *testing.T) {
+	defer Disable()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	b, err := Boot("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Boot with trace path must enable obs")
+	}
+	SpanScore.Start().End()
+	SpanRun.Start().EndDetail("job=7")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("Close must disable obs")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, `"name":"score"`) || !strings.Contains(out, `"detail":"job=7"`) {
+		t.Fatalf("trace JSONL incomplete:\n%s", out)
+	}
+}

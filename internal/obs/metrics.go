@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's metrics. All instruments are idempotently
+// created by name: the first Counter/Gauge/Histogram call for a name
+// creates the instrument, later calls return the same one (a histogram
+// re-request ignores the bucket argument). Names follow the Prometheus
+// convention; labels are carried inside the name, e.g.
+// `alamr_loop_phase_seconds{phase="score"}` — the exporter splits them back
+// out. All methods are safe for concurrent use; instrument updates are
+// lock-free atomics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given name.
+// buckets are the inclusive upper bounds of the fixed bucket layout, in
+// strictly ascending order; an implicit +Inf bucket is always appended.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending: %v", name, buckets))
+		}
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), buckets...),
+		buckets: make([]atomic.Int64, len(buckets)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// CounterValue reports the current value of a counter, or (0, false) if no
+// counter with that name exists. Intended for tests and report tables.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return c.Value(), true
+}
+
+// GaugeValue reports the current value of a gauge, or (0, false).
+func (r *Registry) GaugeValue(name string) (float64, bool) {
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return g.Value(), true
+}
+
+// sortedNames returns the registry's instrument names in one sorted list
+// per kind, for stable export order.
+func (r *Registry) sorted() (counters []*Counter, gauges []*Gauge, histograms []*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	for _, h := range r.histograms {
+		histograms = append(histograms, h)
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
+	return counters, gauges, histograms
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be non-negative; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a float64 metric that can go up and down. Stored as IEEE-754
+// bits in an atomic word.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram counts observations into a fixed set of buckets (cumulative
+// export à la Prometheus) and tracks the observation sum and count.
+type Histogram struct {
+	name, help string
+	bounds     []float64      // inclusive upper bounds, ascending
+	buckets    []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	count      atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// bucketCounts returns the non-cumulative per-bucket counts (last = +Inf).
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Fixed bucket layouts (documented in DESIGN.md §Observability). Layouts
+// are part of the metric contract: dashboards and the exporter rely on
+// them, so change them only with a docs update.
+var (
+	// LatencyBuckets covers phase/checkpoint timings: 10 µs .. 30 s.
+	LatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30}
+	// BackoffBuckets covers retry backoff waits in seconds.
+	BackoffBuckets = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+	// CostBuckets covers per-job cost in node-hours (the paper's Table I
+	// spans ~2.5e-3 .. 12 NH).
+	CostBuckets = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50}
+	// SizeBuckets covers per-job memory in MB.
+	SizeBuckets = []float64{0.01, 0.1, 0.5, 1, 5, 10, 50, 100, 1000}
+)

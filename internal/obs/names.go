@@ -1,0 +1,115 @@
+package obs
+
+// Metric names. Every exported instrument in the process is declared here
+// (and documented in DESIGN.md §Observability); TestMetricNamesUnique lints
+// the list for duplicates so two subsystems cannot silently share a series.
+//
+// Naming follows Prometheus conventions: `alamr_` prefix, `_total` suffix
+// for counters, base units in the name (`_seconds`, `_nh` node-hours,
+// `_mb` megabytes). Labels are embedded in the full series name
+// (`name{label="value"}`) and split back out by the exporter.
+const (
+	// AL loop / campaign.
+	MetricLoopIterations     = "alamr_loop_iterations_total"
+	MetricLoopPhaseSeconds   = "alamr_loop_phase_seconds" // label: phase
+	MetricCampaignViolations = "alamr_campaign_violations_total"
+	MetricCampaignCumCost    = "alamr_campaign_cum_cost_nh"
+	MetricCampaignCumRegret  = "alamr_campaign_cum_regret_nh"
+	MetricCampaignHeadroom   = "alamr_campaign_mem_headroom_mb"
+	MetricPoolSize           = "alamr_pool_size"
+	MetricJobCost            = "alamr_job_cost_nh"
+	MetricJobMem             = "alamr_job_mem_mb"
+
+	// GP internals.
+	MetricGPRebuilds  = "alamr_gp_rebuild_total"
+	MetricGPExtends   = "alamr_gp_extend_total"
+	MetricGPTrainRows = "alamr_gp_train_rows"
+
+	// ScoringCache.
+	MetricCacheHits          = "alamr_cache_hits_total"
+	MetricCacheRebuilds      = "alamr_cache_rebuilds_total"
+	MetricCacheInvalidations = "alamr_cache_invalidations_total"
+	MetricCacheExtends       = "alamr_cache_extends_total"
+
+	// mat worker pool.
+	MetricMatDispatch = "alamr_mat_dispatch_total"
+	MetricMatInline   = "alamr_mat_inline_total"
+	MetricMatWorkers  = "alamr_mat_workers"
+
+	// Faults runtime.
+	MetricFaultAttempts       = "alamr_faults_attempts_total"
+	MetricFaultRetries        = "alamr_faults_retries_total"
+	MetricFaultSuccesses      = "alamr_faults_successes_total"
+	MetricFaultCensored       = "alamr_faults_censored_total"
+	MetricFaultFatal          = "alamr_faults_fatal_total"
+	MetricFaultByClass        = "alamr_faults_by_class_total" // label: class
+	MetricFaultBackoffSeconds = "alamr_faults_backoff_seconds"
+
+	// Checkpointing.
+	MetricCheckpointWrites         = "alamr_checkpoint_writes_total"
+	MetricCheckpointRestores       = "alamr_checkpoint_restores_total"
+	MetricCheckpointWriteSeconds   = "alamr_checkpoint_write_seconds"
+	MetricCheckpointRestoreSeconds = "alamr_checkpoint_restore_seconds"
+)
+
+// Phase labels used with MetricLoopPhaseSeconds and trace span names.
+const (
+	PhaseFit      = "fit"
+	PhaseHyperopt = "hyperopt"
+	PhaseScore    = "score"
+	PhaseSelect   = "select"
+	PhaseRun      = "run"
+	PhaseFeed     = "feed"
+)
+
+// AllMetricNames lists every metric series this process can emit, with
+// labeled series spelled out per label value. The duplicate lint and the
+// DESIGN.md coverage test iterate over it.
+var AllMetricNames = []string{
+	MetricLoopIterations,
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseFit),
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseHyperopt),
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseScore),
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseSelect),
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseRun),
+	Labeled(MetricLoopPhaseSeconds, "phase", PhaseFeed),
+	MetricCampaignViolations,
+	MetricCampaignCumCost,
+	MetricCampaignCumRegret,
+	MetricCampaignHeadroom,
+	MetricPoolSize,
+	MetricJobCost,
+	MetricJobMem,
+	MetricGPRebuilds,
+	MetricGPExtends,
+	MetricGPTrainRows,
+	MetricCacheHits,
+	MetricCacheRebuilds,
+	MetricCacheInvalidations,
+	MetricCacheExtends,
+	MetricMatDispatch,
+	MetricMatInline,
+	MetricMatWorkers,
+	MetricFaultAttempts,
+	MetricFaultRetries,
+	MetricFaultSuccesses,
+	MetricFaultCensored,
+	MetricFaultFatal,
+	Labeled(MetricFaultByClass, "class", "oom"),
+	Labeled(MetricFaultByClass, "class", "timeout"),
+	Labeled(MetricFaultByClass, "class", "transient"),
+	Labeled(MetricFaultByClass, "class", "corrupt"),
+	Labeled(MetricFaultByClass, "class", "unknown"),
+	MetricFaultBackoffSeconds,
+	MetricCheckpointWrites,
+	MetricCheckpointRestores,
+	MetricCheckpointWriteSeconds,
+	MetricCheckpointRestoreSeconds,
+}
+
+// Labeled builds the full series name for a single-label metric:
+// Labeled("alamr_faults_by_class_total", "class", "oom") →
+// `alamr_faults_by_class_total{class="oom"}`.
+func Labeled(name, label, value string) string {
+	return name + `{` + label + `="` + value + `"}`
+}

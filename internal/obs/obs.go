@@ -1,0 +1,95 @@
+// Package obs is the campaign observability layer: a zero-dependency
+// metrics registry (atomic counters, gauges, and fixed-bucket histograms
+// with a Prometheus-text exporter and a JSON snapshot), a span-style event
+// tracer (bounded ring buffer, optional JSONL stream), and an HTTP server
+// that exposes /metrics and net/http/pprof.
+//
+// The paper's core claim is economic — RGMA wins on Cumulative Cost and
+// Cumulative Regret, not just RMSE — so CC, CR, and memory headroom are
+// live gauges here, continuously observable while a campaign runs, rather
+// than columns computed after it ends. The AL loop phases (fit / hyperopt /
+// score / select / run / feed), the GP internals (Cholesky extend vs.
+// rebuild, ScoringCache hit/invalidate/rebuild, worker-pool dispatch), and
+// the faults runtime (attempts, retries, backoff, censored kills,
+// checkpoint timings) all report through this package.
+//
+// # Enable/disable contract
+//
+// Instrumented packages never hold a *Registry; they call through the
+// package-level handles declared in handles.go (obs.CacheHits.Inc(),
+// obs.SpanScore.Start(), ...). While disabled — the default — every handle
+// is unbound and every call is a nil-check no-op: one atomic load on the
+// hot path, no wall-clock reads, no allocation. Enable binds all handles
+// to a live Registry (and optionally a Tracer); Disable unbinds them.
+// Handles are swapped through atomic pointers, so Enable/Disable are safe
+// to call while instrumented code runs (though metrics observed across the
+// swap may land in either world).
+//
+// # Determinism contract
+//
+// Instrumentation is write-only: it never feeds back into the computation,
+// never draws from any seeded RNG, and never makes control flow depend on
+// the clock. Wall time appears only in metric/trace *output* (durations,
+// timestamps), so enabling observability cannot perturb seeded trajectories
+// or the bitwise checkpoint-resume guarantee — a property pinned by the
+// obs-enabled kill-and-resume tests in internal/online. Tracers built with
+// Deterministic: true additionally zero all time fields, making trace
+// output itself byte-for-byte reproducible.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the fast-path gate: instrumented code may consult Enabled()
+// before building span details or reading the clock.
+var enabled atomic.Bool
+
+// global holds the bound registry/tracer (nil when disabled).
+var global struct {
+	mu       sync.Mutex
+	registry atomic.Pointer[Registry]
+	tracer   atomic.Pointer[Tracer]
+}
+
+// Enabled reports whether a registry is currently bound. Instrumented code
+// uses it to skip work that only matters when observability is on (building
+// trace detail strings, reading the clock for span durations).
+func Enabled() bool { return enabled.Load() }
+
+// Default returns the currently bound registry, or nil while disabled.
+func Default() *Registry { return global.registry.Load() }
+
+// CurrentTracer returns the currently bound tracer, or nil.
+func CurrentTracer() *Tracer { return global.tracer.Load() }
+
+// Enable binds r (and the optional tracer t, which may be nil) as the
+// process-wide observability sink and rebinds every declared handle.
+// Enabling with a nil registry is equivalent to Disable.
+func Enable(r *Registry, t *Tracer) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if r == nil {
+		disableLocked()
+		return
+	}
+	global.registry.Store(r)
+	global.tracer.Store(t)
+	bindHandles(r)
+	enabled.Store(true)
+}
+
+// Disable unbinds the registry and tracer; every handle reverts to a no-op.
+func Disable() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	disableLocked()
+}
+
+func disableLocked() {
+	enabled.Store(false)
+	unbindHandles()
+	global.registry.Store(nil)
+	global.tracer.Store(nil)
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("counter registration not idempotent")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("hist count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("hist sum = %g, want 106", got)
+	}
+	// Bounds are inclusive: 0.5 and 1 land in le=1; 1.5 in le=2; 3 in
+	// le=4; 100 overflows to +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, n := range h.bucketCounts() {
+		if n != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, n, want[i], h.bucketCounts())
+		}
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	_ = c.Value()
+	_ = g.Value()
+	_ = h.Count()
+	_ = tr.Events()
+	_ = tr.Len()
+	_ = tr.Flush()
+}
+
+func TestHandlesDisabledAndEnabled(t *testing.T) {
+	Disable()
+	defer Disable()
+
+	// Disabled: every handle call is a no-op, spans never read the clock.
+	CacheHits.Inc()
+	CampaignCumCost.Set(3)
+	JobCost.Observe(1)
+	FaultByClass.Inc("oom")
+	sp := SpanScore.Start()
+	if sp.hist != nil {
+		t.Fatal("disabled SpanHandle.Start returned a live span")
+	}
+	sp.End()
+	if Enabled() {
+		t.Fatal("Enabled() true while disabled")
+	}
+
+	r := NewRegistry()
+	Enable(r, nil)
+	if !Enabled() || Default() != r {
+		t.Fatal("Enable did not bind the registry")
+	}
+	CacheHits.Inc()
+	CacheHits.Inc()
+	CampaignCumCost.Set(7.25)
+	FaultByClass.Inc("oom")
+	FaultByClass.Inc("nonsense-class") // unknown values are dropped
+	SpanScore.Start().End()
+
+	if v, ok := r.CounterValue(MetricCacheHits); !ok || v != 2 {
+		t.Fatalf("cache hits = %d (ok=%v), want 2", v, ok)
+	}
+	if v, ok := r.GaugeValue(MetricCampaignCumCost); !ok || v != 7.25 {
+		t.Fatalf("cum cost = %g (ok=%v), want 7.25", v, ok)
+	}
+	if v, ok := r.CounterValue(Labeled(MetricFaultByClass, "class", "oom")); !ok || v != 1 {
+		t.Fatalf("oom class = %d (ok=%v), want 1", v, ok)
+	}
+
+	Disable()
+	CacheHits.Inc() // must not land anywhere
+	if v, _ := r.CounterValue(MetricCacheHits); v != 2 {
+		t.Fatalf("counter advanced after Disable: %d", v)
+	}
+}
+
+func TestEnableDisableConcurrentWithInstrumentation(t *testing.T) {
+	defer Disable()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			CacheHits.Inc()
+			SpanScore.Start().End()
+			FaultByClass.Inc("transient")
+			CampaignHeadroom.Set(1)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		Enable(NewRegistry(), NewTracer(TracerConfig{Deterministic: true}))
+		Disable()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMetricNamesUnique(t *testing.T) {
+	seen := make(map[string]bool, len(AllMetricNames))
+	for _, name := range AllMetricNames {
+		if seen[name] {
+			t.Errorf("duplicate metric name: %s", name)
+		}
+		seen[name] = true
+		base, _ := splitLabels(name)
+		if !strings.HasPrefix(base, "alamr_") {
+			t.Errorf("metric %s missing alamr_ prefix", name)
+		}
+	}
+}
+
+// TestAllMetricNamesBound checks that Enable registers exactly the series
+// promised by AllMetricNames — the declared contract and the live registry
+// cannot drift apart.
+func TestAllMetricNamesBound(t *testing.T) {
+	defer Disable()
+	r := NewRegistry()
+	Enable(r, nil)
+	counters, gauges, histograms := r.sorted()
+	live := make(map[string]bool)
+	for _, c := range counters {
+		live[c.name] = true
+	}
+	for _, g := range gauges {
+		live[g.name] = true
+	}
+	for _, h := range histograms {
+		live[h.name] = true
+	}
+	for _, name := range AllMetricNames {
+		if !live[name] {
+			t.Errorf("declared metric %s not registered by Enable", name)
+		}
+		delete(live, name)
+	}
+	for name := range live {
+		t.Errorf("registered metric %s not declared in AllMetricNames", name)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alamr_x_total", "things").Add(3)
+	r.Gauge("alamr_y", "level").Set(1.5)
+	h := r.Histogram(`alamr_z_seconds{phase="fit"}`, "timings", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP alamr_x_total things",
+		"# TYPE alamr_x_total counter",
+		"alamr_x_total 3",
+		"# TYPE alamr_y gauge",
+		"alamr_y 1.5",
+		"# TYPE alamr_z_seconds histogram",
+		`alamr_z_seconds_bucket{phase="fit",le="1"} 1`,
+		`alamr_z_seconds_bucket{phase="fit",le="2"} 1`,
+		`alamr_z_seconds_bucket{phase="fit",le="+Inf"} 2`,
+		`alamr_z_seconds_sum{phase="fit"} 3.5`,
+		`alamr_z_seconds_count{phase="fit"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestHeaderEmittedOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Labeled(MetricLoopPhaseSeconds, "phase", "fit"), "phases", []float64{1})
+	r.Histogram(Labeled(MetricLoopPhaseSeconds, "phase", "score"), "phases", []float64{1})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# TYPE "+MetricLoopPhaseSeconds); n != 1 {
+		t.Fatalf("TYPE header for shared family emitted %d times, want 1\n%s", n, sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("alamr_a_total", "").Inc()
+	r.Gauge("alamr_b", "").Set(9)
+	r.Histogram("alamr_c", "", []float64{1}).Observe(0.5)
+	s := r.TakeSnapshot()
+	if s.Counters["alamr_a_total"] != 1 || s.Gauges["alamr_b"] != 9 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	hs := s.Histograms["alamr_c"]
+	if hs.Count != 1 || hs.Sum != 0.5 || len(hs.Buckets) != 2 {
+		t.Fatalf("bad histogram snapshot: %+v", hs)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE block per metric family, in
+// sorted name order, histograms as cumulative le-bucket series plus _sum
+// and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counters, gauges, histograms := r.sorted()
+	// Same-family labeled series are adjacent in sorted order, so
+	// remembering the previous family name is enough to emit each
+	// HELP/TYPE header exactly once.
+	prevFamily := ""
+	writeHeader := func(base, help, typ string) error {
+		if base == prevFamily {
+			return nil
+		}
+		prevFamily = base
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+		return err
+	}
+	for _, c := range counters {
+		base, labels := splitLabels(c.name)
+		if err := writeHeader(base, c.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base, labels, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		base, labels := splitLabels(g.name)
+		if err := writeHeader(base, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", base, labels, formatFloat(g.Value())); err != nil {
+			return err
+		}
+	}
+	for _, h := range histograms {
+		base, labels := splitLabels(h.name)
+		if err := writeHeader(base, h.help, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		counts := h.bucketCounts()
+		for i, ub := range h.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				base, withLabel(labels, "le", formatFloat(ub)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabel(labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitLabels splits `name{label="v"}` into ("name", `{label="v"}`);
+// unlabeled names return ("name", "").
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// withLabel merges an extra label pair into an existing (possibly empty)
+// label block: withLabel(`{phase="fit"}`, "le", "0.5") →
+// `{phase="fit",le="0.5"}`.
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is a point-in-time JSON-friendly dump of a registry, used by
+// the /metrics.json endpoint and report.ObsSummary.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot captures one histogram's state.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // non-cumulative; last is +Inf
+}
+
+// TakeSnapshot captures the registry's current state.
+func (r *Registry) TakeSnapshot() Snapshot {
+	counters, gauges, histograms := r.sorted()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(histograms)),
+	}
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range histograms {
+		s.Histograms[h.name] = HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Bounds:  h.Bounds(),
+			Buckets: h.bucketCounts(),
+		}
+	}
+	return s
+}
+
+// WriteJSON renders TakeSnapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}

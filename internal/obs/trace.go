@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one completed span. Seq is a per-tracer monotone sequence
+// number; StartUnixNS/DurNS carry wall time and are the ONLY fields whose
+// values depend on the clock — a Deterministic tracer zeroes them so trace
+// output is byte-for-byte reproducible across runs.
+type Event struct {
+	Seq         uint64 `json:"seq"`
+	Name        string `json:"name"`
+	StartUnixNS int64  `json:"start_unix_ns,omitempty"`
+	DurNS       int64  `json:"dur_ns,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// RingSize bounds the in-memory event buffer (default 4096). When
+	// full, the oldest events are overwritten.
+	RingSize int
+	// Out, if non-nil, receives every event as one JSON line. Writes are
+	// buffered; call Flush (or Close on the owning process) before
+	// reading the stream.
+	Out io.Writer
+	// Deterministic zeroes the wall-clock fields (StartUnixNS, DurNS) so
+	// the JSONL stream depends only on the sequence of instrumented
+	// operations, not on timing.
+	Deterministic bool
+}
+
+// Tracer collects span events into a bounded ring buffer and optionally
+// streams them as JSONL. It never feeds back into the traced computation:
+// emitting is fire-and-forget, and a nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	mu     sync.Mutex
+	cfg    TracerConfig
+	ring   []Event
+	seq    uint64
+	w      *bufio.Writer
+	outErr error
+}
+
+// NewTracer creates a tracer with the given config.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	t := &Tracer{cfg: cfg, ring: make([]Event, 0, cfg.RingSize)}
+	if cfg.Out != nil {
+		t.w = bufio.NewWriter(cfg.Out)
+	}
+	return t
+}
+
+// emit records one completed span.
+func (t *Tracer) emit(name string, start time.Time, dur time.Duration, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev := Event{Seq: t.seq, Name: name, Detail: detail}
+	if !t.cfg.Deterministic {
+		ev.StartUnixNS = start.UnixNano()
+		ev.DurNS = int64(dur)
+	}
+	if len(t.ring) < t.cfg.RingSize {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[int((t.seq-1)%uint64(t.cfg.RingSize))] = ev
+	}
+	if t.w != nil && t.outErr == nil {
+		b, err := json.Marshal(ev)
+		if err == nil {
+			_, err = t.w.Write(append(b, '\n'))
+		}
+		if err != nil {
+			t.outErr = err
+		}
+	}
+}
+
+// Events returns a copy of the buffered events in emission order (oldest
+// first; the ring may have dropped early events).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if t.seq <= uint64(t.cfg.RingSize) {
+		out = append(out, t.ring...)
+		return out
+	}
+	// Ring wrapped: oldest entry sits just after the newest.
+	head := int(t.seq % uint64(t.cfg.RingSize))
+	out = append(out, t.ring[head:]...)
+	out = append(out, t.ring[:head]...)
+	return out
+}
+
+// Len reports the total number of events emitted (including any the ring
+// has since dropped).
+func (t *Tracer) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Flush drains the buffered JSONL writer and reports any write error
+// encountered so far.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil && t.outErr == nil {
+			t.outErr = err
+		}
+	}
+	if t.outErr != nil {
+		return fmt.Errorf("obs: trace output: %w", t.outErr)
+	}
+	return nil
+}

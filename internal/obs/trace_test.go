@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingAndOrder(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 4, Deterministic: true})
+	for i := 0; i < 6; i++ {
+		tr.emit("ev", time.Now(), time.Millisecond, "")
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	// Oldest-first: events 3..6 survive.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+3) {
+			t.Fatalf("evs[%d].Seq = %d, want %d (all: %+v)", i, ev.Seq, i+3, evs)
+		}
+	}
+}
+
+func TestTracerDeterministicZeroesClock(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(TracerConfig{Out: &sb, Deterministic: true})
+	tr.emit(PhaseScore, time.Now(), 5*time.Second, "iter=1")
+	tr.emit(PhaseSelect, time.Now(), time.Second, "")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.StartUnixNS != 0 || ev.DurNS != 0 {
+			t.Fatalf("deterministic tracer leaked wall time: %+v", ev)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d JSONL lines, want 2", n)
+	}
+	if !strings.Contains(sb.String(), `"detail":"iter=1"`) {
+		t.Fatalf("detail missing from JSONL: %s", sb.String())
+	}
+}
+
+func TestTracerWallClockMode(t *testing.T) {
+	tr := NewTracer(TracerConfig{})
+	start := time.Now()
+	tr.emit(PhaseRun, start, 2*time.Millisecond, "")
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].StartUnixNS != start.UnixNano() || evs[0].DurNS != int64(2*time.Millisecond) {
+		t.Fatalf("wall-clock fields wrong: %+v", evs[0])
+	}
+}
+
+func TestSpanEmitsTraceEvent(t *testing.T) {
+	defer Disable()
+	tr := NewTracer(TracerConfig{Deterministic: true})
+	Enable(NewRegistry(), tr)
+	SpanFeed.Start().EndDetail("job=42")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != PhaseFeed || evs[0].Detail != "job=42" {
+		t.Fatalf("span trace event wrong: %+v", evs)
+	}
+}

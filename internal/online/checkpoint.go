@@ -10,6 +10,7 @@ import (
 
 	"alamr/internal/core"
 	"alamr/internal/faults"
+	"alamr/internal/obs"
 	"alamr/internal/stats"
 )
 
@@ -43,6 +44,8 @@ func (c *campaign) saveCheckpoint(done bool) error {
 	if c.cfg.CheckpointPath == "" {
 		return nil
 	}
+	sp := obs.SpanCheckpointWrite.Start()
+	defer sp.End()
 	ck := checkpointFile{
 		Version:   checkpointVersion,
 		Policy:    c.cfg.Policy.Name(),
@@ -73,6 +76,7 @@ func (c *campaign) saveCheckpoint(done bool) error {
 	if err := os.Rename(tmp, c.cfg.CheckpointPath); err != nil {
 		return fmt.Errorf("online: committing checkpoint: %w", err)
 	}
+	obs.CheckpointWrites.Inc()
 	return nil
 }
 
@@ -121,6 +125,8 @@ func validateCheckpoint(cfg Config, ck *checkpointFile) error {
 // policy RNG by skipping the recorded draw count, and the lab's own counters
 // via faults.Resumable.
 func resumeCampaign(lab Lab, cfg Config, ck *checkpointFile) (*campaign, error) {
+	sp := obs.SpanCheckpointRestore.Start()
+	defer sp.End()
 	c := newCampaign(lab, cfg)
 	c.res = ck.Result
 	c.res.Reason = core.StopMaxIterations
@@ -160,5 +166,6 @@ func resumeCampaign(lab Lab, cfg Config, ck *checkpointFile) (*campaign, error) 
 	// performed — the resumed trajectory's scores, and hence selections,
 	// match exactly.
 	c.buildCaches()
+	obs.CheckpointRestores.Inc()
 	return c, nil
 }

@@ -1,0 +1,74 @@
+package online
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"alamr/internal/faults"
+	"alamr/internal/obs"
+)
+
+// TestOnlineKillResumeWithTracingEnabled extends the kill-and-resume
+// bitwise contract to observability-enabled runs: metrics and tracing are
+// write-only, so a campaign killed and resumed with a live registry and
+// tracer must still reproduce the uninterrupted (obs-disabled) trajectory
+// exactly — same selections, same censored observations, same health
+// ledger, RNG streams untouched.
+func TestOnlineKillResumeWithTracingEnabled(t *testing.T) {
+	const seed = 31
+
+	// Reference: the uninterrupted run with observability OFF.
+	obs.Disable()
+	uninterrupted, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), campaignCfg(seed))
+	if err != nil {
+		t.Fatalf("uninterrupted run failed: %v", err)
+	}
+
+	// Kill-and-resume with observability ON for both processes.
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.TracerConfig{Out: f})
+	obs.Enable(reg, tr)
+	defer obs.Disable()
+
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	cfg := campaignCfg(seed)
+	cfg.CheckpointPath = path
+	kl := &killLab{inner: faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), after: 5}
+	if _, err := Run(kl, cfg); err == nil {
+		t.Fatal("campaign survived the kill")
+	}
+	resumed, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, uninterrupted) {
+		t.Fatalf("tracing-enabled resume diverged from obs-disabled run\nresumed: %+v\nuninterrupted: %+v",
+			resumed, uninterrupted)
+	}
+
+	// The instrumentation actually fired: phases traced, checkpoints and
+	// the restore counted.
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no events during the campaign")
+	}
+	if n, _ := reg.CounterValue(obs.MetricCheckpointWrites); n == 0 {
+		t.Fatal("checkpoint writes not counted")
+	}
+	if n, _ := reg.CounterValue(obs.MetricCheckpointRestores); n != 1 {
+		t.Fatalf("checkpoint restores = %d, want 1", n)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace JSONL empty (err=%v)", err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"alamr/internal/gp"
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 	"alamr/internal/stats"
 )
 
@@ -455,8 +456,10 @@ func (c *campaign) init() error {
 	}
 	c.initLen = len(c.feeds)
 
+	spFit := obs.SpanFit.Start()
 	var err error
 	c.gpCost, c.gpMem, err = fitFromFeeds(c.cfg, c.feeds[:c.initLen])
+	spFit.End()
 	if err != nil {
 		c.res.Reason = core.StopFault
 		return err
@@ -563,13 +566,17 @@ func (c *campaign) applyFeed(f feedRec) error {
 func (c *campaign) loop() (*Result, error) {
 	res := c.res
 	for sel := len(res.PredictedCost); sel < c.cfg.MaxExperiments && len(c.pool) > 0; sel++ {
+		spScore := obs.SpanScore.Start()
 		muC, sigC := c.costCache.Scores()
 		muM, sigM := c.memCache.Scores()
 		cands := &core.Candidates{
 			X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
 			MemLimitLog: c.memLimitLog,
 		}
+		spScore.End()
+		spSelect := obs.SpanSelect.Start()
 		pick, err := c.cfg.Policy.Select(cands, c.rng)
+		spSelect.End()
 		if err != nil {
 			if errors.Is(err, core.ErrAllExceedLimit) {
 				res.Reason = core.StopMemoryLimit
@@ -580,7 +587,9 @@ func (c *campaign) loop() (*Result, error) {
 		}
 
 		combo := c.pool[pick]
+		spRun := obs.SpanRun.Start()
 		out := c.runJob(combo)
+		spRun.End()
 
 		var job dataset.Job
 		var violated, censored bool
@@ -629,17 +638,35 @@ func (c *campaign) loop() (*Result, error) {
 		res.CumRegret = append(res.CumRegret, c.cumRegret)
 		res.Violation = append(res.Violation, violated)
 		res.Censored = append(res.Censored, censored)
+		if violated {
+			obs.CampaignViolations.Inc()
+		}
+		obs.CampaignCumCost.Set(c.cumCost)
+		obs.CampaignCumRegret.Set(c.cumRegret)
+		if c.cfg.MemLimitMB > 0 {
+			obs.CampaignHeadroom.Set(c.memLimitRaw - job.MemMB)
+		}
+		obs.JobCost.Observe(job.CostNH)
+		obs.JobMem.Observe(job.MemMB)
 
+		spHandle := &obs.SpanFeed
+		if feed.Refit {
+			spHandle = &obs.SpanHyperopt
+		}
+		spFeed := spHandle.Start()
 		if err := c.applyFeed(feed); err != nil {
 			res.Reason = core.StopFault
 			return res, err
 		}
+		spFeed.End()
 		c.feeds = append(c.feeds, feed)
 
 		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
 		c.poolX = c.poolX.RemoveRow(pick)
 		c.costCache.Remove(pick)
 		c.memCache.Remove(pick)
+		obs.LoopIterations.Inc()
+		obs.PoolSize.Set(float64(len(c.pool)))
 
 		if c.cfg.Budget > 0 && c.cumCost >= c.cfg.Budget {
 			res.Reason = core.StopBudget

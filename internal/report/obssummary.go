@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"alamr/internal/obs"
+)
+
+// ObsSummary renders an end-of-campaign digest of the observability
+// registry: every non-zero counter and gauge, plus count/mean for every
+// histogram with observations. It is the terminal-first companion to the
+// /metrics endpoint — the same registry a Prometheus scrape would see,
+// condensed into one table after the run. Returns nil when r is nil (the
+// observability-disabled case), so callers can print it unconditionally:
+//
+//	if t := report.ObsSummary(obs.Default()); t != nil {
+//	    t.Write(os.Stdout)
+//	}
+func ObsSummary(r *obs.Registry) *Table {
+	if r == nil {
+		return nil
+	}
+	s := r.TakeSnapshot()
+	t := &Table{Header: []string{"metric", "value"}}
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := s.Counters[name]; v != 0 {
+			t.Add(name, v)
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := s.Gauges[name]; v != 0 {
+			t.Add(name, v)
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		t.Add(name, fmt.Sprintf("n=%d mean=%s", h.Count, formatG(h.Sum/float64(h.Count))))
+	}
+	return t
+}
