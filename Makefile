@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al fmt vet race chaos obs-check
+.PHONY: all build test ci bench bench-al fmt vet race chaos obs-check sweep-smoke
 
 all: build
 
@@ -18,10 +18,18 @@ vet:
 
 # Race runs use -short: the equivalence tests scale their sizes down so the
 # instrumented binary stays within CI time budgets. faults and online carry
-# the concurrency-sensitive fault-injection and checkpoint paths.
+# the concurrency-sensitive fault-injection and checkpoint paths; engine
+# carries the sweep worker pool.
 race:
 	$(GO) test -race -short ./internal/mat ./internal/kernel ./internal/gp \
-		./internal/core ./internal/faults ./internal/online
+		./internal/core ./internal/engine ./internal/faults ./internal/online
+
+# sweep-smoke drives a tiny 2x2 policy-by-seed grid through the unified
+# campaign engine under the race detector: concurrent workers sharing the
+# obs registry, per-campaign labeled series, deterministic results.
+sweep-smoke:
+	$(GO) test -race -count=1 -run 'TestSweepSmoke|TestCampaignObsNoInterleave' \
+		./internal/engine
 
 # chaos stress-tests the fault-tolerant campaign runtime: high fault rates
 # across 10 seeds (CHAOS=1 widens TestOnlineChaos from 3 to 10 seeds), plus
@@ -44,8 +52,8 @@ obs-check:
 
 # ci is the gate for every PR: formatting, vet, full build, full test suite,
 # then the race detector over the parallel-heavy packages, then the
-# observability gates.
-ci: fmt vet build test race obs-check
+# observability and sweep gates.
+ci: fmt vet build test race obs-check sweep-smoke
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;

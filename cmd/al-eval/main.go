@@ -6,10 +6,13 @@
 //	al-eval -data dataset.csv -fig all [-partitions 10] [-iters 150]
 //	        [-csv out/] [-seed 1] [-metrics-addr 127.0.0.1:9090]
 //	        [-trace-out trace.jsonl]
+//	al-eval -data dataset.csv -spec examples/specs/replay-rgma.json
 //
 // With -generate, the dataset is regenerated in-process instead of loaded.
-// -metrics-addr serves live Prometheus metrics and pprof endpoints for the
-// duration of the evaluation — useful for profiling the long ablation runs.
+// With -spec, a single campaign spec (replay or online mode) is executed
+// instead of the figure suite and summarized. -metrics-addr serves live
+// Prometheus metrics and pprof endpoints for the duration of the
+// evaluation — useful for profiling the long ablation runs.
 package main
 
 import (
@@ -21,26 +24,110 @@ import (
 	"time"
 
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/experiments"
 	"alamr/internal/obs"
+	"alamr/internal/online"
 	"alamr/internal/report"
 )
+
+// figNames are the tokens -fig accepts, in help order.
+var figNames = []string{
+	"all", "table1", "fig1", "fig2", "fig3", "fig4", "violations", "online",
+	"batch", "ablations", "kernels", "log2p", "base", "memlimit", "cadence",
+	"surrogate", "weighted",
+}
+
+// options carries every flag value that needs validation, so the checks can
+// be exercised by a table test without forking the process.
+type options struct {
+	spec       string
+	fig        string
+	partitions int
+	iters      int
+	workers    int
+}
+
+// validate returns the first flag error, or nil. With -spec the suite flags
+// are ignored (the file carries its own validated campaign), so only the
+// suite path is checked. main routes the error to stderr and exits 2.
+func (o options) validate() error {
+	if o.spec != "" {
+		return nil
+	}
+	if o.partitions < 1 {
+		return fmt.Errorf("-partitions must be at least 1, got %d", o.partitions)
+	}
+	if o.iters < 1 {
+		return fmt.Errorf("-iters must be at least 1, got %d", o.iters)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
+	known := map[string]bool{}
+	for _, name := range figNames {
+		known[name] = true
+	}
+	for _, f := range strings.Split(o.fig, ",") {
+		if !known[strings.TrimSpace(strings.ToLower(f))] {
+			return fmt.Errorf("unknown -fig token %q (want %s)", f, strings.Join(figNames, "|"))
+		}
+	}
+	return nil
+}
+
+// runCampaignSpec executes one declarative campaign (either mode) and prints
+// a short summary — the single-campaign counterpart of the figure suite.
+func runCampaignSpec(spec engine.CampaignSpec, ds *dataset.Dataset) error {
+	fmt.Printf("campaign %s: mode=%s policy=%s\n", spec.Name, spec.Mode, spec.Policy.Name)
+	switch spec.Mode {
+	case engine.ModeReplay:
+		tr, err := engine.RunReplaySpec(ds, spec)
+		if err != nil {
+			return err
+		}
+		n := tr.Iterations()
+		fmt.Printf("%d iterations, stop=%s\n", n, tr.Reason)
+		if n > 0 {
+			fmt.Printf("final RMSE cost=%.4g mem=%.4g; cumulative cost=%.4g node-hours, regret=%.4g\n",
+				tr.CostRMSE[n-1], tr.MemRMSE[n-1], tr.CumCost[n-1], tr.CumRegret[n-1])
+		}
+	case engine.ModeOnline:
+		res, err := online.RunSpec(spec, ds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d experiments, stop=%s\n", len(res.Jobs), res.Reason)
+		if n := len(res.CumCost); n > 0 {
+			fmt.Printf("spent %.4g node-hours (regret %.4g)\n", res.CumCost[n-1], res.CumRegret[n-1])
+		}
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("al-eval: ")
 
+	var o options
 	data := flag.String("data", "dataset.csv", "dataset CSV (from amr-gen)")
 	generate := flag.Bool("generate", false, "regenerate the dataset instead of loading it")
-	fig := flag.String("fig", "all", "what to run: table1,fig1,fig2,fig3,fig4,violations,online,batch,ablations (or kernels,log2p,base,memlimit,cadence,surrogate,weighted individually), all")
-	partitions := flag.Int("partitions", 10, "random partitions per configuration")
-	iters := flag.Int("iters", 150, "AL iterations per trajectory")
+	flag.StringVar(&o.spec, "spec", "", "campaign spec JSON to run instead of the figure suite")
+	flag.StringVar(&o.fig, "fig", "all", "what to run: table1,fig1,fig2,fig3,fig4,violations,online,batch,ablations (or kernels,log2p,base,memlimit,cadence,surrogate,weighted individually), all")
+	flag.IntVar(&o.partitions, "partitions", 10, "random partitions per configuration")
+	flag.IntVar(&o.iters, "iters", 150, "AL iterations per trajectory")
 	csvDir := flag.String("csv", "", "directory for CSV series output")
 	seed := flag.Int64("seed", 1, "seed")
-	workers := flag.Int("workers", 0, "parallel trajectories (0 = GOMAXPROCS)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel trajectories (0 = GOMAXPROCS)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the evaluation runs")
 	traceOut := flag.String("trace-out", "", "write span trace events as JSONL to this file")
 	flag.Parse()
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "al-eval: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	bundle, err := obs.Boot(*metricsAddr, *traceOut)
 	if err != nil {
@@ -49,6 +136,7 @@ func main() {
 	defer bundle.Close()
 
 	var ds *dataset.Dataset
+	var loadErr error
 	if *generate {
 		t0 := time.Now()
 		ds, err = dataset.Generate(dataset.GenConfig{Seed: 42})
@@ -57,19 +145,35 @@ func main() {
 		}
 		fmt.Printf("regenerated dataset: %d jobs in %v\n\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
 	} else {
-		ds, err = dataset.LoadFile(*data)
+		ds, loadErr = dataset.LoadFile(*data)
+	}
+
+	if o.spec != "" {
+		spec, err := engine.LoadCampaignSpec(o.spec)
 		if err != nil {
-			log.Fatalf("loading dataset: %v (generate one with amr-gen, or pass -generate)", err)
+			log.Fatal(err)
 		}
+		// Online specs backed by the sim lab run without the offline
+		// dataset; everything else needs it.
+		if ds == nil && spec.Mode == engine.ModeReplay {
+			log.Fatalf("loading dataset: %v (replay specs need the offline dataset)", loadErr)
+		}
+		if err := runCampaignSpec(spec, ds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if ds == nil {
+		log.Fatalf("loading dataset: %v (generate one with amr-gen, or pass -generate)", loadErr)
 	}
 
 	opts := experiments.Options{
 		Dataset:       ds,
 		Out:           os.Stdout,
 		CSVDir:        *csvDir,
-		Partitions:    *partitions,
-		MaxIterations: *iters,
-		Workers:       *workers,
+		Partitions:    o.partitions,
+		MaxIterations: o.iters,
+		Workers:       o.workers,
 		Seed:          *seed,
 	}
 
@@ -83,7 +187,7 @@ func main() {
 	}
 
 	want := map[string]bool{}
-	for _, f := range strings.Split(*fig, ",") {
+	for _, f := range strings.Split(o.fig, ",") {
 		want[strings.TrimSpace(strings.ToLower(f))] = true
 	}
 	all := want["all"]

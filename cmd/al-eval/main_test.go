@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func validOptions() options {
+	return options{fig: "all", partitions: 10, iters: 150}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring; "" means valid
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"every token ok", func(o *options) { o.fig = strings.Join(figNames, ",") }, ""},
+		{"mixed case and spaces ok", func(o *options) { o.fig = "Table1, FIG3 ,weighted" }, ""},
+		{"spec file skips suite checks", func(o *options) { o.spec = "campaign.json"; o.partitions = 0 }, ""},
+		{"zero partitions", func(o *options) { o.partitions = 0 }, "-partitions must be at least 1"},
+		{"zero iters", func(o *options) { o.iters = 0 }, "-iters must be at least 1"},
+		{"negative workers", func(o *options) { o.workers = -1 }, "-workers must be non-negative"},
+		{"unknown fig token", func(o *options) { o.fig = "table1,fig9" }, `unknown -fig token "fig9"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -19,6 +19,12 @@
 //	          [-checkpoint campaign.ckpt] [-retries 3]
 //	          [-ptransient 0.1] [-pcorrupt 0.05] [-rsslimit 1] [-walllimit 300]
 //	          [-metrics-addr 127.0.0.1:9090] [-trace-out trace.jsonl]
+//	al-online -spec examples/specs/online-sim.json
+//
+// With -spec a declarative campaign file replaces the flags (fault-injection
+// flags do not apply; the spec's lab runs unwrapped). -data supplies the
+// offline dataset when the spec references the "replay" lab or the paper
+// memory rule.
 package main
 
 import (
@@ -26,9 +32,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"alamr/internal/core"
+	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/faults"
 	"alamr/internal/obs"
 	"alamr/internal/online"
@@ -38,6 +45,8 @@ import (
 // options carries every flag value that needs validation, so the checks can
 // be exercised by a table test without forking the process.
 type options struct {
+	spec       string
+	data       string
 	policy     string
 	n          int
 	budget     float64
@@ -52,8 +61,12 @@ type options struct {
 
 // validate returns the first flag error, or nil. It covers every numeric
 // range and the policy name; main routes the error to stderr and exits
-// non-zero.
+// non-zero. With -spec the campaign flags are ignored (the file carries its
+// own validated campaign), so only the flag path is checked.
 func (o options) validate() error {
+	if o.spec != "" {
+		return nil
+	}
 	if o.n < 0 {
 		return fmt.Errorf("-n must be non-negative, got %d", o.n)
 	}
@@ -87,21 +100,10 @@ func (o options) validate() error {
 	return nil
 }
 
+// policyByName resolves a policy through the engine registry (which also
+// serves spec files), so flags and specs accept the same names.
 func policyByName(name string) (core.Policy, error) {
-	switch strings.ToLower(name) {
-	case "randuniform", "uniform":
-		return core.RandUniform{}, nil
-	case "maxsigma":
-		return core.MaxSigma{}, nil
-	case "minpred":
-		return core.MinPred{}, nil
-	case "randgoodness", "goodness":
-		return core.RandGoodness{}, nil
-	case "rgma":
-		return core.RGMA{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want randuniform|maxsigma|minpred|randgoodness|rgma)", name)
-	}
+	return engine.BuildPolicy(engine.PolicySpec{Name: name})
 }
 
 func main() {
@@ -109,6 +111,8 @@ func main() {
 	log.SetPrefix("al-online: ")
 
 	var o options
+	flag.StringVar(&o.spec, "spec", "", "campaign spec JSON to run instead of building one from flags")
+	flag.StringVar(&o.data, "data", "", "dataset CSV; needed when -spec references the replay lab or the paper memory rule")
 	flag.StringVar(&o.policy, "policy", "rgma", "selection policy (randuniform|maxsigma|minpred|randgoodness|rgma)")
 	flag.IntVar(&o.n, "n", 25, "maximum AL-selected experiments")
 	flag.Float64Var(&o.budget, "budget", 0, "node-hour budget (0 = unlimited)")
@@ -130,7 +134,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	policy, _ := policyByName(o.policy)
 
 	bundle, err := obs.Boot(*metricsAddr, *traceOut)
 	if err != nil {
@@ -139,28 +142,50 @@ func main() {
 	}
 	defer bundle.Close()
 
-	sim := online.NewSimLab(online.SimLabConfig{RefNx: o.refNx, Seed: *seed})
-	var lab online.Lab = sim
-	injecting := o.pTransient > 0 || o.pCorrupt > 0 || o.rssLimit > 0 || o.wallLimit > 0
-	if injecting {
-		lab = faults.NewFaultyLab(sim, faults.LabConfig{
-			Seed:         *seed,
-			RSSLimitMB:   o.rssLimit,
-			WallLimitSec: o.wallLimit,
-			PTransient:   o.pTransient,
-			PCorrupt:     o.pCorrupt,
-		})
-	}
+	var res *online.Result
+	refRuns := -1 // physics-reference count; -1 when the spec path owns the lab
+	injecting := false
+	if o.spec != "" {
+		spec, serr := engine.LoadCampaignSpec(o.spec)
+		if serr != nil {
+			bundle.Close()
+			log.Fatal(serr)
+		}
+		var ds *dataset.Dataset
+		if o.data != "" {
+			ds, serr = dataset.LoadFile(o.data)
+			if serr != nil {
+				bundle.Close()
+				log.Fatalf("loading dataset: %v", serr)
+			}
+		}
+		res, err = online.RunSpec(spec, ds)
+	} else {
+		policy, _ := policyByName(o.policy)
+		sim := online.NewSimLab(online.SimLabConfig{RefNx: o.refNx, Seed: *seed})
+		var lab online.Lab = sim
+		injecting = o.pTransient > 0 || o.pCorrupt > 0 || o.rssLimit > 0 || o.wallLimit > 0
+		if injecting {
+			lab = faults.NewFaultyLab(sim, faults.LabConfig{
+				Seed:         *seed,
+				RSSLimitMB:   o.rssLimit,
+				WallLimitSec: o.wallLimit,
+				PTransient:   o.pTransient,
+				PCorrupt:     o.pCorrupt,
+			})
+		}
 
-	res, err := online.Run(lab, online.Config{
-		Policy:         policy,
-		MaxExperiments: o.n,
-		Budget:         o.budget,
-		MemLimitMB:     o.memLimit,
-		Seed:           *seed,
-		CheckpointPath: *checkpoint,
-		Retry:          faults.RetryPolicy{MaxAttempts: o.retries, Seed: *seed},
-	})
+		res, err = online.Run(lab, online.Config{
+			Policy:         policy,
+			MaxExperiments: o.n,
+			Budget:         o.budget,
+			MemLimitMB:     o.memLimit,
+			Seed:           *seed,
+			CheckpointPath: *checkpoint,
+			Retry:          faults.RetryPolicy{MaxAttempts: o.retries, Seed: *seed},
+		})
+		refRuns = sim.NumReferenceRuns()
+	}
 	if err != nil {
 		if res == nil {
 			bundle.Close()
@@ -171,8 +196,12 @@ func main() {
 		log.Printf("campaign stopped early: %v", err)
 	}
 
-	fmt.Printf("campaign: %d experiments, stop=%s, %d physics references simulated\n",
-		len(res.Jobs), res.Reason, sim.NumReferenceRuns())
+	if refRuns >= 0 {
+		fmt.Printf("campaign: %d experiments, stop=%s, %d physics references simulated\n",
+			len(res.Jobs), res.Reason, refRuns)
+	} else {
+		fmt.Printf("campaign: %d experiments, stop=%s\n", len(res.Jobs), res.Reason)
+	}
 	if len(res.CumCost) > 0 {
 		last := len(res.CumCost) - 1
 		fmt.Printf("spent %.4g node-hours (regret %.4g), one-step cost MAPE %.0f%%\n",

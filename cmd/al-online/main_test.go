@@ -19,6 +19,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"zero experiments ok", func(o *options) { o.n = 0 }, ""},
 		{"fault cocktail ok", func(o *options) { o.pTransient = 0.3; o.pCorrupt = 0.1; o.rssLimit = 1; o.wallLimit = 60 }, ""},
 		{"policy aliases ok", func(o *options) { o.policy = "UNIFORM" }, ""},
+		{"spec file skips flag checks", func(o *options) { o.spec = "campaign.json"; o.n = -5 }, ""},
 		{"negative n", func(o *options) { o.n = -1 }, "-n must be non-negative"},
 		{"negative budget", func(o *options) { o.budget = -0.5 }, "-budget must be non-negative"},
 		{"negative memlimit", func(o *options) { o.memLimit = -2 }, "-memlimit must be non-negative"},

@@ -1,6 +1,10 @@
 // Command al-run executes a single active-learning trajectory on a dataset
 // and prints its selection log and learning curves.
 //
+// The campaign itself is declarative: the flags assemble an
+// engine.CampaignSpec, and -spec runs a spec file directly (see
+// examples/specs/). Flags and spec files configure the identical campaign.
+//
 // With -metrics-addr the run serves live Prometheus metrics and pprof
 // profiling endpoints while it executes; -trace-out streams phase span
 // events (fit/score/select/run/feed) as JSONL.
@@ -10,57 +14,108 @@
 //	al-run -data dataset.csv -policy rgma [-ninit 50] [-ntest 200]
 //	       [-iters 150] [-memlimit 0] [-seed 1] [-log2p] [-verbose]
 //	       [-metrics-addr 127.0.0.1:9090] [-trace-out trace.jsonl]
+//	al-run -data dataset.csv -spec examples/specs/replay-rgma.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
-	"strings"
 
-	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/obs"
 	"alamr/internal/report"
 )
 
-func policyByName(name string, base float64) (core.Policy, error) {
-	switch strings.ToLower(name) {
-	case "randuniform", "uniform":
-		return core.RandUniform{}, nil
-	case "maxsigma":
-		return core.MaxSigma{}, nil
-	case "minpred":
-		return core.MinPred{}, nil
-	case "randgoodness", "goodness":
-		return core.RandGoodness{Base: base}, nil
-	case "rgma":
-		return core.RGMA{Base: base}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want randuniform|maxsigma|minpred|randgoodness|rgma)", name)
+// options carries every flag value that needs validation, so the checks can
+// be exercised by a table test without forking the process.
+type options struct {
+	spec     string
+	policy   string
+	base     float64
+	nInit    int
+	nTest    int
+	iters    int
+	memLimit float64
+	seed     int64
+	log2p    bool
+}
+
+// validate returns the first flag error, or nil. With -spec the campaign
+// flags are ignored (the file carries its own validated campaign), so only
+// the flag path is checked. main routes the error to stderr and exits 2.
+func (o options) validate() error {
+	if o.spec != "" {
+		return nil
 	}
+	if o.nInit < 1 {
+		return fmt.Errorf("-ninit must be at least 1, got %d", o.nInit)
+	}
+	if o.nTest < 1 {
+		return fmt.Errorf("-ntest must be at least 1, got %d", o.nTest)
+	}
+	if o.iters < 0 {
+		return fmt.Errorf("-iters must be non-negative, got %d", o.iters)
+	}
+	if o.base <= 1 {
+		return fmt.Errorf("-base must be greater than 1, got %g", o.base)
+	}
+	if _, err := engine.BuildPolicy(engine.PolicySpec{Name: o.policy, Base: o.base}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// campaignSpec translates the flag values into the declarative campaign the
+// engine executes. The -memlimit convention maps onto the spec's two fields:
+// 0 selects the paper's 95%-of-max rule, negative disables the limit.
+func (o options) campaignSpec() engine.CampaignSpec {
+	spec := engine.CampaignSpec{
+		Version:       engine.SpecVersion,
+		Mode:          engine.ModeReplay,
+		Policy:        engine.PolicySpec{Name: o.policy, Base: o.base},
+		Seed:          o.seed,
+		MaxIterations: o.iters,
+		Log2P:         o.log2p,
+		Replay:        &engine.ReplaySpec{NInit: o.nInit, NTest: o.nTest},
+	}
+	switch {
+	case o.memLimit == 0:
+		spec.MemLimitPaperRule = true
+	case o.memLimit > 0:
+		spec.MemLimitMB = o.memLimit
+	}
+	return spec
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("al-run: ")
 
+	var o options
 	data := flag.String("data", "dataset.csv", "dataset CSV (from amr-gen)")
-	policyName := flag.String("policy", "rgma", "selection policy")
-	base := flag.Float64("base", 10, "goodness base for randgoodness/rgma")
-	nInit := flag.Int("ninit", 50, "initial partition size")
-	nTest := flag.Int("ntest", 200, "test partition size")
-	iters := flag.Int("iters", 150, "AL iterations (0 = exhaust pool)")
-	memLimit := flag.Float64("memlimit", 0, "memory limit in MB (0 = the paper's rule; -1 = disabled)")
-	seed := flag.Int64("seed", 1, "seed")
-	log2p := flag.Bool("log2p", false, "use log2(p) feature transform")
+	flag.StringVar(&o.spec, "spec", "", "campaign spec JSON to run instead of building one from flags")
+	flag.StringVar(&o.policy, "policy", "rgma", "selection policy")
+	flag.Float64Var(&o.base, "base", 10, "goodness base for randgoodness/rgma")
+	flag.IntVar(&o.nInit, "ninit", 50, "initial partition size")
+	flag.IntVar(&o.nTest, "ntest", 200, "test partition size")
+	flag.IntVar(&o.iters, "iters", 150, "AL iterations (0 = exhaust pool)")
+	flag.Float64Var(&o.memLimit, "memlimit", 0, "memory limit in MB (0 = the paper's rule; -1 = disabled)")
+	flag.Int64Var(&o.seed, "seed", 1, "seed")
+	flag.BoolVar(&o.log2p, "log2p", false, "use log2(p) feature transform")
 	verbose := flag.Bool("verbose", false, "print every selection")
 	jsonOut := flag.String("json", "", "write the full trajectory as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run executes")
 	traceOut := flag.String("trace-out", "", "write span trace events as JSONL to this file")
 	flag.Parse()
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "al-run: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	bundle, err := obs.Boot(*metricsAddr, *traceOut)
 	if err != nil {
@@ -72,31 +127,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading dataset: %v (generate one with amr-gen)", err)
 	}
-	policy, err := policyByName(*policyName, *base)
-	if err != nil {
-		log.Fatal(err)
+
+	spec := o.campaignSpec()
+	if o.spec != "" {
+		spec, err = engine.LoadCampaignSpec(o.spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if spec.Mode != engine.ModeReplay {
+			log.Fatalf("%s is a %s-mode spec; al-run executes replay campaigns (use al-online)", o.spec, spec.Mode)
+		}
+	}
+	if spec.MemLimitPaperRule {
+		fmt.Printf("memory limit (paper rule): %.4g MB\n", engine.PaperMemLimitMB(ds))
 	}
 
-	limit := *memLimit
-	switch {
-	case limit == 0:
-		limit = core.PaperMemLimitMB(ds)
-		fmt.Printf("memory limit (paper rule): %.4g MB\n", limit)
-	case limit < 0:
-		limit = 0
-	}
-
-	part, err := dataset.Split(ds, *nInit, *nTest, rand.New(rand.NewSource(*seed)))
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr, err := core.RunTrajectory(ds, part, core.LoopConfig{
-		Policy:        policy,
-		MaxIterations: *iters,
-		MemLimitMB:    limit,
-		Seed:          *seed,
-		Log2P:         *log2p,
-	})
+	tr, err := engine.RunReplaySpec(ds, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

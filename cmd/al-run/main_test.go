@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alamr/internal/engine"
+)
+
+func validOptions() options {
+	return options{policy: "rgma", base: 10, nInit: 50, nTest: 200, iters: 150, seed: 1}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring; "" means valid
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"policy alias ok", func(o *options) { o.policy = "UNIFORM" }, ""},
+		{"memlimit disabled ok", func(o *options) { o.memLimit = -1 }, ""},
+		{"zero iterations ok", func(o *options) { o.iters = 0 }, ""},
+		{"spec file skips flag checks", func(o *options) { o.spec = "campaign.json"; o.nInit = 0 }, ""},
+		{"zero ninit", func(o *options) { o.nInit = 0 }, "-ninit must be at least 1"},
+		{"zero ntest", func(o *options) { o.nTest = 0 }, "-ntest must be at least 1"},
+		{"negative iters", func(o *options) { o.iters = -1 }, "-iters must be non-negative"},
+		{"base one", func(o *options) { o.base = 1 }, "-base must be greater than 1"},
+		{"unknown policy", func(o *options) { o.policy = "zigzag" }, `unknown policy "zigzag"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCampaignSpecFromFlags pins the flag→spec translation, in particular
+// the -memlimit convention (0 = paper rule, negative = disabled).
+func TestCampaignSpecFromFlags(t *testing.T) {
+	o := validOptions()
+	spec := o.campaignSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("flag-built spec invalid: %v", err)
+	}
+	if spec.Mode != engine.ModeReplay || spec.Replay == nil {
+		t.Fatalf("flag-built spec not replay mode: %+v", spec)
+	}
+	if !spec.MemLimitPaperRule || spec.MemLimitMB != 0 {
+		t.Errorf("memlimit 0 must select the paper rule: %+v", spec)
+	}
+
+	o.memLimit = -1
+	if s := o.campaignSpec(); s.MemLimitPaperRule || s.MemLimitMB != 0 {
+		t.Errorf("negative memlimit must disable the limit: %+v", s)
+	}
+
+	o.memLimit = 2.5
+	if s := o.campaignSpec(); s.MemLimitPaperRule || s.MemLimitMB != 2.5 {
+		t.Errorf("positive memlimit must pass through: %+v", s)
+	}
+
+	o = validOptions()
+	o.policy, o.base, o.log2p = "randgoodness", 100, true
+	s := o.campaignSpec()
+	if s.Policy.Base != 100 || !s.Log2P {
+		t.Errorf("policy tunables lost in translation: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("tuned spec invalid: %v", err)
+	}
+}

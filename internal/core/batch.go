@@ -1,29 +1,20 @@
 package core
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/stats"
 )
 
-// PaperMemLimitMB computes the memory limit the paper's evaluation uses:
-// 95% of the largest log-transformed memory response. The transformation the
-// paper's two stated equivalences are consistent with is log10 of the
-// response in bytes, giving L_mem = (max bytes)^0.95 ≈ 42% of the largest
-// raw response for Table I's dataset.
-func PaperMemLimitMB(ds *dataset.Dataset) float64 {
-	maxMB := stats.Max(ds.Mem(nil))
-	maxBytes := maxMB * (1 << 20)
-	return math.Pow(10, 0.95*math.Log10(maxBytes)) / (1 << 20)
-}
+// PaperMemLimitMB computes the memory limit the paper's evaluation uses
+// (see engine.PaperMemLimitMB).
+func PaperMemLimitMB(ds *dataset.Dataset) float64 { return engine.PaperMemLimitMB(ds) }
 
 // BatchSpec pairs a policy with an initial-partition size.
 type BatchSpec struct {
@@ -60,16 +51,18 @@ func (c *BatchConfig) setDefaults() {
 	}
 }
 
-// RunBatch executes every (spec, partition) combination and groups the
-// trajectories by spec key. Partitions are shared across specs with the same
-// NInit so policies are compared on identical data splits; all randomness is
-// derived deterministically from cfg.Seed.
+// RunBatch executes every (spec, partition) combination on the engine's
+// sweep runner and groups the trajectories by spec key. Partitions are
+// shared across specs with the same NInit so policies are compared on
+// identical data splits; all randomness is derived deterministically from
+// cfg.Seed.
 //
-// Worker failures are isolated: a task that errors (or panics) does not
-// abort the batch or discard its siblings. All completed trajectories are
-// returned grouped as usual, alongside an error joining every per-task
-// failure — callers distinguish "all good" (nil error), "partial" (non-nil
-// error, non-empty map), and "nothing" (non-nil error, empty map).
+// Worker failures are isolated by the sweep: a task that errors (or panics)
+// does not abort the batch or discard its siblings. All completed
+// trajectories are returned grouped as usual, alongside an error joining
+// every per-task failure — callers distinguish "all good" (nil error),
+// "partial" (non-nil error, non-empty map), and "nothing" (non-nil error,
+// empty map).
 func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, error) {
 	cfg.setDefaults()
 	if len(cfg.Specs) == 0 {
@@ -80,7 +73,6 @@ func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, e
 		spec BatchSpec
 		part dataset.Partition
 		seed int64
-		slot int
 	}
 	var tasks []task
 	for pi := 0; pi < cfg.Partitions; pi++ {
@@ -102,45 +94,34 @@ func RunBatch(ds *dataset.Dataset, cfg BatchConfig) (map[string][]*Trajectory, e
 				spec: spec,
 				part: part,
 				seed: stats.SplitSeed(cfg.Seed, 7919*pi+len(tasks)),
-				slot: len(tasks),
 			})
 		}
 	}
 
-	results := make([]*Trajectory, len(tasks))
-	errs := make([]error, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, tk := range tasks {
-		wg.Add(1)
-		go func(i int, tk task) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// A panicking worker must not take down the whole process: convert
-			// it into a per-task error like any other failure.
-			defer func() {
-				if r := recover(); r != nil {
-					results[i], errs[i] = nil, fmt.Errorf("core: worker panic: %v", r)
-				}
-			}()
-			loopCfg := cfg.Template
-			loopCfg.Policy = tk.spec.Policy
-			loopCfg.Seed = tk.seed
-			tr, err := RunTrajectory(ds, tk.part, loopCfg)
-			results[i], errs[i] = tr, err
-		}(i, tk)
+	items := make([]engine.SweepItem, len(tasks))
+	for i := range tasks {
+		tk := tasks[i]
+		items[i] = engine.SweepItem{
+			ID: fmt.Sprintf("%d:%s", i, tk.spec.Key()),
+			Run: func(scope *engine.CampaignObs) (any, error) {
+				loopCfg := cfg.Template
+				loopCfg.Policy = tk.spec.Policy
+				loopCfg.Seed = tk.seed
+				loopCfg.Campaign = scope
+				return engine.RunReplay(ds, tk.part, loopCfg)
+			},
+		}
 	}
-	wg.Wait()
+	results, _ := engine.Sweep(engine.SweepConfig{Workers: cfg.Workers, Items: items})
 
 	var failures []error
 	grouped := make(map[string][]*Trajectory)
-	for i, tk := range tasks {
-		if errs[i] != nil {
-			failures = append(failures, fmt.Errorf("core: batch task %d (%s): %w", i, tk.spec.Key(), errs[i]))
+	for i, r := range results {
+		if r.Err != nil {
+			failures = append(failures, fmt.Errorf("core: batch task %d (%s): %w", i, tasks[i].spec.Key(), r.Err))
 			continue
 		}
-		grouped[tk.spec.Key()] = append(grouped[tk.spec.Key()], results[i])
+		grouped[tasks[i].spec.Key()] = append(grouped[tasks[i].spec.Key()], r.Value.(*Trajectory))
 	}
 	return grouped, errors.Join(failures...)
 }
@@ -175,18 +156,7 @@ func AggregateCurves(trs []*Trajectory, metric string) (stats.Band, error) {
 	return stats.AggregateBand(series, 0.25, 0.75), nil
 }
 
-// WriteJSON serializes the trajectory for external analysis tools.
-func (t *Trajectory) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(t)
-}
-
-// ReadTrajectoryJSON parses a trajectory written by WriteJSON.
+// ReadTrajectoryJSON parses a trajectory written by Trajectory.WriteJSON.
 func ReadTrajectoryJSON(r io.Reader) (*Trajectory, error) {
-	var t Trajectory
-	if err := json.NewDecoder(r).Decode(&t); err != nil {
-		return nil, fmt.Errorf("core: decoding trajectory: %w", err)
-	}
-	return &t, nil
+	return engine.ReadTrajectoryJSON(r)
 }

@@ -1,187 +1,31 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"math"
 	"math/rand"
-	"sort"
 
 	"alamr/internal/dataset"
-	"alamr/internal/mat"
-	"alamr/internal/stats"
+	"alamr/internal/engine"
 )
 
-// RunBatchTrajectory executes Algorithm 1 with q-batch selection, the
-// parallel-selection scheme the paper's future work proposes: each round the
-// (stale) models pick q candidates, all q simulations "run", and the models
-// retrain once on the whole batch. Per-selection metrics (CC, CR,
-// violations) are recorded exactly as in the sequential loop; the RMSE
-// curves advance once per round — all q selections of a round share the
-// post-round value, since that is the first moment a new model exists.
-func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q int, strategy BatchStrategy) (*Trajectory, error) {
-	cfg.setDefaults()
-	if cfg.Policy == nil {
-		return nil, errors.New("core: LoopConfig.Policy is required")
-	}
-	if q < 1 {
-		return nil, fmt.Errorf("core: batch size %d, need >= 1", q)
-	}
-	if err := part.Validate(ds.Len()); err != nil {
-		return nil, err
-	}
-	if len(part.Init) == 0 || len(part.Active) == 0 || len(part.Test) == 0 {
-		return nil, errors.New("core: partition must have non-empty Init, Active, and Test")
-	}
-	if err := checkLogPrecondition(ds, part); err != nil {
-		return nil, err
-	}
+// BatchStrategy controls how a q-batch of candidates is assembled from a
+// single-point policy.
+type BatchStrategy = engine.BatchStrategy
 
-	features := func(idx []int) *mat.Dense {
-		if cfg.Log2P {
-			return ds.FeaturesLog2P(idx)
-		}
-		return ds.Features(idx)
-	}
+// Batch strategies (see engine.BatchStrategy).
+const (
+	BatchIndependent  = engine.BatchIndependent
+	BatchConstantLiar = engine.BatchConstantLiar
+)
 
-	xInit := features(part.Init)
-	xTest := features(part.Test)
-	costTest := ds.Cost(part.Test)
-	memTest := ds.Mem(part.Test)
-
-	gpCost := cfg.newModel()
-	if err := gpCost.Fit(xInit, ds.LogCost(part.Init)); err != nil {
-		return nil, fmt.Errorf("core: initial cost fit: %w", err)
-	}
-	gpMem := cfg.newModel()
-	if err := gpMem.Fit(xInit, ds.LogMem(part.Init)); err != nil {
-		return nil, fmt.Errorf("core: initial memory fit: %w", err)
-	}
-	gpCost.SetRestarts(0)
-	gpMem.SetRestarts(0)
-
-	tr := &Trajectory{
-		Policy: fmt.Sprintf("%s[q=%d,%s]", cfg.Policy.Name(), q, strategy),
-		NInit:  len(part.Init),
-		Seed:   cfg.Seed,
-	}
-	tr.InitCostRMSE = nonLogRMSE(gpCost, xTest, costTest)
-	tr.InitMemRMSE = nonLogRMSE(gpMem, xTest, memTest)
-
-	remaining := append([]int(nil), part.Active...)
-	rng := rand.New(rand.NewSource(stats.SplitSeed(cfg.Seed, 0)))
-
-	maxSel := len(remaining)
-	if cfg.MaxIterations > 0 && cfg.MaxIterations < maxSel {
-		maxSel = cfg.MaxIterations
-	}
-	memLimitRaw := math.Inf(1)
-	memLimitLog := math.Inf(1)
-	if cfg.MemLimitMB > 0 {
-		memLimitRaw = cfg.MemLimitMB
-		memLimitLog = math.Log10(cfg.MemLimitMB)
-	}
-
-	var cumCost, cumRegret float64
-	round := 0
-	// As in the sequential loop, the scorer owns the pool features and
-	// serves each round's Candidates from the incremental posterior caches
-	// (or direct Predict for non-GP surrogates / DirectScoring).
-	scorer := newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
-	defer scorer.close()
-	tr.Reason = StopPoolExhausted
-	for len(tr.Selected) < maxSel && len(remaining) > 0 {
-		want := q
-		if rem := maxSel - len(tr.Selected); rem < want {
-			want = rem
-		}
-		cands := scorer.candidates(memLimitLog)
-		picks, err := SelectBatch(cfg.Policy, cands, want, strategy, rng)
-		if err != nil && !errors.Is(err, ErrAllExceedLimit) {
-			return nil, fmt.Errorf("core: batch round %d: %w", round, err)
-		}
-		stopped := errors.Is(err, ErrAllExceedLimit)
-		if len(picks) == 0 {
-			tr.Reason = StopMemoryLimit
-			break
-		}
-
-		// Record and absorb every pick of the round.
-		for _, pick := range picks {
-			dsIdx := remaining[pick]
-			job := ds.Jobs[dsIdx]
-			tr.Selected = append(tr.Selected, dsIdx)
-			tr.SelectedCost = append(tr.SelectedCost, job.CostNH)
-			tr.SelectedMem = append(tr.SelectedMem, job.MemMB)
-			cumCost += job.CostNH
-			violated := job.MemMB >= memLimitRaw
-			if violated {
-				cumRegret += job.CostNH
-			}
-			tr.CumCost = append(tr.CumCost, cumCost)
-			tr.CumRegret = append(tr.CumRegret, cumRegret)
-			tr.Violation = append(tr.Violation, violated)
-
-			if err := gpCost.Append(scorer.row(pick), math.Log10(job.CostNH)); err != nil {
-				return nil, fmt.Errorf("core: cost update round %d: %w", round, err)
-			}
-			if err := gpMem.Append(scorer.row(pick), math.Log10(job.MemMB)); err != nil {
-				return nil, fmt.Errorf("core: memory update round %d: %w", round, err)
-			}
-		}
-		// Remove picked indices from the pool: the index slice is rebuilt
-		// via a drop set, the scorer in descending position order (so
-		// earlier removals do not shift later positions).
-		drop := make(map[int]bool, len(picks))
-		for _, p := range picks {
-			drop[p] = true
-		}
-		next := remaining[:0]
-		for i, idx := range remaining {
-			if !drop[i] {
-				next = append(next, idx)
-			}
-		}
-		remaining = next
-		sorted := append([]int(nil), picks...)
-		sort.Ints(sorted)
-		for i := len(sorted) - 1; i >= 0; i-- {
-			scorer.remove(sorted[i])
-		}
-
-		round++
-		if round%maxInt(cfg.HyperoptEvery/q, 1) == 0 {
-			if err := gpCost.Refit(); err != nil {
-				return nil, fmt.Errorf("core: cost refit round %d: %w", round, err)
-			}
-			if err := gpMem.Refit(); err != nil {
-				return nil, fmt.Errorf("core: memory refit round %d: %w", round, err)
-			}
-		}
-
-		// One post-round RMSE value, replicated across the round's picks.
-		cr := nonLogRMSE(gpCost, xTest, costTest)
-		mr := nonLogRMSE(gpMem, xTest, memTest)
-		for range picks {
-			tr.CostRMSE = append(tr.CostRMSE, cr)
-			tr.MemRMSE = append(tr.MemRMSE, mr)
-		}
-		if stopped {
-			tr.Reason = StopMemoryLimit
-			break
-		}
-	}
-	if tr.Reason == StopPoolExhausted && len(remaining) > 0 {
-		tr.Reason = StopMaxIterations
-	}
-	tr.FinalHyperCost = gpCost.Hyperparams()
-	tr.FinalHyperMem = gpMem.Hyperparams()
-	return tr, nil
+// SelectBatch picks up to q distinct candidates by repeatedly applying the
+// policy to a working copy of the candidate set.
+func SelectBatch(p Policy, c *Candidates, q int, strategy BatchStrategy, rng *rand.Rand) ([]int, error) {
+	return engine.SelectBatch(p, c, q, strategy, rng)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+// RunBatchTrajectory executes Algorithm 1 with q-batch selection, the
+// parallel-selection scheme the paper's future work proposes (see
+// engine.RunReplayBatch).
+func RunBatchTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q int, strategy BatchStrategy) (*Trajectory, error) {
+	return engine.RunReplayBatch(ds, part, cfg, q, strategy)
 }

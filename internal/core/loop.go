@@ -1,366 +1,35 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"math"
-	"math/rand"
-
 	"alamr/internal/dataset"
-	"alamr/internal/gp"
-	"alamr/internal/kernel"
-	"alamr/internal/mat"
-	"alamr/internal/obs"
-	"alamr/internal/stats"
+	"alamr/internal/engine"
 )
 
-// LoopConfig configures one active-learning trajectory (Algorithm 1).
-type LoopConfig struct {
-	Policy Policy
-	// Kernel is the covariance prototype for both surrogates (default
-	// isotropic RBF with ℓ=0.5, σ_f=1 on the unit-cube features).
-	Kernel kernel.Kernel
-	// GP carries the surrogate configuration; zero value uses sensible
-	// defaults (optimized noise starting at 0.1, normalized targets).
-	GP gp.Config
-	// MemLimitMB is the maximum allowed memory usage L_mem in MB; 0
-	// disables memory awareness entirely. When set, regret is recorded
-	// against this limit for every policy, and memory-aware policies filter
-	// candidates by it.
-	MemLimitMB float64
-	// MaxIterations bounds the number of AL selections (0 = exhaust the
-	// Active pool).
-	MaxIterations int
-	// HyperoptEvery re-optimizes hyperparameters every k-th iteration
-	// (default 10); other iterations use the O(n²) incremental update. Set
-	// to 1 to refit every iteration exactly as the paper's Algorithm 1.
-	HyperoptEvery int
-	// Seed drives the policy's randomness.
-	Seed int64
-	// Log2P selects the log2(p) feature transform (paper §V-D).
-	Log2P bool
-	// Stable optionally enables the stabilizing-predictions stopping
-	// heuristic (paper §V-D, third discussion point).
-	Stable *StableStopConfig
-	// NewModel overrides the surrogate constructor (default: a plain GP
-	// with Kernel and GP config). Use gp.NewTreed for the partitioned
-	// local-model variant of the paper’s future work.
-	NewModel func() gp.Model
-	// DirectScoring disables the incremental posterior cache and re-scores
-	// the remaining pool with full GP predictions every iteration — the
-	// O(m·n²) reference path the cache is pinned against in the equivalence
-	// tests. Non-*gp.GP surrogates always use this path.
-	DirectScoring bool
-}
+// Re-exported engine types: loop configuration and results.
+type (
+	// LoopConfig configures one active-learning trajectory (Algorithm 1).
+	LoopConfig = engine.LoopConfig
+	// StableStopConfig enables the stabilizing-predictions stop heuristic.
+	StableStopConfig = engine.StableStopConfig
+	// StopReason records why a trajectory ended.
+	StopReason = engine.StopReason
+	// Trajectory records everything the evaluation needs about one AL run.
+	Trajectory = engine.Trajectory
+)
 
-// newModel builds one surrogate instance.
-func (c *LoopConfig) newModel() gp.Model {
-	if c.NewModel != nil {
-		return c.NewModel()
-	}
-	return gp.New(c.Kernel, c.GP)
-}
-
-func (c *LoopConfig) setDefaults() {
-	if c.Kernel == nil {
-		c.Kernel = kernel.NewRBF(0.5, 1)
-	}
-	if c.GP.Noise == 0 {
-		c.GP.Noise = 0.1
-	}
-	c.GP.NormalizeY = true
-	if c.HyperoptEvery <= 0 {
-		c.HyperoptEvery = 10
-	}
-}
-
-// StableStopConfig stops the loop once predictions on the Test partition
-// have stabilized: when the mean absolute change of consecutive predictions
-// stays below Tol for Window consecutive iterations.
-type StableStopConfig struct {
-	Window int     // consecutive stable iterations required (default 5)
-	Tol    float64 // mean |Δμ| threshold in log10 space (default 0.005)
-}
-
-func (s *StableStopConfig) setDefaults() {
-	if s.Window <= 0 {
-		s.Window = 5
-	}
-	if s.Tol <= 0 {
-		s.Tol = 0.005
-	}
-}
-
-// StopReason records why a trajectory ended.
-type StopReason string
-
-// Stop reasons.
+// Stop reasons (see engine.StopReason).
 const (
-	StopPoolExhausted StopReason = "pool-exhausted"
-	StopMaxIterations StopReason = "max-iterations"
-	StopMemoryLimit   StopReason = "all-exceed-memory-limit"
-	StopStable        StopReason = "stable-predictions"
-	StopBudget        StopReason = "budget-exhausted"
-	// StopFault ends a campaign that hit a fatal (unclassifiable) lab error
-	// or spent a job's whole retry budget; partial results are returned
-	// alongside the error.
-	StopFault StopReason = "fatal-fault"
+	StopPoolExhausted = engine.StopPoolExhausted
+	StopMaxIterations = engine.StopMaxIterations
+	StopMemoryLimit   = engine.StopMemoryLimit
+	StopStable        = engine.StopStable
+	StopBudget        = engine.StopBudget
+	StopFault         = engine.StopFault
 )
-
-// Trajectory records everything the evaluation needs about one AL run: the
-// selection order and the per-iteration metrics of §V-B.
-type Trajectory struct {
-	Policy string
-	NInit  int
-	Seed   int64
-
-	// Selected holds dataset indices in selection order.
-	Selected []int
-	// SelectedCost/SelectedMem are the actual (non-log) responses of the
-	// selected jobs, in order.
-	SelectedCost []float64
-	SelectedMem  []float64
-
-	// Per-iteration metrics, recorded after the models absorb iteration i.
-	CostRMSE  []float64 // non-log RMSE on the Test partition
-	MemRMSE   []float64
-	CumCost   []float64 // CC: running sum of selected actual costs
-	CumRegret []float64 // CR: running sum of costs of limit-violating picks
-	Violation []bool    // whether pick i violated the memory limit
-
-	// InitCostRMSE / InitMemRMSE are the test errors after the initial fit,
-	// before any AL selection.
-	InitCostRMSE, InitMemRMSE float64
-
-	Reason StopReason
-	// FinalHyperCost / FinalHyperMem are the models' log-space
-	// hyperparameters at the end of the run.
-	FinalHyperCost, FinalHyperMem []float64
-}
-
-// Iterations returns the number of AL selections performed.
-func (t *Trajectory) Iterations() int { return len(t.Selected) }
-
-// checkLogPrecondition verifies every job a loop will log-transform (the
-// Init seeds and the Active pool) carries strictly positive, finite
-// responses. Rejecting up front turns a silent NaN in a surrogate's
-// training set into a classified dataset.ErrBadResponse.
-func checkLogPrecondition(ds *dataset.Dataset, part dataset.Partition) error {
-	for _, idx := range [][]int{part.Init, part.Active} {
-		if err := ds.CheckResponses(idx); err != nil {
-			return fmt.Errorf("core: dataset fails the log-transform precondition: %w", err)
-		}
-	}
-	return nil
-}
 
 // RunTrajectory executes Algorithm 1 on one partition of the dataset and
-// returns the recorded trajectory.
+// returns the recorded trajectory. It is the replay-mode entry point of the
+// unified engine loop (engine.RunReplay).
 func RunTrajectory(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig) (*Trajectory, error) {
-	cfg.setDefaults()
-	if cfg.Policy == nil {
-		return nil, errors.New("core: LoopConfig.Policy is required")
-	}
-	if err := part.Validate(ds.Len()); err != nil {
-		return nil, err
-	}
-	if len(part.Init) == 0 || len(part.Active) == 0 || len(part.Test) == 0 {
-		return nil, errors.New("core: partition must have non-empty Init, Active, and Test")
-	}
-	if err := checkLogPrecondition(ds, part); err != nil {
-		return nil, err
-	}
-
-	features := func(idx []int) *mat.Dense {
-		if cfg.Log2P {
-			return ds.FeaturesLog2P(idx)
-		}
-		return ds.Features(idx)
-	}
-
-	xInit := features(part.Init)
-	xTest := features(part.Test)
-	costTest := ds.Cost(part.Test)
-	memTest := ds.Mem(part.Test)
-
-	spFit := obs.SpanFit.Start()
-	gpCost := cfg.newModel()
-	if err := gpCost.Fit(xInit, ds.LogCost(part.Init)); err != nil {
-		return nil, fmt.Errorf("core: initial cost fit: %w", err)
-	}
-	gpMem := cfg.newModel()
-	if err := gpMem.Fit(xInit, ds.LogMem(part.Init)); err != nil {
-		return nil, fmt.Errorf("core: initial memory fit: %w", err)
-	}
-	spFit.End()
-	// Subsequent refits warm start from the previous optimum (Algorithm 1's
-	// note); random restarts are only needed for the initial fit.
-	gpCost.SetRestarts(0)
-	gpMem.SetRestarts(0)
-
-	tr := &Trajectory{
-		Policy: cfg.Policy.Name(),
-		NInit:  len(part.Init),
-		Seed:   cfg.Seed,
-	}
-	tr.InitCostRMSE = nonLogRMSE(gpCost, xTest, costTest)
-	tr.InitMemRMSE = nonLogRMSE(gpMem, xTest, memTest)
-
-	remaining := append([]int(nil), part.Active...)
-	rng := rand.New(rand.NewSource(stats.SplitSeed(cfg.Seed, 0)))
-
-	maxIter := len(remaining)
-	if cfg.MaxIterations > 0 && cfg.MaxIterations < maxIter {
-		maxIter = cfg.MaxIterations
-	}
-	if cfg.Stable != nil {
-		cfg.Stable.setDefaults()
-	}
-	var prevTestMu []float64
-	stableRun := 0
-
-	var cumCost, cumRegret float64
-	memLimitRaw := math.Inf(1)
-	memLimitLog := math.Inf(1)
-	if cfg.MemLimitMB > 0 {
-		memLimitRaw = cfg.MemLimitMB
-		memLimitLog = math.Log10(cfg.MemLimitMB)
-	}
-
-	// The scorer owns the pool features for the whole run: candidates are
-	// re-scored each iteration through the incremental posterior caches
-	// (or direct Predict, see LoopConfig.DirectScoring) and rows leave the
-	// matrix in lockstep with the index bookkeeping below.
-	scorer := newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
-	defer scorer.close()
-
-	tr.Reason = StopPoolExhausted
-	for iter := 0; iter < maxIter; iter++ {
-		spScore := obs.SpanScore.Start()
-		cands := scorer.candidates(memLimitLog)
-		spScore.End()
-		spSelect := obs.SpanSelect.Start()
-		pick, err := cfg.Policy.Select(cands, rng)
-		spSelect.End()
-		if err != nil {
-			if errors.Is(err, ErrAllExceedLimit) {
-				tr.Reason = StopMemoryLimit
-				break
-			}
-			return nil, fmt.Errorf("core: policy %s at iteration %d: %w", cfg.Policy.Name(), iter, err)
-		}
-		if pick < 0 || pick >= len(remaining) {
-			return nil, fmt.Errorf("core: policy %s returned out-of-range index %d of %d", cfg.Policy.Name(), pick, len(remaining))
-		}
-
-		spRun := obs.SpanRun.Start()
-		dsIdx := remaining[pick]
-		job := ds.Jobs[dsIdx]
-		tr.Selected = append(tr.Selected, dsIdx)
-		tr.SelectedCost = append(tr.SelectedCost, job.CostNH)
-		tr.SelectedMem = append(tr.SelectedMem, job.MemMB)
-
-		cumCost += job.CostNH
-		violated := job.MemMB >= memLimitRaw
-		if violated {
-			cumRegret += job.CostNH
-			obs.CampaignViolations.Inc()
-		}
-		tr.CumCost = append(tr.CumCost, cumCost)
-		tr.CumRegret = append(tr.CumRegret, cumRegret)
-		tr.Violation = append(tr.Violation, violated)
-		spRun.End()
-		obs.CampaignCumCost.Set(cumCost)
-		obs.CampaignCumRegret.Set(cumRegret)
-		if cfg.MemLimitMB > 0 {
-			obs.CampaignHeadroom.Set(memLimitRaw - job.MemMB)
-		}
-		obs.JobCost.Observe(job.CostNH)
-		obs.JobMem.Observe(job.MemMB)
-
-		// Absorb the measurement into both models (Algorithm 1 lines 10-11):
-		// periodic full refit with warm-started hyperparameters, incremental
-		// rank-1 update otherwise. The row view must be consumed before
-		// scorer.remove shifts the pool matrix; Append copies it.
-		xNew := scorer.row(pick)
-		logC := math.Log10(job.CostNH)
-		logM := math.Log10(job.MemMB)
-		if (iter+1)%cfg.HyperoptEvery == 0 {
-			spHyper := obs.SpanHyperopt.Start()
-			if err := appendAndRefit(gpCost, xNew, logC); err != nil {
-				return nil, fmt.Errorf("core: cost refit at iteration %d: %w", iter, err)
-			}
-			if err := appendAndRefit(gpMem, xNew, logM); err != nil {
-				return nil, fmt.Errorf("core: memory refit at iteration %d: %w", iter, err)
-			}
-			spHyper.End()
-		} else {
-			spFeed := obs.SpanFeed.Start()
-			if err := gpCost.Append(xNew, logC); err != nil {
-				return nil, fmt.Errorf("core: cost update at iteration %d: %w", iter, err)
-			}
-			if err := gpMem.Append(xNew, logM); err != nil {
-				return nil, fmt.Errorf("core: memory update at iteration %d: %w", iter, err)
-			}
-			spFeed.End()
-		}
-
-		remaining = append(remaining[:pick], remaining[pick+1:]...)
-		scorer.remove(pick)
-		obs.LoopIterations.Inc()
-		obs.PoolSize.Set(float64(len(remaining)))
-
-		tr.CostRMSE = append(tr.CostRMSE, nonLogRMSE(gpCost, xTest, costTest))
-		tr.MemRMSE = append(tr.MemRMSE, nonLogRMSE(gpMem, xTest, memTest))
-
-		if cfg.Stable != nil {
-			muTest, _ := gpCost.Predict(xTest)
-			if prevTestMu != nil {
-				if meanAbsDiff(muTest, prevTestMu) < cfg.Stable.Tol {
-					stableRun++
-				} else {
-					stableRun = 0
-				}
-				if stableRun >= cfg.Stable.Window {
-					prevTestMu = muTest
-					tr.Reason = StopStable
-					break
-				}
-			}
-			prevTestMu = muTest
-		}
-	}
-	if tr.Reason == StopPoolExhausted && len(remaining) > 0 {
-		tr.Reason = StopMaxIterations
-	}
-	tr.FinalHyperCost = gpCost.Hyperparams()
-	tr.FinalHyperMem = gpMem.Hyperparams()
-	return tr, nil
-}
-
-func appendAndRefit(g gp.Model, x []float64, y float64) error {
-	if err := g.Append(x, y); err != nil {
-		return err
-	}
-	return g.Refit()
-}
-
-// nonLogRMSE evaluates the paper's error metric (eq. 10): predictions are
-// exponentiated back to the raw response scale and compared with the
-// unmodified test measurements.
-func nonLogRMSE(g gp.Model, xTest *mat.Dense, actual []float64) float64 {
-	mu, _ := g.Predict(xTest)
-	pred := make([]float64, len(mu))
-	for i, m := range mu {
-		pred[i] = math.Pow(10, m)
-	}
-	return stats.RMSE(pred, actual)
-}
-
-func meanAbsDiff(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += math.Abs(a[i] - b[i])
-	}
-	return s / float64(len(a))
+	return engine.RunReplay(ds, part, cfg)
 }

@@ -5,208 +5,37 @@
 // experiment to run next. The five policies of §IV-B are provided:
 // RandUniform, MaxSigma, MinPred, RandGoodness, and the memory-aware RGMA
 // (Algorithm 2).
+//
+// Since PR 5 the execution core — the fit/score/select/feed loop, the
+// policies, and the batch-selection strategies — lives in internal/engine,
+// shared with the online campaign runner. core re-exports that API
+// unchanged (type aliases below) and keeps the replay-facing conveniences:
+// RunTrajectory/RunBatchTrajectory, the RunBatch study driver, and the
+// curve aggregation helpers.
 package core
 
-import (
-	"errors"
-	"fmt"
-	"math"
-	"math/rand"
+import "alamr/internal/engine"
 
-	"alamr/internal/mat"
-	"alamr/internal/stats"
+// Re-exported engine types: the selection layer.
+type (
+	// Candidates carries the model state a policy sees at one AL iteration.
+	Candidates = engine.Candidates
+	// Policy selects the next experiment from the candidate set.
+	Policy = engine.Policy
+	// RandUniform selects uniformly at random (the paper's baseline).
+	RandUniform = engine.RandUniform
+	// MaxSigma selects the candidate with the largest cost uncertainty.
+	MaxSigma = engine.MaxSigma
+	// MinPred greedily selects the cheapest predicted candidate.
+	MinPred = engine.MinPred
+	// RandGoodness samples proportionally to the cost goodness (§IV-B).
+	RandGoodness = engine.RandGoodness
+	// RGMA is RandGoodness with Memory Awareness (Algorithm 2).
+	RGMA = engine.RGMA
+	// ExpectedImprovement is the Bayesian-optimization baseline (§II-C).
+	ExpectedImprovement = engine.ExpectedImprovement
 )
 
-// Candidates carries the model state a policy sees at one AL iteration: the
-// remaining candidate configurations and the two models' predictive means
-// and standard deviations for them, all in log10 response space (the space
-// the models are trained in).
-type Candidates struct {
-	X *mat.Dense // remaining candidate feature rows
-
-	MuCost, SigmaCost []float64 // cost model predictions (log10 node-hours)
-	MuMem, SigmaMem   []float64 // memory model predictions (log10 MB)
-
-	// MemLimitLog is log10 of the maximum allowed memory usage L_mem;
-	// +Inf when no limit applies.
-	MemLimitLog float64
-}
-
-// Len returns the number of remaining candidates.
-func (c *Candidates) Len() int { return len(c.MuCost) }
-
-func (c *Candidates) validate() error {
-	n := c.Len()
-	if n == 0 {
-		return errors.New("core: empty candidate set")
-	}
-	if len(c.SigmaCost) != n || len(c.MuMem) != n || len(c.SigmaMem) != n {
-		return fmt.Errorf("core: inconsistent candidate vectors (%d/%d/%d/%d)",
-			n, len(c.SigmaCost), len(c.MuMem), len(c.SigmaMem))
-	}
-	if c.X != nil && c.X.Rows() != n {
-		return fmt.Errorf("core: candidate matrix has %d rows for %d candidates", c.X.Rows(), n)
-	}
-	return nil
-}
-
-// Satisfying returns the indices whose predicted memory lies strictly below
-// the limit (the classification step of Algorithm 2).
-func (c *Candidates) Satisfying() []int {
-	out := make([]int, 0, c.Len())
-	for i, m := range c.MuMem {
-		if m < c.MemLimitLog {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
 // ErrAllExceedLimit is returned by memory-aware policies when every
-// remaining candidate is predicted to violate the memory limit; the AL loop
-// treats it as the early-termination signal discussed in the paper (§V-D).
-var ErrAllExceedLimit = errors.New("core: all remaining candidates predicted to exceed the memory limit")
-
-// Policy selects the next experiment from the candidate set. rng is the
-// policy's private randomness stream.
-type Policy interface {
-	Name() string
-	Select(c *Candidates, rng *rand.Rand) (int, error)
-}
-
-// RandUniform selects uniformly at random, ignoring the models — the
-// paper's reference baseline.
-type RandUniform struct{}
-
-// Name implements Policy.
-func (RandUniform) Name() string { return "RandUniform" }
-
-// Select implements Policy.
-func (RandUniform) Select(c *Candidates, rng *rand.Rand) (int, error) {
-	if err := c.validate(); err != nil {
-		return 0, err
-	}
-	return rng.Intn(c.Len()), nil
-}
-
-// MaxSigma selects the candidate with the largest cost-prediction
-// uncertainty (uncertainty sampling / variance reduction).
-type MaxSigma struct{}
-
-// Name implements Policy.
-func (MaxSigma) Name() string { return "MaxSigma" }
-
-// Select implements Policy.
-func (MaxSigma) Select(c *Candidates, rng *rand.Rand) (int, error) {
-	if err := c.validate(); err != nil {
-		return 0, err
-	}
-	_, idx := mat.MaxVec(c.SigmaCost)
-	return idx, nil
-}
-
-// MinPred selects argmax(σ_cost − μ_cost) in log space. As the paper
-// observes, the variation of μ dominates σ so the policy degenerates to
-// greedily selecting the cheapest predicted candidate — hence its name.
-type MinPred struct{}
-
-// Name implements Policy.
-func (MinPred) Name() string { return "MinPred" }
-
-// Select implements Policy.
-func (MinPred) Select(c *Candidates, rng *rand.Rand) (int, error) {
-	if err := c.validate(); err != nil {
-		return 0, err
-	}
-	best, idx := math.Inf(-1), 0
-	for i := range c.MuCost {
-		if v := c.SigmaCost[i] - c.MuCost[i]; v > best {
-			best, idx = v, i
-		}
-	}
-	return idx, nil
-}
-
-// RandGoodness samples a candidate from the discrete distribution
-// proportional to the cost "goodness" g = Base^(σ_cost − μ_cost): mostly
-// cheap candidates with occasional expensive exploration (§IV-B).
-type RandGoodness struct {
-	// Base of the goodness exponent; the paper argues for 10 to match the
-	// log10 preprocessing (higher bases skew harder toward cheap samples).
-	Base float64
-}
-
-// Name implements Policy.
-func (p RandGoodness) Name() string { return "RandGoodness" }
-
-func (p RandGoodness) base() float64 {
-	if p.Base <= 1 {
-		return 10
-	}
-	return p.Base
-}
-
-// Select implements Policy.
-func (p RandGoodness) Select(c *Candidates, rng *rand.Rand) (int, error) {
-	if err := c.validate(); err != nil {
-		return 0, err
-	}
-	w := goodness(c.MuCost, c.SigmaCost, nil, p.base())
-	return stats.SampleDiscrete(rng, w), nil
-}
-
-// RGMA is RandGoodness with Memory Awareness (Algorithm 2): candidates whose
-// predicted memory exceeds L_mem are filtered out before the goodness draw.
-type RGMA struct {
-	Base float64
-}
-
-// Name implements Policy.
-func (p RGMA) Name() string { return "RGMA" }
-
-func (p RGMA) base() float64 {
-	if p.Base <= 1 {
-		return 10
-	}
-	return p.Base
-}
-
-// Select implements Policy.
-func (p RGMA) Select(c *Candidates, rng *rand.Rand) (int, error) {
-	if err := c.validate(); err != nil {
-		return 0, err
-	}
-	satisfying := c.Satisfying()
-	if len(satisfying) == 0 {
-		return 0, ErrAllExceedLimit
-	}
-	w := goodness(c.MuCost, c.SigmaCost, satisfying, p.base())
-	return satisfying[stats.SampleDiscrete(rng, w)], nil
-}
-
-// goodness computes Base^(σ−μ) over the selected indices (all when idx is
-// nil), guarding against overflow by shifting the exponent: the shift
-// cancels after normalization in the discrete draw.
-func goodness(mu, sigma []float64, idx []int, base float64) []float64 {
-	n := len(mu)
-	if idx != nil {
-		n = len(idx)
-	}
-	expo := make([]float64, n)
-	maxE := math.Inf(-1)
-	for i := 0; i < n; i++ {
-		j := i
-		if idx != nil {
-			j = idx[i]
-		}
-		expo[i] = sigma[j] - mu[j]
-		if expo[i] > maxE {
-			maxE = expo[i]
-		}
-	}
-	w := make([]float64, n)
-	for i, e := range expo {
-		w[i] = math.Pow(base, e-maxE)
-	}
-	return w
-}
+// remaining candidate is predicted to violate the memory limit.
+var ErrAllExceedLimit = engine.ErrAllExceedLimit

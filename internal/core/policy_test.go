@@ -285,28 +285,6 @@ func TestExpectedImprovementUncertaintyBreaksTies(t *testing.T) {
 	}
 }
 
-func TestExpectedImprovementMath(t *testing.T) {
-	// Degenerate sigma: EI = max(target-mu, 0).
-	if got := expectedImprovement(1, 0.5, 0); got != 0.5 {
-		t.Fatalf("EI = %g want 0.5", got)
-	}
-	if got := expectedImprovement(1, 2, 0); got != 0 {
-		t.Fatalf("EI = %g want 0", got)
-	}
-	// Symmetric case: target == mu → EI = sigma/sqrt(2π).
-	want := 0.7 / math.Sqrt(2*math.Pi)
-	if got := expectedImprovement(0, 0, 0.7); math.Abs(got-want) > 1e-12 {
-		t.Fatalf("EI = %g want %g", got, want)
-	}
-	// CDF sanity.
-	if math.Abs(stdNormCDF(0)-0.5) > 1e-12 {
-		t.Fatal("CDF(0) != 0.5")
-	}
-	if stdNormCDF(5) < 0.999 || stdNormCDF(-5) > 0.001 {
-		t.Fatal("CDF tails wrong")
-	}
-}
-
 func TestBOLocalizesALGeneralizes(t *testing.T) {
 	// The §II-C contrast: on the same partition and budget, EI concentrates
 	// its samples near the cheap corner (low selection diversity) while the

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alamr/internal/mat"
+)
+
+// BatchStrategy controls how a q-batch of candidates is assembled from a
+// single-point policy (§VI of the paper discusses batch selection as the
+// natural extension for parallel clusters).
+type BatchStrategy int
+
+const (
+	// BatchIndependent repeatedly applies the policy without updating the
+	// model state between picks: fast, but the batch may cluster.
+	BatchIndependent BatchStrategy = iota
+	// BatchConstantLiar hallucinates reduced uncertainty near each pick
+	// before selecting the next, spreading the batch across the pool.
+	BatchConstantLiar
+)
+
+// String implements fmt.Stringer.
+func (s BatchStrategy) String() string {
+	switch s {
+	case BatchIndependent:
+		return "independent"
+	case BatchConstantLiar:
+		return "constant-liar"
+	default:
+		return fmt.Sprintf("BatchStrategy(%d)", int(s))
+	}
+}
+
+// SelectBatch picks up to q distinct candidates by repeatedly applying the
+// policy to a working copy of the candidate set. Returned indices refer to
+// the original candidate set. When a memory-aware policy exhausts the
+// satisfying candidates mid-batch, the picks so far are returned alongside
+// ErrAllExceedLimit.
+func SelectBatch(p Policy, c *Candidates, q int, strategy BatchStrategy, rng *rand.Rand) ([]int, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("engine: batch size %d, need >= 1", q)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	n := c.Len()
+	if q > n {
+		q = n
+	}
+
+	work := &Candidates{
+		MuCost:      mat.CopyVec(c.MuCost),
+		SigmaCost:   mat.CopyVec(c.SigmaCost),
+		MuMem:       mat.CopyVec(c.MuMem),
+		SigmaMem:    mat.CopyVec(c.SigmaMem),
+		MemLimitLog: c.MemLimitLog,
+		X:           c.X,
+	}
+
+	orig := make([]int, n)
+	rows := make([][]float64, n)
+	for i := range orig {
+		orig[i] = i
+		if c.X != nil {
+			rows[i] = c.X.Row(i)
+		}
+	}
+
+	var picks []int
+	for len(picks) < q && len(orig) > 0 {
+		idx, err := p.Select(work, rng)
+		if err != nil {
+			if errors.Is(err, ErrAllExceedLimit) && len(picks) > 0 {
+				return picks, err
+			}
+			return picks, err
+		}
+		if idx < 0 || idx >= len(orig) {
+			return picks, fmt.Errorf("engine: policy %s returned out-of-range index %d of %d", p.Name(), idx, len(orig))
+		}
+		picks = append(picks, orig[idx])
+
+		if strategy == BatchConstantLiar && rows[0] != nil {
+			hallucinate(work, rows, idx)
+		}
+
+		last := len(orig) - 1
+		work.MuCost[idx] = work.MuCost[last]
+		work.MuCost = work.MuCost[:last]
+		work.SigmaCost[idx] = work.SigmaCost[last]
+		work.SigmaCost = work.SigmaCost[:last]
+		work.MuMem[idx] = work.MuMem[last]
+		work.MuMem = work.MuMem[:last]
+		work.SigmaMem[idx] = work.SigmaMem[last]
+		work.SigmaMem = work.SigmaMem[:last]
+		orig[idx] = orig[last]
+		orig = orig[:last]
+		rows[idx] = rows[last]
+		rows = rows[:last]
+		// The working matrix no longer lines up after a swap-remove; policies
+		// only read the mu/sigma vectors, so drop it rather than rebuilding.
+		work.X = nil
+	}
+	return picks, nil
+}
+
+// hallucinate shrinks the uncertainty of candidates near the picked point,
+// emulating the "constant liar" fantasy observation without refitting: the
+// picked point's sigmas drop to zero and neighbours are damped by an RBF
+// weight in scaled feature space.
+func hallucinate(work *Candidates, rows [][]float64, pick int) {
+	const l2 = 0.3 * 0.3
+	xp := rows[pick]
+	for i := range rows {
+		if i == pick || rows[i] == nil {
+			continue
+		}
+		w := math.Exp(-mat.SqDist(rows[i], xp) / (2 * l2))
+		work.SigmaCost[i] *= 1 - w
+		work.SigmaMem[i] *= 1 - w
+	}
+	work.SigmaCost[pick] = 0
+	work.SigmaMem[pick] = 0
+}

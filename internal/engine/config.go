@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"alamr/internal/dataset"
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+)
+
+// LoopConfig configures one active-learning trajectory (Algorithm 1).
+type LoopConfig struct {
+	Policy Policy
+	// Kernel is the covariance prototype for both surrogates (default
+	// isotropic RBF with ℓ=0.5, σ_f=1 on the unit-cube features).
+	Kernel kernel.Kernel
+	// GP carries the surrogate configuration; zero value uses sensible
+	// defaults (optimized noise starting at 0.1, normalized targets).
+	GP gp.Config
+	// MemLimitMB is the maximum allowed memory usage L_mem in MB; 0
+	// disables memory awareness entirely. When set, regret is recorded
+	// against this limit for every policy, and memory-aware policies filter
+	// candidates by it.
+	MemLimitMB float64
+	// MaxIterations bounds the number of AL selections (0 = exhaust the
+	// Active pool).
+	MaxIterations int
+	// HyperoptEvery re-optimizes hyperparameters every k-th iteration
+	// (default 10); other iterations use the O(n²) incremental update. Set
+	// to 1 to refit every iteration exactly as the paper's Algorithm 1.
+	HyperoptEvery int
+	// Seed drives the policy's randomness.
+	Seed int64
+	// Log2P selects the log2(p) feature transform (paper §V-D).
+	Log2P bool
+	// Stable optionally enables the stabilizing-predictions stopping
+	// heuristic (paper §V-D, third discussion point).
+	Stable *StableStopConfig
+	// NewModel overrides the surrogate constructor (default: a plain GP
+	// with Kernel and GP config). Use gp.NewTreed for the partitioned
+	// local-model variant of the paper’s future work.
+	NewModel func() gp.Model
+	// DirectScoring disables the incremental posterior cache and re-scores
+	// the remaining pool with full GP predictions every iteration — the
+	// O(m·n²) reference path the cache is pinned against in the equivalence
+	// tests. Non-*gp.GP surrogates always use this path.
+	DirectScoring bool
+	// Campaign optionally attaches per-campaign labeled instruments so
+	// concurrent sweeps keep separable metric series; nil records into the
+	// shared campaign gauges only.
+	Campaign *CampaignObs
+}
+
+// newModel builds one surrogate instance.
+func (c *LoopConfig) newModel() gp.Model {
+	if c.NewModel != nil {
+		return c.NewModel()
+	}
+	return gp.New(c.Kernel, c.GP)
+}
+
+func (c *LoopConfig) setDefaults() {
+	if c.Kernel == nil {
+		c.Kernel = kernel.NewRBF(0.5, 1)
+	}
+	if c.GP.Noise == 0 {
+		c.GP.Noise = 0.1
+	}
+	c.GP.NormalizeY = true
+	if c.HyperoptEvery <= 0 {
+		c.HyperoptEvery = 10
+	}
+}
+
+// StableStopConfig stops the loop once predictions on the Test partition
+// have stabilized: when the mean absolute change of consecutive predictions
+// stays below Tol for Window consecutive iterations.
+type StableStopConfig struct {
+	Window int     `json:"window,omitempty"` // consecutive stable iterations required (default 5)
+	Tol    float64 `json:"tol,omitempty"`    // mean |Δμ| threshold in log10 space (default 0.005)
+}
+
+func (s *StableStopConfig) setDefaults() {
+	if s.Window <= 0 {
+		s.Window = 5
+	}
+	if s.Tol <= 0 {
+		s.Tol = 0.005
+	}
+}
+
+// StopReason records why a trajectory ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopPoolExhausted StopReason = "pool-exhausted"
+	StopMaxIterations StopReason = "max-iterations"
+	StopMemoryLimit   StopReason = "all-exceed-memory-limit"
+	StopStable        StopReason = "stable-predictions"
+	StopBudget        StopReason = "budget-exhausted"
+	// StopFault ends a campaign that hit a fatal (unclassifiable) lab error
+	// or spent a job's whole retry budget; partial results are returned
+	// alongside the error.
+	StopFault StopReason = "fatal-fault"
+)
+
+// Trajectory records everything the evaluation needs about one AL run: the
+// selection order and the per-iteration metrics of §V-B.
+type Trajectory struct {
+	Policy string
+	NInit  int
+	Seed   int64
+
+	// Selected holds dataset indices in selection order.
+	Selected []int
+	// SelectedCost/SelectedMem are the actual (non-log) responses of the
+	// selected jobs, in order.
+	SelectedCost []float64
+	SelectedMem  []float64
+
+	// Per-iteration metrics, recorded after the models absorb iteration i.
+	CostRMSE  []float64 // non-log RMSE on the Test partition
+	MemRMSE   []float64
+	CumCost   []float64 // CC: running sum of selected actual costs
+	CumRegret []float64 // CR: running sum of costs of limit-violating picks
+	Violation []bool    // whether pick i violated the memory limit
+
+	// InitCostRMSE / InitMemRMSE are the test errors after the initial fit,
+	// before any AL selection.
+	InitCostRMSE, InitMemRMSE float64
+
+	Reason StopReason
+	// FinalHyperCost / FinalHyperMem are the models' log-space
+	// hyperparameters at the end of the run.
+	FinalHyperCost, FinalHyperMem []float64
+}
+
+// Iterations returns the number of AL selections performed.
+func (t *Trajectory) Iterations() int { return len(t.Selected) }
+
+// WriteJSON serializes the trajectory for later aggregation.
+func (t *Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrajectoryJSON reads a trajectory written by WriteJSON.
+func ReadTrajectoryJSON(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("engine: decoding trajectory: %w", err)
+	}
+	return &t, nil
+}
+
+// checkLogPrecondition verifies every job a loop will log-transform (the
+// Init seeds and the Active pool) carries strictly positive, finite
+// responses. Rejecting up front turns a silent NaN in a surrogate's
+// training set into a classified dataset.ErrBadResponse.
+func checkLogPrecondition(ds *dataset.Dataset, part dataset.Partition) error {
+	for _, idx := range [][]int{part.Init, part.Active} {
+		if err := ds.CheckResponses(idx); err != nil {
+			return fmt.Errorf("engine: dataset fails the log-transform precondition: %w", err)
+		}
+	}
+	return nil
+}

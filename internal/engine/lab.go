@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+
+	"alamr/internal/dataset"
+)
+
+// Lab runs experiments on demand — the execution seam of an online
+// campaign. internal/online provides the live simulator-backed SimLab;
+// ReplayLab below serves the offline dataset through the same interface.
+type Lab interface {
+	// Run executes the configuration and returns the measured job.
+	Run(c dataset.Combo) (dataset.Job, error)
+	// Candidates enumerates the configurations currently available.
+	Candidates() []dataset.Combo
+}
+
+// ReplayLab serves a precomputed job database through the Lab interface:
+// Run is a table lookup into the dataset and Remove drops a configuration
+// from the candidate pool. It lets any Lab consumer — most notably an
+// online campaign — execute against replay data, which is how the replay
+// and online execution modes meet behind one seam.
+type ReplayLab struct {
+	ds    *dataset.Dataset
+	index map[dataset.Combo]int
+	order []dataset.Combo
+	gone  map[dataset.Combo]bool
+}
+
+// NewReplayLab indexes the dataset by configuration. When the dataset holds
+// repeated measurements of one configuration, the first occurrence wins
+// (dataset order), keeping lookups deterministic.
+func NewReplayLab(ds *dataset.Dataset) *ReplayLab {
+	l := &ReplayLab{
+		ds:    ds,
+		index: make(map[dataset.Combo]int, ds.Len()),
+		gone:  make(map[dataset.Combo]bool),
+	}
+	for i, j := range ds.Jobs {
+		c := j.Config()
+		if _, ok := l.index[c]; !ok {
+			l.index[c] = i
+			l.order = append(l.order, c)
+		}
+	}
+	return l
+}
+
+// Run implements Lab by looking the configuration up in the dataset.
+// Removed configurations stay runnable: Remove only shrinks the candidate
+// pool, mirroring how a pool-based campaign re-runs nothing it already
+// selected.
+func (l *ReplayLab) Run(c dataset.Combo) (dataset.Job, error) {
+	i, ok := l.index[c]
+	if !ok {
+		return dataset.Job{}, fmt.Errorf("engine: configuration %+v is not in the replay dataset", c)
+	}
+	return l.ds.Jobs[i], nil
+}
+
+// Candidates implements Lab: all dataset configurations not yet removed, in
+// dataset order.
+func (l *ReplayLab) Candidates() []dataset.Combo {
+	out := make([]dataset.Combo, 0, len(l.order))
+	for _, c := range l.order {
+		if !l.gone[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Remove drops a configuration from the candidate pool (remove-from-pool
+// semantic: the offline pool only ever shrinks). Unknown configurations are
+// a no-op.
+func (l *ReplayLab) Remove(c dataset.Combo) {
+	if _, ok := l.index[c]; ok {
+		l.gone[c] = true
+	}
+}
+
+// PoolLen reports how many candidates remain.
+func (l *ReplayLab) PoolLen() int {
+	n := 0
+	for _, c := range l.order {
+		if !l.gone[c] {
+			n++
+		}
+	}
+	return n
+}

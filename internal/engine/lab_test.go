@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"alamr/internal/dataset"
+)
+
+func TestReplayLabServesDataset(t *testing.T) {
+	ds := synthDS(80, 31) // sampling with replacement -> repeated combos
+	lab := NewReplayLab(ds)
+
+	unique := make(map[dataset.Combo]int)
+	for i, j := range ds.Jobs {
+		if _, ok := unique[j.Config()]; !ok {
+			unique[j.Config()] = i
+		}
+	}
+	cands := lab.Candidates()
+	if len(cands) != len(unique) {
+		t.Fatalf("candidates = %d want %d unique combos", len(cands), len(unique))
+	}
+	if lab.PoolLen() != len(cands) {
+		t.Fatalf("PoolLen = %d want %d", lab.PoolLen(), len(cands))
+	}
+
+	// First occurrence wins: the job served for a repeated combo is the
+	// earliest dataset entry with that configuration.
+	for _, c := range cands {
+		job, err := lab.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job != ds.Jobs[unique[c]] {
+			t.Fatalf("combo %+v served job %+v want first occurrence %+v", c, job, ds.Jobs[unique[c]])
+		}
+	}
+
+	if _, err := lab.Run(dataset.Combo{P: 9999}); err == nil ||
+		!strings.Contains(err.Error(), "not in the replay dataset") {
+		t.Fatalf("unknown combo: err = %v", err)
+	}
+}
+
+func TestReplayLabRemove(t *testing.T) {
+	ds := synthDS(60, 32)
+	lab := NewReplayLab(ds)
+	cands := lab.Candidates()
+	victim := cands[0]
+
+	lab.Remove(victim)
+	if lab.PoolLen() != len(cands)-1 {
+		t.Fatalf("PoolLen after Remove = %d want %d", lab.PoolLen(), len(cands)-1)
+	}
+	for _, c := range lab.Candidates() {
+		if c == victim {
+			t.Fatal("removed combo still listed as candidate")
+		}
+	}
+	// Removed configurations stay runnable (a campaign may re-examine what
+	// it already executed), and removing the unknown is a no-op.
+	if _, err := lab.Run(victim); err != nil {
+		t.Fatalf("removed combo no longer runnable: %v", err)
+	}
+	lab.Remove(dataset.Combo{P: 9999})
+	if lab.PoolLen() != len(cands)-1 {
+		t.Fatal("removing an unknown combo changed the pool")
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import "alamr/internal/obs"
+
+// CampaignObs scopes the campaign-level metrics to one named campaign via
+// labeled series (`{campaign="..."}`), so a sweep of concurrent campaigns
+// keeps separable counters instead of interleaving writes into the shared
+// process-wide gauges. A nil *CampaignObs is valid and records nothing —
+// solo campaigns pay no overhead.
+type CampaignObs struct {
+	id         string
+	iterations *obs.Counter
+	violations *obs.Counter
+	cumCost    *obs.Gauge
+	cumRegret  *obs.Gauge
+}
+
+// NewCampaignObs binds per-campaign labeled instruments in the process
+// registry. When observability is disabled it returns an inert scope whose
+// methods are no-ops (the obs instruments are nil-receiver-safe).
+func NewCampaignObs(id string) *CampaignObs {
+	c := &CampaignObs{id: id}
+	r := obs.Default()
+	if r == nil {
+		return c
+	}
+	c.iterations = r.Counter(obs.Labeled(obs.MetricSweepIterations, obs.LabelCampaign, id),
+		"AL selections performed by this campaign")
+	c.violations = r.Counter(obs.Labeled(obs.MetricSweepViolations, obs.LabelCampaign, id),
+		"memory-limit violations in this campaign")
+	c.cumCost = r.Gauge(obs.Labeled(obs.MetricSweepCumCost, obs.LabelCampaign, id),
+		"cumulative cost CC of this campaign in node-hours")
+	c.cumRegret = r.Gauge(obs.Labeled(obs.MetricSweepCumRegret, obs.LabelCampaign, id),
+		"cumulative regret CR of this campaign in node-hours")
+	return c
+}
+
+// ID returns the campaign identifier the scope was created with.
+func (c *CampaignObs) ID() string {
+	if c == nil {
+		return ""
+	}
+	return c.id
+}
+
+// recordSelection updates the per-campaign series after one selection.
+func (c *CampaignObs) recordSelection(violated bool, cumCost, cumRegret float64) {
+	if c == nil {
+		return
+	}
+	c.iterations.Inc()
+	if violated {
+		c.violations.Inc()
+	}
+	c.cumCost.Set(cumCost)
+	c.cumRegret.Set(cumRegret)
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"alamr/internal/dataset"
+	"alamr/internal/kernel"
+)
+
+// The registries map spec names to constructors so campaigns are fully
+// describable as data (CampaignSpec) and commands shrink to flag→spec
+// translation. All registries are safe for concurrent use; names are
+// case-insensitive. Registration normally happens from init functions —
+// engine registers its own builtins below, internal/online contributes the
+// "sim" lab.
+
+var (
+	regMu       sync.RWMutex
+	policyReg   = map[string]func(PolicySpec) (Policy, error){}
+	kernelReg   = map[string]func(KernelSpec) (kernel.Kernel, error){}
+	strategyReg = map[string]BatchStrategy{}
+	labReg      = map[string]func(LabSpec, LabDeps) (Lab, error){}
+)
+
+// LabDeps carries the runtime dependencies a lab constructor may need
+// beyond its spec — notably the offline dataset for the replay lab.
+type LabDeps struct {
+	Dataset *dataset.Dataset
+}
+
+func normName(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// RegisterPolicy adds (or replaces) a policy constructor under name.
+func RegisterPolicy(name string, build func(PolicySpec) (Policy, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	policyReg[normName(name)] = build
+}
+
+// RegisterKernel adds (or replaces) a kernel constructor under name.
+func RegisterKernel(name string, build func(KernelSpec) (kernel.Kernel, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	kernelReg[normName(name)] = build
+}
+
+// RegisterStrategy adds (or replaces) a batch-strategy name.
+func RegisterStrategy(name string, s BatchStrategy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	strategyReg[normName(name)] = s
+}
+
+// RegisterLab adds (or replaces) a lab constructor under name.
+func RegisterLab(name string, build func(LabSpec, LabDeps) (Lab, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	labReg[normName(name)] = build
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PolicyNames lists the registered policy names, sorted.
+func PolicyNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(policyReg)
+}
+
+// KernelNames lists the registered kernel names, sorted.
+func KernelNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(kernelReg)
+}
+
+// StrategyNames lists the registered batch-strategy names, sorted.
+func StrategyNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(strategyReg)
+}
+
+// LabNames lists the registered lab names, sorted.
+func LabNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(labReg)
+}
+
+// BuildPolicy constructs the policy a spec names. Unknown names report the
+// registered alternatives.
+func BuildPolicy(s PolicySpec) (Policy, error) {
+	regMu.RLock()
+	build, ok := policyReg[normName(s.Name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown policy %q (registered: %s)", s.Name, strings.Join(PolicyNames(), ", "))
+	}
+	return build(s)
+}
+
+// BuildKernel constructs the kernel a spec names.
+func BuildKernel(s KernelSpec) (kernel.Kernel, error) {
+	regMu.RLock()
+	build, ok := kernelReg[normName(s.Name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown kernel %q (registered: %s)", s.Name, strings.Join(KernelNames(), ", "))
+	}
+	return build(s)
+}
+
+// BuildStrategy resolves a batch-strategy name.
+func BuildStrategy(name string) (BatchStrategy, error) {
+	regMu.RLock()
+	s, ok := strategyReg[normName(name)]
+	regMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown batch strategy %q (registered: %s)", name, strings.Join(StrategyNames(), ", "))
+	}
+	return s, nil
+}
+
+// BuildLab constructs the lab a spec names. The "sim" lab registers from
+// internal/online; "replay" is built in and requires deps.Dataset.
+func BuildLab(s LabSpec, deps LabDeps) (Lab, error) {
+	regMu.RLock()
+	build, ok := labReg[normName(s.Name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown lab %q (registered: %s)", s.Name, strings.Join(LabNames(), ", "))
+	}
+	return build(s, deps)
+}
+
+func init() {
+	simple := func(p Policy) func(PolicySpec) (Policy, error) {
+		return func(PolicySpec) (Policy, error) { return p, nil }
+	}
+	RegisterPolicy("randuniform", simple(RandUniform{}))
+	RegisterPolicy("uniform", simple(RandUniform{}))
+	RegisterPolicy("maxsigma", simple(MaxSigma{}))
+	RegisterPolicy("minpred", simple(MinPred{}))
+	RegisterPolicy("randgoodness", func(s PolicySpec) (Policy, error) { return RandGoodness{Base: s.Base}, nil })
+	RegisterPolicy("goodness", func(s PolicySpec) (Policy, error) { return RandGoodness{Base: s.Base}, nil })
+	RegisterPolicy("rgma", func(s PolicySpec) (Policy, error) { return RGMA{Base: s.Base}, nil })
+	RegisterPolicy("expectedimprovement", func(s PolicySpec) (Policy, error) { return ExpectedImprovement{Xi: s.Xi}, nil })
+	RegisterPolicy("ei", func(s PolicySpec) (Policy, error) { return ExpectedImprovement{Xi: s.Xi}, nil })
+
+	RegisterKernel("rbf", func(s KernelSpec) (kernel.Kernel, error) {
+		ls, amp := s.LengthScale, s.Amplitude
+		if ls <= 0 {
+			ls = 0.5
+		}
+		if amp <= 0 {
+			amp = 1
+		}
+		return kernel.NewRBF(ls, amp), nil
+	})
+	RegisterKernel("ard-rbf", func(s KernelSpec) (kernel.Kernel, error) {
+		if len(s.LengthScales) == 0 {
+			return nil, errors.New("engine: kernel ard-rbf needs length_scales")
+		}
+		amp := s.Amplitude
+		if amp <= 0 {
+			amp = 1
+		}
+		return kernel.NewARDRBF(s.LengthScales, amp), nil
+	})
+	matern := func(nu float64) func(KernelSpec) (kernel.Kernel, error) {
+		return func(s KernelSpec) (kernel.Kernel, error) {
+			ls, amp := s.LengthScale, s.Amplitude
+			if ls <= 0 {
+				ls = 0.5
+			}
+			if amp <= 0 {
+				amp = 1
+			}
+			return kernel.NewMatern(nu, ls, amp), nil
+		}
+	}
+	RegisterKernel("matern32", matern(1.5))
+	RegisterKernel("matern52", matern(2.5))
+
+	RegisterStrategy("independent", BatchIndependent)
+	RegisterStrategy("constant-liar", BatchConstantLiar)
+	RegisterStrategy("constant_liar", BatchConstantLiar)
+
+	RegisterLab("replay", func(_ LabSpec, deps LabDeps) (Lab, error) {
+		if deps.Dataset == nil {
+			return nil, errors.New("engine: the replay lab needs LabDeps.Dataset")
+		}
+		return NewReplayLab(deps.Dataset), nil
+	})
+}

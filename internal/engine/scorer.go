@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"alamr/internal/gp"
+	"alamr/internal/mat"
+)
+
+// poolScorer produces candidate predictions for the remaining pool each
+// iteration. When both surrogates are exact GPs (and direct scoring is not
+// forced) it attaches incremental ScoringCaches so the per-iteration cost is
+// O(n·m) instead of refitting-from-scratch O(n·m²); otherwise it falls back
+// to direct Predict calls. Both paths return bitwise-identical scores — the
+// cache is an algebraic reformulation, not an approximation.
+type poolScorer struct {
+	costModel, memModel gp.Model
+	costCache, memCache *gp.ScoringCache
+	x                   *mat.Dense
+}
+
+func newPoolScorer(costModel, memModel gp.Model, x *mat.Dense, direct bool) *poolScorer {
+	s := &poolScorer{costModel: costModel, memModel: memModel, x: x}
+	gc, okc := costModel.(*gp.GP)
+	gm, okm := memModel.(*gp.GP)
+	if okc && okm && !direct {
+		s.costCache = gp.NewScoringCache(gc, x)
+		s.memCache = gp.NewScoringCache(gm, x)
+	}
+	return s
+}
+
+func (s *poolScorer) candidates(memLimitLog float64) *Candidates {
+	var muC, sigC, muM, sigM []float64
+	if s.costCache != nil {
+		muC, sigC = s.costCache.Scores()
+		muM, sigM = s.memCache.Scores()
+	} else {
+		muC, sigC = s.costModel.Predict(s.x)
+		muM, sigM = s.memModel.Predict(s.x)
+	}
+	return &Candidates{
+		X:           s.x,
+		MuCost:      muC,
+		SigmaCost:   sigC,
+		MuMem:       muM,
+		SigmaMem:    sigM,
+		MemLimitLog: memLimitLog,
+	}
+}
+
+func (s *poolScorer) row(p int) []float64 { return s.x.Row(p) }
+
+func (s *poolScorer) remove(p int) {
+	s.x = s.x.RemoveRow(p)
+	if s.costCache != nil {
+		s.costCache.Remove(p)
+		s.memCache.Remove(p)
+	}
+}
+
+func (s *poolScorer) close() {
+	if s.costCache != nil {
+		s.costCache.Close()
+		s.memCache.Close()
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepItem is one campaign in a sweep grid. Run receives the item's
+// per-campaign obs scope (nil-safe) and returns the campaign's result.
+type SweepItem struct {
+	// ID names the campaign; it becomes the `campaign` label value of the
+	// item's metric series and identifies it in sweep errors.
+	ID string
+	// Run executes the campaign.
+	Run func(scope *CampaignObs) (any, error)
+}
+
+// SweepConfig configures a sweep execution.
+type SweepConfig struct {
+	// Workers bounds concurrent campaigns (default GOMAXPROCS). Use 1 to
+	// force strictly sequential execution in item order — required when the
+	// items share mutable state, e.g. one live lab.
+	Workers int
+	// Items is the campaign grid, in result order.
+	Items []SweepItem
+}
+
+// SweepResult pairs one item's outcome with its identity. Results are
+// returned positionally — result i always belongs to Items[i], regardless
+// of completion order — so sweep output is deterministic.
+type SweepResult struct {
+	ID    string
+	Value any
+	Err   error
+}
+
+// Sweep executes a grid of campaigns across a bounded worker pool with
+// per-campaign isolation: each item gets its own obs scope, a panic inside
+// one campaign is converted to that item's error, and remaining campaigns
+// keep running. Items are dispatched in slice order (with Workers == 1 that
+// is also the execution order). The joined error aggregates every failed
+// item; per-item errors stay addressable in the result slice.
+func Sweep(cfg SweepConfig) ([]SweepResult, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Items) {
+		workers = len(cfg.Items)
+	}
+	results := make([]SweepResult, len(cfg.Items))
+	if len(cfg.Items) == 0 {
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				item := cfg.Items[i]
+				results[i] = SweepResult{ID: item.ID}
+				results[i].Value, results[i].Err = runItem(item)
+			}
+		}()
+	}
+	for i := range cfg.Items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var failures []error
+	for i := range results {
+		if results[i].Err != nil {
+			failures = append(failures, fmt.Errorf("engine: sweep campaign %s: %w", results[i].ID, results[i].Err))
+		}
+	}
+	return results, errors.Join(failures...)
+}
+
+// runItem isolates one campaign: its obs scope is scoped to the item ID and
+// a panic is degraded to an error so sibling campaigns survive.
+func runItem(item SweepItem) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: sweep worker panic: %v", r)
+		}
+	}()
+	return item.Run(NewCampaignObs(item.ID))
+}

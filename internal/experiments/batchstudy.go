@@ -7,6 +7,7 @@ import (
 	"alamr/internal/cluster"
 	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/report"
 	"alamr/internal/stats"
 )
@@ -27,6 +28,10 @@ type BatchSizeRow struct {
 // RunBatchTrajectory; campaign wall-clock comes from replaying the selected
 // jobs through the FIFO+backfill queue model, with each round's jobs
 // submitted together once the previous round finished.
+//
+// The (q, partition) grid runs as one engine sweep: partitions are split up
+// front (so the full grid is declared before anything executes) and the
+// trajectories run concurrently with per-campaign isolation.
 func BatchSizeStudy(opts Options, qs []int, queueNodes int) ([]BatchSizeRow, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
@@ -39,28 +44,43 @@ func BatchSizeStudy(opts Options, qs []int, queueNodes int) ([]BatchSizeRow, err
 	}
 	nInit := scaleNInit(opts.Dataset, 50)
 
-	var rows []BatchSizeRow
-	tb := &report.Table{Header: []string{"q", "final cost RMSE (median)", "final CC (median)", "campaign makespan (h)", "queue wait (h)"}}
+	var items []engine.SweepItem
 	for _, q := range qs {
-		finalsR := make([]float64, 0, opts.Partitions)
-		finalsC := make([]float64, 0, opts.Partitions)
-		spans := make([]float64, 0, opts.Partitions)
-		waits := make([]float64, 0, opts.Partitions)
 		for pi := 0; pi < opts.Partitions; pi++ {
 			rng := rand.New(rand.NewSource(stats.SplitSeed(opts.Seed+9, pi*100+q)))
 			part, err := dataset.Split(opts.Dataset, nInit, opts.NTest, rng)
 			if err != nil {
 				return nil, err
 			}
-			tr, err := core.RunBatchTrajectory(opts.Dataset, part, core.LoopConfig{
-				Policy:        core.RandGoodness{},
-				MaxIterations: opts.MaxIterations,
-				HyperoptEvery: opts.HyperoptEvery,
-				Seed:          stats.SplitSeed(opts.Seed+9, 7000+pi*100+q),
-			}, q, core.BatchConstantLiar)
-			if err != nil {
-				return nil, err
-			}
+			q, seed := q, stats.SplitSeed(opts.Seed+9, 7000+pi*100+q)
+			items = append(items, engine.SweepItem{
+				ID: fmt.Sprintf("batch/q=%d/part=%d", q, pi),
+				Run: func(scope *engine.CampaignObs) (any, error) {
+					return core.RunBatchTrajectory(opts.Dataset, part, core.LoopConfig{
+						Policy:        core.RandGoodness{},
+						MaxIterations: opts.MaxIterations,
+						HyperoptEvery: opts.HyperoptEvery,
+						Seed:          seed,
+						Campaign:      scope,
+					}, q, core.BatchConstantLiar)
+				},
+			})
+		}
+	}
+	results, err := engine.Sweep(engine.SweepConfig{Workers: opts.Workers, Items: items})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []BatchSizeRow
+	tb := &report.Table{Header: []string{"q", "final cost RMSE (median)", "final CC (median)", "campaign makespan (h)", "queue wait (h)"}}
+	for qi, q := range qs {
+		finalsR := make([]float64, 0, opts.Partitions)
+		finalsC := make([]float64, 0, opts.Partitions)
+		spans := make([]float64, 0, opts.Partitions)
+		waits := make([]float64, 0, opts.Partitions)
+		for pi := 0; pi < opts.Partitions; pi++ {
+			tr := results[qi*opts.Partitions+pi].Value.(*core.Trajectory)
 			n := tr.Iterations()
 			if n == 0 {
 				continue

@@ -50,7 +50,20 @@ const (
 	MetricCheckpointRestores       = "alamr_checkpoint_restores_total"
 	MetricCheckpointWriteSeconds   = "alamr_checkpoint_write_seconds"
 	MetricCheckpointRestoreSeconds = "alamr_checkpoint_restore_seconds"
+
+	// Per-campaign sweep series. These are labeled with the campaign id
+	// (`{campaign="..."}`), whose values are only known at sweep time, so —
+	// unlike every other name here — their labeled series are created
+	// dynamically and are deliberately absent from AllMetricNames (the
+	// bound-names lint runs against the statically declarable set).
+	MetricSweepIterations = "alamr_sweep_campaign_iterations_total"
+	MetricSweepViolations = "alamr_sweep_campaign_violations_total"
+	MetricSweepCumCost    = "alamr_sweep_campaign_cum_cost_nh"
+	MetricSweepCumRegret  = "alamr_sweep_campaign_cum_regret_nh"
 )
+
+// LabelCampaign is the label key of the per-campaign sweep series.
+const LabelCampaign = "campaign"
 
 // Phase labels used with MetricLoopPhaseSeconds and trace span names.
 const (

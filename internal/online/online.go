@@ -29,6 +29,7 @@ import (
 	"alamr/internal/cluster"
 	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/faults"
 	"alamr/internal/gp"
 	"alamr/internal/kernel"
@@ -37,13 +38,10 @@ import (
 	"alamr/internal/stats"
 )
 
-// Lab runs experiments on demand.
-type Lab interface {
-	// Run executes the configuration and returns the measured job.
-	Run(c dataset.Combo) (dataset.Job, error)
-	// Candidates enumerates the full design space.
-	Candidates() []dataset.Combo
-}
+// Lab runs experiments on demand (see engine.Lab): Run executes one
+// configuration and returns the measured job, Candidates enumerates the full
+// design space.
+type Lab = engine.Lab
 
 // SimLab is a Lab backed by the AMR emulator + machine model. Reference
 // solutions are computed lazily (one per physical parameter pair) and
@@ -226,6 +224,9 @@ type Config struct {
 	// CheckpointEvery writes the checkpoint every k-th experiment
 	// (default 1: after every experiment).
 	CheckpointEvery int
+	// Campaign optionally records this run into per-campaign labeled obs
+	// series (set by the sweep runner; nil outside sweeps).
+	Campaign *engine.CampaignObs
 }
 
 func (c *Config) setDefaults() {
@@ -560,123 +561,142 @@ func (c *campaign) applyFeed(f feedRec) error {
 	return nil
 }
 
-// loop runs AL selections until a stop condition fires. It degrades
-// gracefully: censored kills are absorbed as partial observations and only
-// fatal faults abort — returning the partial Result with the error.
-func (c *campaign) loop() (*Result, error) {
+// The campaign implements engine.LoopEnv: the unified loop in
+// internal/engine drives Algorithm 1 while these methods serve the live lab
+// side — scoring from the incremental caches, executing proposals through
+// the retry layer, and absorbing results as feed records so checkpoints can
+// replay them.
+
+// PoolLen implements engine.LoopEnv.
+func (c *campaign) PoolLen() int { return len(c.pool) }
+
+// Score implements engine.LoopEnv: model predictions for the remaining
+// pool, straight from the incremental scoring caches.
+func (c *campaign) Score() *core.Candidates {
+	muC, sigC := c.costCache.Scores()
+	muM, sigM := c.memCache.Scores()
+	return &core.Candidates{
+		X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
+		MemLimitLog: c.memLimitLog,
+	}
+}
+
+// Execute implements engine.LoopEnv: run the proposal through the retry
+// layer and classify the outcome. A censored kill (OOM/timeout) is a valid
+// partial observation; for OOM kills the kill itself is the limit violation
+// (§V-C) — the wasted cost accrues to CC and CR. Anything else is fatal.
+func (c *campaign) Execute(pick int) (engine.Execution, error) {
+	combo := c.pool[pick]
+	out := c.runJob(combo)
+	switch {
+	case out.OK:
+		return engine.Execution{Job: out.Job}, nil
+	case out.Fault != nil && out.Fault.Severity == faults.Censored && !out.Exhausted:
+		return engine.Execution{
+			Job:      out.Fault.Job,
+			Censored: true,
+			Violated: out.Fault.Class == faults.ClassOOM,
+		}, nil
+	default:
+		return engine.Execution{}, fatalError(combo, out)
+	}
+}
+
+// Record implements engine.LoopEnv: append the executed pick to the Result
+// and mirror the running totals for checkpoints.
+func (c *campaign) Record(pick int, cands *core.Candidates, e engine.Execution, violated bool, cumCost, cumRegret float64) {
 	res := c.res
-	for sel := len(res.PredictedCost); sel < c.cfg.MaxExperiments && len(c.pool) > 0; sel++ {
-		spScore := obs.SpanScore.Start()
-		muC, sigC := c.costCache.Scores()
-		muM, sigM := c.memCache.Scores()
-		cands := &core.Candidates{
-			X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
-			MemLimitLog: c.memLimitLog,
-		}
-		spScore.End()
-		spSelect := obs.SpanSelect.Start()
-		pick, err := c.cfg.Policy.Select(cands, c.rng)
-		spSelect.End()
-		if err != nil {
-			if errors.Is(err, core.ErrAllExceedLimit) {
-				res.Reason = core.StopMemoryLimit
-				break
-			}
-			res.Reason = core.StopFault
-			return res, fmt.Errorf("online: selection %d: %w", sel, err)
-		}
+	res.Jobs = append(res.Jobs, e.Job)
+	res.PredictedCost = append(res.PredictedCost, math.Pow(10, cands.MuCost[pick]))
+	res.ActualCost = append(res.ActualCost, e.Job.CostNH)
+	res.PredictedMem = append(res.PredictedMem, math.Pow(10, cands.MuMem[pick]))
+	res.ActualMem = append(res.ActualMem, e.Job.MemMB)
+	res.CumCost = append(res.CumCost, cumCost)
+	res.CumRegret = append(res.CumRegret, cumRegret)
+	res.Violation = append(res.Violation, violated)
+	res.Censored = append(res.Censored, e.Censored)
+	c.cumCost, c.cumRegret = cumCost, cumRegret
+}
 
-		combo := c.pool[pick]
-		spRun := obs.SpanRun.Start()
-		out := c.runJob(combo)
-		spRun.End()
+// Absorb implements engine.LoopEnv: turn the execution into a feed record,
+// apply it to the live surrogates, and log it for checkpoint replay. A
+// successful run feeds both models; an OOM kill feeds only the clamped
+// memory observation y >= log10(L_mem) — the model learns avoidance from
+// its own failure; other censored kills contribute nothing but still tick
+// the refit cadence.
+func (c *campaign) Absorb(pick int, e engine.Execution, refit bool) error {
+	feed := feedRec{Refit: refit}
+	switch {
+	case !e.Censored:
+		f := dataset.ScaleFeatures(e.Job)
+		feed.X = append([]float64(nil), f[:]...)
+		lc, lm := math.Log10(e.Job.CostNH), math.Log10(e.Job.MemMB)
+		feed.LogCost, feed.LogMem = &lc, &lm
+	case e.Violated && e.Job.MemMB > 0:
+		f := dataset.ScaleFeatures(e.Job)
+		feed.X = append([]float64(nil), f[:]...)
+		lm := math.Log10(e.Job.MemMB)
+		feed.LogMem = &lm
+	}
+	if err := c.applyFeed(feed); err != nil {
+		return err
+	}
+	c.feeds = append(c.feeds, feed)
+	return nil
+}
 
-		var job dataset.Job
-		var violated, censored bool
-		feed := feedRec{Refit: (sel+1)%hyperoptEvery == 0}
-		switch {
-		case out.OK:
-			job = out.Job
-			f := dataset.ScaleFeatures(job)
-			feed.X = append([]float64(nil), f[:]...)
-			lc, lm := math.Log10(job.CostNH), math.Log10(job.MemMB)
-			feed.LogCost, feed.LogMem = &lc, &lm
-		case out.Fault != nil && out.Fault.Severity == faults.Censored && !out.Exhausted:
-			job = out.Fault.Job
-			censored = true
-			if out.Fault.Class == faults.ClassOOM {
-				// The kill itself is the limit violation; the model learns
-				// avoidance from the clamped observation y >= log10(L_mem)
-				// while the wasted cost accrues to CC and CR (§V-C).
-				violated = true
-				if job.MemMB > 0 {
-					f := dataset.ScaleFeatures(job)
-					feed.X = append([]float64(nil), f[:]...)
-					lm := math.Log10(job.MemMB)
-					feed.LogMem = &lm
-				}
-			}
-		default:
-			res.Reason = core.StopFault
-			return res, fatalError(combo, out)
-		}
-
-		res.Jobs = append(res.Jobs, job)
-		res.PredictedCost = append(res.PredictedCost, math.Pow(10, muC[pick]))
-		res.ActualCost = append(res.ActualCost, job.CostNH)
-		res.PredictedMem = append(res.PredictedMem, math.Pow(10, muM[pick]))
-		res.ActualMem = append(res.ActualMem, job.MemMB)
-
-		c.cumCost += job.CostNH
-		if !censored && job.MemMB >= c.memLimitRaw {
-			violated = true
-		}
-		if violated {
-			c.cumRegret += job.CostNH
-		}
-		res.CumCost = append(res.CumCost, c.cumCost)
-		res.CumRegret = append(res.CumRegret, c.cumRegret)
-		res.Violation = append(res.Violation, violated)
-		res.Censored = append(res.Censored, censored)
-		if violated {
-			obs.CampaignViolations.Inc()
-		}
-		obs.CampaignCumCost.Set(c.cumCost)
-		obs.CampaignCumRegret.Set(c.cumRegret)
-		if c.cfg.MemLimitMB > 0 {
-			obs.CampaignHeadroom.Set(c.memLimitRaw - job.MemMB)
-		}
-		obs.JobCost.Observe(job.CostNH)
-		obs.JobMem.Observe(job.MemMB)
-
-		spHandle := &obs.SpanFeed
-		if feed.Refit {
-			spHandle = &obs.SpanHyperopt
-		}
-		spFeed := spHandle.Start()
-		if err := c.applyFeed(feed); err != nil {
-			res.Reason = core.StopFault
-			return res, err
-		}
-		spFeed.End()
-		c.feeds = append(c.feeds, feed)
-
+// Remove implements engine.LoopEnv: drop the picks from the pool, its
+// feature matrix, and both scoring caches.
+func (c *campaign) Remove(picks []int) {
+	for _, pick := range picks {
 		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
 		c.poolX = c.poolX.RemoveRow(pick)
 		c.costCache.Remove(pick)
 		c.memCache.Remove(pick)
-		obs.LoopIterations.Inc()
-		obs.PoolSize.Set(float64(len(c.pool)))
+	}
+}
 
-		if c.cfg.Budget > 0 && c.cumCost >= c.cfg.Budget {
-			res.Reason = core.StopBudget
-			break
+// Refit implements engine.LoopEnv (q>1 round cadence — unused online, where
+// refits ride the per-selection feed records so resume replays them).
+func (c *campaign) Refit() error { return nil }
+
+// RoundEnd implements engine.LoopEnv: budget stop, then the periodic
+// checkpoint. A checkpoint error aborts with the reason unchanged.
+func (c *campaign) RoundEnd(selDone, picked int) (core.StopReason, bool, error) {
+	if c.cfg.Budget > 0 && c.cumCost >= c.cfg.Budget {
+		return core.StopBudget, true, nil
+	}
+	if selDone%c.cfg.CheckpointEvery == 0 {
+		if err := c.saveCheckpoint(false); err != nil {
+			return "", false, err
 		}
-		if (sel+1)%c.cfg.CheckpointEvery == 0 {
-			if err := c.saveCheckpoint(false); err != nil {
-				return res, err
-			}
-		}
+	}
+	return "", false, nil
+}
+
+// loop runs AL selections until a stop condition fires, delegating
+// Algorithm 1 to the unified engine loop. It degrades gracefully: censored
+// kills are absorbed as partial observations and only fatal faults abort —
+// returning the partial Result with the error.
+func (c *campaign) loop() (*Result, error) {
+	res := c.res
+	reason, err := engine.RunLoop(c, engine.LoopParams{
+		Policy:        c.cfg.Policy,
+		RNG:           c.rng,
+		StartSel:      len(res.PredictedCost),
+		MaxSel:        c.cfg.MaxExperiments,
+		HyperoptEvery: hyperoptEvery,
+		MemLimitRaw:   c.memLimitRaw,
+		MemLimitMB:    c.cfg.MemLimitMB,
+		CumCost:       c.cumCost,
+		CumRegret:     c.cumRegret,
+		Campaign:      c.cfg.Campaign,
+	})
+	if reason != "" {
+		res.Reason = reason
+	}
+	if err != nil {
+		return res, err
 	}
 	if len(c.pool) == 0 && res.Reason == core.StopMaxIterations {
 		res.Reason = core.StopPoolExhausted

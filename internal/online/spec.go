@@ -1,0 +1,78 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+
+	"alamr/internal/dataset"
+	"alamr/internal/engine"
+)
+
+// The online package contributes the simulation-backed lab to the engine's
+// registry, so online campaigns are fully describable as CampaignSpec data:
+// {"mode": "online", "online": {"lab": {"name": "sim"}}, ...}.
+func init() {
+	engine.RegisterLab("sim", func(s engine.LabSpec, _ engine.LabDeps) (engine.Lab, error) {
+		return NewSimLab(SimLabConfig{
+			RefNx:    s.RefNx,
+			RefTEnd:  s.RefTEnd,
+			RefSnaps: s.RefSnaps,
+			Seed:     s.Seed,
+		}), nil
+	})
+}
+
+// RunSpec materializes and executes an online-mode campaign spec. The
+// dataset is only needed for mem_limit_paper_rule calibration (and for the
+// "replay" lab); it may be nil otherwise.
+func RunSpec(spec engine.CampaignSpec, ds *dataset.Dataset) (*Result, error) {
+	return RunSpecScoped(spec, ds, nil)
+}
+
+// RunSpecScoped is RunSpec with a per-campaign obs scope attached (the sweep
+// runner passes each item's scope through here).
+func RunSpecScoped(spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.CampaignObs) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Mode != engine.ModeOnline {
+		return nil, fmt.Errorf("online: RunSpec needs an online spec, got mode %q", spec.Mode)
+	}
+	o := spec.Online
+	lab, err := engine.BuildLab(o.Lab, engine.LabDeps{Dataset: ds})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := engine.BuildPolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Policy:          pol,
+		InitDesign:      o.InitDesign,
+		Budget:          o.Budget,
+		MaxExperiments:  o.MaxExperiments,
+		Seed:            spec.Seed,
+		CheckpointPath:  o.CheckpointPath,
+		CheckpointEvery: o.CheckpointEvery,
+		Campaign:        scope,
+	}
+	if spec.Kernel != nil {
+		if cfg.Kernel, err = engine.BuildKernel(*spec.Kernel); err != nil {
+			return nil, err
+		}
+	}
+	if o.MaxAttempts > 0 {
+		cfg.Retry.MaxAttempts = o.MaxAttempts
+	}
+	switch {
+	case spec.MemLimitPaperRule:
+		if ds == nil {
+			return nil, errors.New("online: mem_limit_paper_rule needs the offline dataset for calibration")
+		}
+		cfg.MemLimitMB = engine.PaperMemLimitMB(ds)
+	case spec.MemLimitMB > 0:
+		cfg.MemLimitMB = spec.MemLimitMB
+	}
+	return Run(lab, cfg)
+}
