@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al fmt vet race chaos obs-check sweep-smoke
+.PHONY: all build test ci bench bench-al bench-scale bench-scale-smoke fmt vet race chaos obs-check sweep-smoke
 
 all: build
 
@@ -52,8 +52,10 @@ obs-check:
 
 # ci is the gate for every PR: formatting, vet, full build, full test suite,
 # then the race detector over the parallel-heavy packages, then the
-# observability and sweep gates.
-ci: fmt vet build test race obs-check sweep-smoke
+# observability, sweep, and pool-scaling gates. The race target already
+# covers ./internal/gp and ./internal/engine, so the cache-equivalence and
+# streamed-pool tests run under the race detector here too.
+ci: fmt vet build test race obs-check sweep-smoke bench-scale-smoke
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;
@@ -75,3 +77,22 @@ bench-al:
 	$(GO) test -run '^$$' -bench 'TrajectoryScoring|Predict' -benchmem -json \
 		./internal/gp > BENCH_al.json
 	@grep -o '"Output":".*ns/op[^"]*"' BENCH_al.json | sed 's/"Output":"//; s/\\t/\t/g; s/\\n"//' || true
+
+# bench-scale measures the million-candidate selection step: one full
+# pool-scoring pass per op across surrogate families (exact where feasible,
+# sparse, treed), n in {2e3, 1e4}, m in {1e5, 1e6}, and pool layouts
+# (materialized vs streamed vs streamed+approximate shard pruning). The
+# B/op column is the pool-scoring working set: materialized pools allocate
+# O(m), streamed pools O(shard+k). Raw events go to BENCH_al.json;
+# bench-summary renders the table. Expect several minutes end to end (the
+# exact n=2000 m=1e5 pass alone is tens of seconds per op).
+bench-scale:
+	$(GO) test -run '^$$' -bench 'ScaleScoring' -benchtime 1x -benchmem -json \
+		-timeout 60m ./internal/engine > BENCH_al.json
+	$(GO) run ./cmd/bench-summary BENCH_al.json
+
+# bench-scale-smoke is the CI-sized correctness twin of bench-scale
+# (n=500, m=1e4): every surrogate family's streamed shortlist winner must
+# equal the materialized argmax, with and without approximate pruning.
+bench-scale-smoke:
+	$(GO) test -count=1 -run 'TestScaleSmoke' ./internal/engine

@@ -13,6 +13,7 @@
 //
 //	al-run -data dataset.csv -policy rgma [-ninit 50] [-ntest 200]
 //	       [-iters 150] [-memlimit 0] [-seed 1] [-log2p] [-verbose]
+//	       [-model sparse -inducing 128] [-model treed -leafsize 256]
 //	       [-metrics-addr 127.0.0.1:9090] [-trace-out trace.jsonl]
 //	al-run -data dataset.csv -spec examples/specs/replay-rgma.json
 package main
@@ -32,15 +33,19 @@ import (
 // options carries every flag value that needs validation, so the checks can
 // be exercised by a table test without forking the process.
 type options struct {
-	spec     string
-	policy   string
-	base     float64
-	nInit    int
-	nTest    int
-	iters    int
-	memLimit float64
-	seed     int64
-	log2p    bool
+	spec      string
+	policy    string
+	base      float64
+	nInit     int
+	nTest     int
+	iters     int
+	memLimit  float64
+	seed      int64
+	log2p     bool
+	model     string
+	inducing  int
+	leafSize  int
+	rebalance int
 }
 
 // validate returns the first flag error, or nil. With -spec the campaign
@@ -65,7 +70,20 @@ func (o options) validate() error {
 	if _, err := engine.BuildPolicy(engine.PolicySpec{Name: o.policy, Base: o.base}); err != nil {
 		return err
 	}
-	return nil
+	// The assembled spec re-validates everything, which is the only exported
+	// path that checks the surrogate-model knobs (-model, -inducing, ...).
+	spec := o.campaignSpec()
+	return spec.Validate()
+}
+
+// modelSpec translates the surrogate flags into the spec's model field. All
+// zero values mean "unset": the spec carries no model and the engine runs
+// the default exact GP, exactly as before the flags existed.
+func (o options) modelSpec() *engine.ModelSpec {
+	if o.model == "" && o.inducing == 0 && o.leafSize == 0 && o.rebalance == 0 {
+		return nil
+	}
+	return &engine.ModelSpec{Name: o.model, Inducing: o.inducing, LeafSize: o.leafSize, Rebalance: o.rebalance}
 }
 
 // campaignSpec translates the flag values into the declarative campaign the
@@ -79,6 +97,7 @@ func (o options) campaignSpec() engine.CampaignSpec {
 		Seed:          o.seed,
 		MaxIterations: o.iters,
 		Log2P:         o.log2p,
+		Model:         o.modelSpec(),
 		Replay:        &engine.ReplaySpec{NInit: o.nInit, NTest: o.nTest},
 	}
 	switch {
@@ -105,6 +124,10 @@ func main() {
 	flag.Float64Var(&o.memLimit, "memlimit", 0, "memory limit in MB (0 = the paper's rule; -1 = disabled)")
 	flag.Int64Var(&o.seed, "seed", 1, "seed")
 	flag.BoolVar(&o.log2p, "log2p", false, "use log2(p) feature transform")
+	flag.StringVar(&o.model, "model", "", "surrogate model: exact, sparse, treed (default exact)")
+	flag.IntVar(&o.inducing, "inducing", 0, "sparse model inducing-point budget (0 = model default)")
+	flag.IntVar(&o.leafSize, "leafsize", 0, "treed model leaf capacity (0 = model default)")
+	flag.IntVar(&o.rebalance, "rebalance", 0, "treed model re-split trigger factor (0 = model default)")
 	verbose := flag.Bool("verbose", false, "print every selection")
 	jsonOut := flag.String("json", "", "write the full trajectory as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run executes")

@@ -27,6 +27,10 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative iters", func(o *options) { o.iters = -1 }, "-iters must be non-negative"},
 		{"base one", func(o *options) { o.base = 1 }, "-base must be greater than 1"},
 		{"unknown policy", func(o *options) { o.policy = "zigzag" }, `unknown policy "zigzag"`},
+		{"sparse model ok", func(o *options) { o.model = "sparse"; o.inducing = 128 }, ""},
+		{"treed model ok", func(o *options) { o.model = "treed"; o.leafSize = 256; o.rebalance = 3 }, ""},
+		{"unknown model", func(o *options) { o.model = "magic" }, `unknown model "magic"`},
+		{"negative inducing", func(o *options) { o.model = "sparse"; o.inducing = -1 }, "inducing must be >= 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -72,6 +76,14 @@ func TestCampaignSpecFromFlags(t *testing.T) {
 	o.memLimit = 2.5
 	if s := o.campaignSpec(); s.MemLimitPaperRule || s.MemLimitMB != 2.5 {
 		t.Errorf("positive memlimit must pass through: %+v", s)
+	}
+
+	if s := o.campaignSpec(); s.Model != nil {
+		t.Errorf("no model flags must leave the spec's model unset (exact default): %+v", s.Model)
+	}
+	o.model, o.inducing = "sparse", 128
+	if s := o.campaignSpec(); s.Model == nil || s.Model.Name != "sparse" || s.Model.Inducing != 128 {
+		t.Errorf("model flags lost in translation: %+v", s.Model)
 	}
 
 	o = validOptions()

@@ -1,0 +1,179 @@
+// bench-summary renders the raw `go test -json` benchmark event streams the
+// bench Make targets record (BENCH_gp.json, BENCH_al.json) as one aligned,
+// human-readable table:
+//
+//	go test -bench ... -json ./... > BENCH_al.json
+//	go run ./cmd/bench-summary BENCH_al.json
+//
+// With no arguments it reads BENCH_al.json; "-" reads stdin. Inputs that are
+// not JSON event streams (plain `go test -bench` output) parse too, so the
+// tool composes with a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"alamr/internal/report"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name   string
+	Iters  int64
+	NsOp   float64
+	BOp    int64 // -1 when the run lacked -benchmem
+	Allocs int64 // -1 when the run lacked -benchmem
+}
+
+// benchLine matches a Go benchmark result: name, iterations, ns/op, and the
+// optional -benchmem columns.
+var benchLine = regexp.MustCompile(
+	`(?m)^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// event is the subset of the `go test -json` schema the parser needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// flatten reconstructs the plain benchmark output from a `go test -json`
+// stream; non-JSON input passes through untouched, so both formats parse.
+func flatten(r io.Reader) (string, error) {
+	var b strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			b.Write(line)
+			b.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			b.WriteString(ev.Output)
+		}
+	}
+	return b.String(), sc.Err()
+}
+
+// parse extracts every benchmark result from flattened output. Benchmark
+// names keep their full sub-benchmark path (the scale suite encodes
+// n/m/model/pool there) but drop the trailing -GOMAXPROCS suffix.
+func parse(text string) []benchResult {
+	var out []benchResult
+	for _, m := range benchLine.FindAllStringSubmatch(text, -1) {
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: trimProcs(m[1]), Iters: iters, NsOp: ns, BOp: -1, Allocs: -1}
+		if m[4] != "" {
+			r.BOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.Allocs, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// trimProcs drops the -N GOMAXPROCS suffix Go appends to benchmark names.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// humanTime renders ns/op at the natural scale.
+func humanTime(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}
+
+// humanBytes renders B/op at the natural scale.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// table renders parsed results, preserving input order (the bench targets
+// emit related sub-benchmarks adjacently).
+func table(results []benchResult) *report.Table {
+	t := &report.Table{Header: []string{"benchmark", "iters", "time/op", "mem/op", "allocs/op"}}
+	for _, r := range results {
+		mem, allocs := "", ""
+		if r.BOp >= 0 {
+			mem = humanBytes(r.BOp)
+		}
+		if r.Allocs >= 0 {
+			allocs = strconv.FormatInt(r.Allocs, 10)
+		}
+		t.Add(strings.TrimPrefix(r.Name, "Benchmark"), r.Iters, humanTime(r.NsOp), mem, allocs)
+	}
+	return t
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		args = []string{"BENCH_al.json"}
+	}
+	var results []benchResult
+	for _, path := range args {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		text, err := flatten(r)
+		if err != nil {
+			return err
+		}
+		results = append(results, parse(text)...)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("bench-summary: no benchmark results in %s", strings.Join(args, ", "))
+	}
+	_, err := fmt.Fprint(stdout, table(results).String())
+	return err
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Action":"start","Package":"alamr/internal/engine"}
+{"Action":"output","Package":"alamr/internal/engine","Output":"goos: linux\n"}
+{"Action":"output","Test":"BenchmarkScaleScoring/n=10000/m=1000000/model=sparse/pool=streamed","Output":"BenchmarkScaleScoring/n=10000/m=1000000/model=sparse/pool=streamed \t"}
+{"Action":"output","Test":"BenchmarkScaleScoring/n=10000/m=1000000/model=sparse/pool=streamed","Output":"       1\t3779947957 ns/op\t  549752 B/op\t    1486 allocs/op\n"}
+{"Action":"output","Test":"BenchmarkPredict/50","Output":"BenchmarkPredict/50-8        \t    3482\t    330824 ns/op\n"}
+not json at all
+BenchmarkPlain            	     100	     12345 ns/op	     128 B/op	       2 allocs/op
+`
+
+func TestParseJSONStreamAndPlainText(t *testing.T) {
+	text, err := flatten(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := parse(text)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	want0 := benchResult{
+		Name:  "BenchmarkScaleScoring/n=10000/m=1000000/model=sparse/pool=streamed",
+		Iters: 1, NsOp: 3779947957, BOp: 549752, Allocs: 1486,
+	}
+	if rs[0] != want0 {
+		t.Fatalf("result 0 = %+v, want %+v", rs[0], want0)
+	}
+	if rs[1].Name != "BenchmarkPredict/50" || rs[1].BOp != -1 || rs[1].Allocs != -1 {
+		t.Fatalf("GOMAXPROCS suffix / missing benchmem not handled: %+v", rs[1])
+	}
+	if rs[2].Name != "BenchmarkPlain" || rs[2].Allocs != 2 {
+		t.Fatalf("plain-text line not parsed: %+v", rs[2])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]benchResult{
+		{Name: "BenchmarkScaleScoring/n=10000/m=1000000/model=sparse/pool=streamed-approx",
+			Iters: 1, NsOp: 769891086, BOp: 108104, Allocs: 285},
+	}).String()
+	for _, want := range []string{"ScaleScoring/n=10000", "769.89 ms", "105.57 KiB", "285"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Benchmark") {
+		t.Fatalf("Benchmark prefix should be trimmed:\n%s", out)
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	if got := humanTime(512); got != "512 ns" {
+		t.Fatalf("humanTime(512) = %q", got)
+	}
+	if got := humanTime(2_500_000); got != "2.50 ms" {
+		t.Fatalf("humanTime(2.5e6) = %q", got)
+	}
+	if got := humanBytes(32016544); got != "30.53 MiB" {
+		t.Fatalf("humanBytes = %q", got)
+	}
+}

@@ -38,10 +38,19 @@ type LoopConfig struct {
 	// Stable optionally enables the stabilizing-predictions stopping
 	// heuristic (paper §V-D, third discussion point).
 	Stable *StableStopConfig
-	// NewModel overrides the surrogate constructor (default: a plain GP
-	// with Kernel and GP config). Use gp.NewTreed for the partitioned
-	// local-model variant of the paper’s future work.
+	// Model selects the surrogate family from the model registry ("exact",
+	// "sparse", "treed"); nil means the exact GP, preserving the historical
+	// default exactly.
+	Model *ModelSpec
+	// NewModel overrides the surrogate constructor entirely (it wins over
+	// Model). Use for custom gp.Model implementations not in the registry.
 	NewModel func() gp.Model
+	// Pool optionally replaces the materialized candidate pool with the
+	// streamed/sharded top-k pool (see StreamSelect): candidates are scored
+	// shard by shard into a bounded shortlist, so peak pool memory is
+	// O(shard + k) instead of O(m). Only shortlist-safe policies (pure
+	// argmax rankers: maxsigma, minpred) are supported.
+	Pool *PoolSpec
 	// DirectScoring disables the incremental posterior cache and re-scores
 	// the remaining pool with full GP predictions every iteration — the
 	// O(m·n²) reference path the cache is pinned against in the equivalence
@@ -53,12 +62,16 @@ type LoopConfig struct {
 	Campaign *CampaignObs
 }
 
-// newModel builds one surrogate instance.
-func (c *LoopConfig) newModel() gp.Model {
+// newModel builds one surrogate instance: the NewModel override, then the
+// registry entry Model names, then the exact GP.
+func (c *LoopConfig) newModel() (gp.Model, error) {
 	if c.NewModel != nil {
-		return c.NewModel()
+		return c.NewModel(), nil
 	}
-	return gp.New(c.Kernel, c.GP)
+	if c.Model != nil {
+		return BuildModel(*c.Model, ModelDeps{Kernel: c.Kernel, GP: c.GP})
+	}
+	return gp.New(c.Kernel, c.GP), nil
 }
 
 func (c *LoopConfig) setDefaults() {

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+)
+
+// Surrogate model names built into the registry.
+const (
+	ModelExact  = "exact"
+	ModelSparse = "sparse"
+	ModelTreed  = "treed"
+)
+
+// ModelSpec names a registered surrogate family plus its capacity knobs.
+// The zero spec (and a nil *ModelSpec on CampaignSpec) means the exact GP —
+// the default every pre-existing campaign file and golden runs under.
+type ModelSpec struct {
+	Name string `json:"name"`
+	// Inducing is the sparse model's inducing-point budget k (default 64).
+	// Scoring costs O(k²) per candidate direct or O(k) cached, so k bounds
+	// the per-iteration cost independently of the training-set size n.
+	Inducing int `json:"inducing,omitempty"`
+	// LeafSize is the treed model's leaf capacity (default 64, minimum 8).
+	LeafSize int `json:"leaf_size,omitempty"`
+	// Rebalance is the treed model's re-split trigger factor: a leaf splits
+	// once it exceeds rebalance×leaf_size rows (default 2, minimum 1).
+	Rebalance int `json:"rebalance,omitempty"`
+}
+
+// ModelDeps carries the runtime inputs a model constructor needs beyond its
+// spec: the covariance prototype and the per-surrogate GP configuration.
+type ModelDeps struct {
+	Kernel kernel.Kernel
+	GP     gp.Config
+}
+
+var modelReg = map[string]func(ModelSpec, ModelDeps) (gp.Model, error){}
+
+// RegisterModel adds (or replaces) a surrogate constructor under name.
+func RegisterModel(name string, build func(ModelSpec, ModelDeps) (gp.Model, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	modelReg[normName(name)] = build
+}
+
+// ModelNames lists the registered surrogate names, sorted.
+func ModelNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(modelReg)
+}
+
+// BuildModel constructs the surrogate a spec names. An empty name means
+// ModelExact. Unknown names report the registered alternatives.
+func BuildModel(s ModelSpec, deps ModelDeps) (gp.Model, error) {
+	name := s.Name
+	if name == "" {
+		name = ModelExact
+	}
+	regMu.RLock()
+	build, ok := modelReg[normName(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown model %q (registered: %s)", s.Name, strings.Join(ModelNames(), ", "))
+	}
+	return build(s, deps)
+}
+
+// validateModelSpec checks a spec's structure without constructing anything
+// heavyweight (Validate must stay cheap and side-effect free).
+func validateModelSpec(s *ModelSpec) error {
+	regMu.RLock()
+	_, ok := modelReg[normName(s.Name)]
+	regMu.RUnlock()
+	if s.Name != "" && !ok {
+		return fmt.Errorf("engine: unknown model %q (registered: %s)", s.Name, strings.Join(ModelNames(), ", "))
+	}
+	if s.Inducing < 0 {
+		return fmt.Errorf("engine: model inducing must be >= 0, got %d", s.Inducing)
+	}
+	if s.LeafSize < 0 {
+		return fmt.Errorf("engine: model leaf_size must be >= 0, got %d", s.LeafSize)
+	}
+	if s.Rebalance < 0 {
+		return fmt.Errorf("engine: model rebalance must be >= 0, got %d", s.Rebalance)
+	}
+	return nil
+}
+
+func init() {
+	RegisterModel(ModelExact, func(_ ModelSpec, d ModelDeps) (gp.Model, error) {
+		return gp.New(d.Kernel, d.GP), nil
+	})
+	RegisterModel(ModelSparse, func(s ModelSpec, d ModelDeps) (gp.Model, error) {
+		k := s.Inducing
+		if k <= 0 {
+			k = 64
+		}
+		return gp.NewSparse(d.Kernel, d.GP, k), nil
+	})
+	RegisterModel(ModelTreed, func(s ModelSpec, d ModelDeps) (gp.Model, error) {
+		leaf := s.LeafSize
+		if leaf <= 0 {
+			leaf = 64
+		}
+		t := gp.NewTreed(d.Kernel, d.GP, leaf)
+		if s.Rebalance > 0 {
+			t.SetRebalance(s.Rebalance)
+		}
+		return t, nil
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"alamr/internal/dataset"
 	"alamr/internal/gp"
@@ -41,7 +42,7 @@ type replayEnv struct {
 	ds        *dataset.Dataset
 	tr        *Trajectory
 	remaining []int
-	scorer    *poolScorer
+	scorer    scorer
 
 	gpCost, gpMem     gp.Model
 	xTest             *mat.Dense
@@ -62,12 +63,12 @@ func (e *replayEnv) PoolLen() int { return len(e.remaining) }
 func (e *replayEnv) Score() *Candidates { return e.scorer.candidates(e.memLimitLog) }
 
 func (e *replayEnv) Execute(pick int) (Execution, error) {
-	return Execution{Job: e.ds.Jobs[e.remaining[pick]]}, nil
+	return Execution{Job: e.ds.Jobs[e.remaining[e.scorer.translate(pick)]]}, nil
 }
 
 func (e *replayEnv) Record(pick int, _ *Candidates, ex Execution, violated bool, cumCost, cumRegret float64) {
 	job := ex.Job
-	e.tr.Selected = append(e.tr.Selected, e.remaining[pick])
+	e.tr.Selected = append(e.tr.Selected, e.remaining[e.scorer.translate(pick)])
 	e.tr.SelectedCost = append(e.tr.SelectedCost, job.CostNH)
 	e.tr.SelectedMem = append(e.tr.SelectedMem, job.MemMB)
 	e.tr.CumCost = append(e.tr.CumCost, cumCost)
@@ -90,6 +91,7 @@ func (e *replayEnv) Absorb(pick int, ex Execution, refit bool) error {
 		if err := appendAndRefit(e.gpMem, xNew, logM); err != nil {
 			return fmt.Errorf("engine: memory refit after %d selections: %w", e.tr.Iterations(), err)
 		}
+		e.scorer.invalidate()
 		return nil
 	}
 	if err := e.gpCost.Append(xNew, logC); err != nil {
@@ -103,11 +105,15 @@ func (e *replayEnv) Absorb(pick int, ex Execution, refit bool) error {
 
 // Remove drops the round's picks: the index slice is rebuilt via a drop
 // set, the scorer in descending position order (so earlier removals do not
-// shift later positions).
+// shift later positions). Picks arrive as candidates-indices and are
+// translated to pool positions first (identity for the materialized pool).
 func (e *replayEnv) Remove(picks []int) {
+	// Translate before any removal shifts positions.
+	pos := make([]int, len(picks))
 	drop := make(map[int]bool, len(picks))
-	for _, p := range picks {
-		drop[p] = true
+	for i, p := range picks {
+		pos[i] = e.scorer.translate(p)
+		drop[pos[i]] = true
 	}
 	next := e.remaining[:0]
 	for i, idx := range e.remaining {
@@ -116,10 +122,9 @@ func (e *replayEnv) Remove(picks []int) {
 		}
 	}
 	e.remaining = next
-	sorted := append([]int(nil), picks...)
-	sort.Ints(sorted)
-	for i := len(sorted) - 1; i >= 0; i-- {
-		e.scorer.remove(sorted[i])
+	sort.Ints(pos)
+	for i := len(pos) - 1; i >= 0; i-- {
+		e.scorer.remove(pos[i])
 	}
 }
 
@@ -130,6 +135,7 @@ func (e *replayEnv) Refit() error {
 	if err := e.gpMem.Refit(); err != nil {
 		return fmt.Errorf("engine: memory refit after %d selections: %w", e.tr.Iterations(), err)
 	}
+	e.scorer.invalidate()
 	return nil
 }
 
@@ -192,12 +198,20 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 	memTest := ds.Mem(part.Test)
 
 	spFit := obs.SpanFit.Start()
-	gpCost := cfg.newModel()
+	gpCost, err := cfg.newModel()
+	if err != nil {
+		spFit.End()
+		return nil, err
+	}
 	if err := gpCost.Fit(xInit, ds.LogCost(part.Init)); err != nil {
 		spFit.End()
 		return nil, fmt.Errorf("engine: initial cost fit: %w", err)
 	}
-	gpMem := cfg.newModel()
+	gpMem, err := cfg.newModel()
+	if err != nil {
+		spFit.End()
+		return nil, err
+	}
 	if err := gpMem.Fit(xInit, ds.LogMem(part.Init)); err != nil {
 		spFit.End()
 		return nil, fmt.Errorf("engine: initial memory fit: %w", err)
@@ -234,13 +248,28 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 
 	// The scorer owns the pool features for the whole run: candidates are
 	// re-scored each round through the incremental posterior caches (or
-	// direct Predict, see LoopConfig.DirectScoring) and rows leave the
-	// matrix in lockstep with the environment's index bookkeeping.
+	// direct Predict, see LoopConfig.DirectScoring; or the streamed
+	// sharded top-k pool, see LoopConfig.Pool) and rows leave the pool in
+	// lockstep with the environment's index bookkeeping.
+	var sc scorer
+	if cfg.Pool != nil {
+		if batch {
+			return nil, errors.New("engine: streamed pool and batch selection are mutually exclusive")
+		}
+		rank, ok := rankerFor(cfg.Policy.Name())
+		if !ok {
+			return nil, fmt.Errorf("engine: policy %q is not shortlist-safe; the streamed pool supports: %s",
+				cfg.Policy.Name(), strings.Join(RankerNames(), ", "))
+		}
+		sc = newStreamScorer(gpCost, gpMem, features(remaining), cfg.Pool, rank)
+	} else {
+		sc = newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
+	}
 	env := &replayEnv{
 		ds:          ds,
 		tr:          tr,
 		remaining:   remaining,
-		scorer:      newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring),
+		scorer:      sc,
 		gpCost:      gpCost,
 		gpMem:       gpMem,
 		xTest:       xTest,

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+)
+
+// The scale benchmark suite measures one full pool-scoring pass — the
+// per-iteration cost of an AL campaign's selection step — across surrogate
+// families (exact where feasible, sparse, treed), training-set sizes, pool
+// sizes, and pool layouts (materialized vs streamed vs streamed+pruning).
+// `make bench-scale` records it into BENCH_al.json; `make bench-scale-smoke`
+// runs the TestScaleSmoke correctness twin in CI.
+
+const scaleDim = 5
+
+func scaleTarget(row []float64) float64 {
+	return math.Sin(2*row[0])*math.Cos(row[1]) + 0.3*row[2]*row[3] - 0.2*row[4]
+}
+
+func scaleTrainSet(rng *rand.Rand, n int) (*mat.Dense, []float64, []float64) {
+	x := mat.NewDense(n, scaleDim, nil)
+	yc := make([]float64, n)
+	ym := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.Float64() * 3
+		}
+		yc[i] = scaleTarget(row) + 0.05*rng.NormFloat64()
+		ym[i] = 0.5*row[0] + 0.25*row[4] + 0.05*rng.NormFloat64()
+	}
+	return x, yc, ym
+}
+
+// scaleGrid factors m into a 5-axis Cartesian grid (m must be a multiple of
+// 10^4): {m/10^4, 10, 10, 10, 10}, axis values spread over [0, 3].
+func scaleGrid(m int) GridSource {
+	lens := []int{m / 10000, 10, 10, 10, 10}
+	axes := make([][]float64, len(lens))
+	for j, l := range lens {
+		ax := make([]float64, l)
+		for i := range ax {
+			if l == 1 {
+				ax[i] = 1.5
+			} else {
+				ax[i] = 3 * float64(i) / float64(l-1)
+			}
+		}
+		axes[j] = ax
+	}
+	return GridSource{Axes: axes}
+}
+
+// fitScaleModels builds and fits a cost/mem surrogate pair of the named
+// family on n synthetic observations. Hyperparameters are fixed: the suite
+// measures scoring, not optimization.
+func fitScaleModels(tb testing.TB, model string, n int) (gp.Model, gp.Model) {
+	tb.Helper()
+	deps := ModelDeps{
+		Kernel: kernel.NewRBF(0.8, 1.2),
+		GP:     gp.Config{Noise: 0.1, FixedNoise: true, NoOptimize: true},
+	}
+	spec := ModelSpec{Name: model}
+	rng := rand.New(rand.NewSource(int64(n)))
+	x, yc, ym := scaleTrainSet(rng, n)
+	cost, err := BuildModel(spec, deps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mem, err := BuildModel(spec, deps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := cost.Fit(x, yc); err != nil {
+		tb.Fatal(err)
+	}
+	if err := mem.Fit(x, ym); err != nil {
+		tb.Fatal(err)
+	}
+	return cost, mem
+}
+
+// materializedPass is the baseline selection step: predict the whole pool
+// through both surrogates and scan for the rank argmax.
+func materializedPass(cost, mem gp.Model, poolX *mat.Dense, rank RankFunc) (int, float64) {
+	muC, sigC := cost.Predict(poolX)
+	muM, sigM := mem.Predict(poolX)
+	best, bestRank := -1, math.Inf(-1)
+	for i := range muC {
+		if r := rank(muC[i], sigC[i], muM[i], sigM[i]); r > bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best, bestRank
+}
+
+// exactFeasible bounds the exact GP to combinations whose O(m·n²) scoring
+// pass completes in benchmark-tolerable time.
+func exactFeasible(n, m int) bool { return n <= 2000 && m <= 100000 }
+
+func BenchmarkScaleScoring(b *testing.B) {
+	rank, _ := rankerFor("maxsigma")
+	for _, n := range []int{2000, 10000} {
+		for _, model := range []string{ModelExact, ModelSparse, ModelTreed} {
+			var cost, mem gp.Model // fitted lazily, shared across pool sizes
+			for _, m := range []int{100000, 1000000} {
+				if model == ModelExact && !exactFeasible(n, m) {
+					continue
+				}
+				if cost == nil {
+					cost, mem = fitScaleModels(b, model, n)
+				}
+				src := scaleGrid(m)
+				name := fmt.Sprintf("n=%d/m=%d/model=%s", n, m, model)
+
+				b.Run(name+"/pool=materialized", func(b *testing.B) {
+					poolX := mat.NewDense(m, scaleDim, nil)
+					src.Fill(0, m, poolX)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						materializedPass(cost, mem, poolX, rank)
+					}
+				})
+				for _, mode := range []struct {
+					tag    string
+					approx bool
+				}{{"streamed", false}, {"streamed-approx", true}} {
+					b.Run(name+"/pool="+mode.tag, func(b *testing.B) {
+						st := NewStreamState(src, cost, mem, StreamConfig{
+							ShardSize: 4096, TopK: 64, Approx: mode.approx, Rank: rank,
+						})
+						st.Select() // steady state: bounds primed before timing
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							st.Select()
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScaleSmoke is the CI-sized twin (n=500, m=10^4): for every surrogate
+// family the streamed shortlist winner must be the materialized argmax, and
+// the approximate mode must agree with the exact stream.
+func TestScaleSmoke(t *testing.T) {
+	const n, m = 500, 10000
+	rank, _ := rankerFor("maxsigma")
+	src := scaleGrid(m)
+	poolX := mat.NewDense(m, scaleDim, nil)
+	src.Fill(0, m, poolX)
+	for _, model := range []string{ModelExact, ModelSparse, ModelTreed} {
+		cost, mem := fitScaleModels(t, model, n)
+		wantID, wantRank := materializedPass(cost, mem, poolX, rank)
+		for _, approx := range []bool{false, true} {
+			st := NewStreamState(src, cost, mem, StreamConfig{
+				ShardSize: 1024, TopK: 16, Approx: approx, Rank: rank,
+			})
+			for round := 0; round < 3; round++ { // re-select: exercises prune bounds
+				c, ids := st.Select()
+				if len(ids) != 16 {
+					t.Fatalf("%s approx=%v: shortlist size %d, want 16", model, approx, len(ids))
+				}
+				if ids[0] != wantID || rank(c.MuCost[0], c.SigmaCost[0], c.MuMem[0], c.SigmaMem[0]) != wantRank {
+					t.Fatalf("%s approx=%v round %d: shortlist winner %d (rank %g), materialized argmax %d (rank %g)",
+						model, approx, round, ids[0], rank(c.MuCost[0], c.SigmaCost[0], c.MuMem[0], c.SigmaMem[0]), wantID, wantRank)
+				}
+			}
+		}
+	}
+}

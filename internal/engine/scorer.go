@@ -5,25 +5,54 @@ import (
 	"alamr/internal/mat"
 )
 
+// scorer is the replay loop's candidate-scoring surface. The materialized
+// poolScorer hands the policy the whole remaining pool; the streamScorer
+// (streampool.go) hands it a top-k shortlist whose picks translate back to
+// pool positions.
+type scorer interface {
+	candidates(memLimitLog float64) *Candidates
+	// row returns the features of pick p (a candidates-index); the view
+	// must be consumed before remove shifts the pool.
+	row(p int) []float64
+	// translate maps pick p (a candidates-index) to its pool position.
+	translate(p int) int
+	// remove drops the candidate at pool position p.
+	remove(p int)
+	// invalidate discards any state derived from the previous posterior;
+	// the loop calls it after every hyperparameter refit.
+	invalidate()
+	close()
+}
+
 // poolScorer produces candidate predictions for the remaining pool each
-// iteration. When both surrogates are exact GPs (and direct scoring is not
-// forced) it attaches incremental ScoringCaches so the per-iteration cost is
-// O(n·m) instead of refitting-from-scratch O(n·m²); otherwise it falls back
-// to direct Predict calls. Both paths return bitwise-identical scores — the
-// cache is an algebraic reformulation, not an approximation.
+// iteration. Unless direct scoring is forced it attaches the
+// model-appropriate incremental pool cache (gp.NewPoolCache): ScoringCache
+// for exact GPs (bitwise-identical to direct Predict — an algebraic
+// reformulation, not an approximation), the Sherman-Morrison sparse cache
+// for SoR surrogates (bitwise on rebuild, ≤1e-8 across incremental
+// extends), and the per-leaf-routed cache for treed surrogates (bitwise,
+// inherited from the per-leaf ScoringCaches).
 type poolScorer struct {
 	costModel, memModel gp.Model
-	costCache, memCache *gp.ScoringCache
+	costCache, memCache gp.PoolCache
 	x                   *mat.Dense
 }
 
 func newPoolScorer(costModel, memModel gp.Model, x *mat.Dense, direct bool) *poolScorer {
 	s := &poolScorer{costModel: costModel, memModel: memModel, x: x}
-	gc, okc := costModel.(*gp.GP)
-	gm, okm := memModel.(*gp.GP)
-	if okc && okm && !direct {
-		s.costCache = gp.NewScoringCache(gc, x)
-		s.memCache = gp.NewScoringCache(gm, x)
+	if !direct {
+		s.costCache = gp.NewPoolCache(costModel, x)
+		s.memCache = gp.NewPoolCache(memModel, x)
+		if s.costCache == nil || s.memCache == nil {
+			// Mixed or uncacheable model types: fall back to direct scoring.
+			if s.costCache != nil {
+				s.costCache.Close()
+			}
+			if s.memCache != nil {
+				s.memCache.Close()
+			}
+			s.costCache, s.memCache = nil, nil
+		}
 	}
 	return s
 }
@@ -49,6 +78,8 @@ func (s *poolScorer) candidates(memLimitLog float64) *Candidates {
 
 func (s *poolScorer) row(p int) []float64 { return s.x.Row(p) }
 
+func (s *poolScorer) translate(p int) int { return p }
+
 func (s *poolScorer) remove(p int) {
 	s.x = s.x.RemoveRow(p)
 	if s.costCache != nil {
@@ -56,6 +87,10 @@ func (s *poolScorer) remove(p int) {
 		s.memCache.Remove(p)
 	}
 }
+
+// invalidate is a no-op: the attached pool caches register with their
+// models and invalidate themselves on refit.
+func (s *poolScorer) invalidate() {}
 
 func (s *poolScorer) close() {
 	if s.costCache != nil {

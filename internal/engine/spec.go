@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"alamr/internal/dataset"
 	"alamr/internal/stats"
@@ -36,7 +37,11 @@ type CampaignSpec struct {
 	Mode   string      `json:"mode"`
 	Policy PolicySpec  `json:"policy"`
 	Kernel *KernelSpec `json:"kernel,omitempty"`
-	Seed   int64       `json:"seed,omitempty"`
+	// Model selects the surrogate family ("exact", "sparse", "treed");
+	// omitted means the exact GP, so every historical spec keeps its
+	// behavior (and its goldens) unchanged.
+	Model *ModelSpec `json:"model,omitempty"`
+	Seed  int64      `json:"seed,omitempty"`
 	// MemLimitMB sets L_mem directly; MemLimitPaperRule derives it from the
 	// dataset with the paper's 95%-of-max rule instead. At most one of the
 	// two may be set; neither disables memory awareness.
@@ -77,6 +82,27 @@ type ReplaySpec struct {
 	DirectScoring bool              `json:"direct_scoring,omitempty"`
 	Stable        *StableStopConfig `json:"stable,omitempty"`
 	Batch         *BatchSelectSpec  `json:"batch,omitempty"`
+	// Pool switches candidate scoring to the streamed/sharded top-k pool
+	// (peak pool memory O(shard + top_k) instead of O(pool)). Requires a
+	// shortlist-safe policy (maxsigma, minpred) and no batch section.
+	Pool *PoolSpec `json:"pool,omitempty"`
+}
+
+// PoolSpec configures the streamed candidate pool.
+type PoolSpec struct {
+	// Shard is the number of candidates scored per slab (default 4096);
+	// peak pool memory is proportional to it.
+	Shard int `json:"shard,omitempty"`
+	// TopK is the shortlist size handed to the policy (default 64).
+	TopK int `json:"top_k,omitempty"`
+	// Approx enables upper-bound shard pruning: shards whose best possible
+	// rank cannot reach the current k-th best are skipped. Exact for
+	// σ-monotone ranks (maxsigma); bounded-staleness otherwise (see
+	// RefreshEvery and DESIGN.md).
+	Approx bool `json:"approx,omitempty"`
+	// RefreshEvery forces a full un-pruned rescore every k-th iteration in
+	// approximate mode (default 16), bounding prune-bound staleness.
+	RefreshEvery int `json:"refresh_every,omitempty"`
 }
 
 // BatchSelectSpec enables q-batch selection in replay mode.
@@ -133,6 +159,18 @@ func (s *CampaignSpec) Validate() error {
 				}
 			}
 		}
+		if p := s.Replay.Pool; p != nil {
+			if s.Replay.Batch != nil {
+				return fmt.Errorf("engine: streamed pool and batch selection are mutually exclusive")
+			}
+			if p.Shard < 0 || p.TopK < 0 || p.RefreshEvery < 0 {
+				return fmt.Errorf("engine: pool spec fields must be >= 0")
+			}
+			if _, ok := rankerFor(s.Policy.Name); !ok {
+				return fmt.Errorf("engine: policy %q is not shortlist-safe; the streamed pool supports: %s",
+					s.Policy.Name, strings.Join(RankerNames(), ", "))
+			}
+		}
 	case ModeOnline:
 		if s.Online == nil {
 			return fmt.Errorf("engine: online spec needs an %q section", "online")
@@ -151,6 +189,11 @@ func (s *CampaignSpec) Validate() error {
 	}
 	if s.Kernel != nil {
 		if _, err := BuildKernel(*s.Kernel); err != nil {
+			return err
+		}
+	}
+	if s.Model != nil {
+		if err := validateModelSpec(s.Model); err != nil {
 			return err
 		}
 	}
@@ -243,6 +286,8 @@ func (s *CampaignSpec) ReplayPlan(ds *dataset.Dataset) (dataset.Partition, LoopC
 		HyperoptEvery: s.HyperoptEvery,
 		Log2P:         s.Log2P,
 		DirectScoring: r.DirectScoring,
+		Model:         s.Model,
+		Pool:          r.Pool,
 	}
 	if s.Kernel != nil {
 		k, err := BuildKernel(*s.Kernel)

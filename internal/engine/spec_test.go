@@ -7,6 +7,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
 )
 
 func TestSpecRoundTripByteStable(t *testing.T) {
@@ -23,6 +26,22 @@ func TestSpecRoundTripByteStable(t *testing.T) {
 				Stable: &StableStopConfig{Window: 4, Tol: 0.01},
 				Batch:  &BatchSelectSpec{Q: 3, Strategy: "constant-liar"},
 			},
+		},
+		{
+			Version: SpecVersion, Name: "streamed-sparse", Mode: ModeReplay,
+			Policy: PolicySpec{Name: "maxsigma"},
+			Model:  &ModelSpec{Name: "sparse", Inducing: 128},
+			Seed:   4,
+			Replay: &ReplaySpec{
+				NInit: 20, NTest: 40,
+				Pool: &PoolSpec{Shard: 8192, TopK: 32, Approx: true, RefreshEvery: 8},
+			},
+		},
+		{
+			Version: SpecVersion, Name: "treed-model", Mode: ModeReplay,
+			Policy: PolicySpec{Name: "minpred"},
+			Model:  &ModelSpec{Name: "treed", LeafSize: 256, Rebalance: 3},
+			Replay: &ReplaySpec{NInit: 10, NTest: 40},
 		},
 		{
 			Version: SpecVersion, Name: "full-online", Mode: ModeOnline,
@@ -89,6 +108,8 @@ func TestSpecValidateErrors(t *testing.T) {
 		{"unknown kernel", func(s *CampaignSpec) { s.Kernel = &KernelSpec{Name: "fourier"} }, `unknown kernel "fourier"`},
 		{"negative limit", func(s *CampaignSpec) { s.MemLimitMB = -1 }, "mem_limit_mb must be >= 0"},
 		{"conflicting limits", func(s *CampaignSpec) { s.MemLimitMB = 1; s.MemLimitPaperRule = true }, "mutually exclusive"},
+		{"unknown model", func(s *CampaignSpec) { s.Model = &ModelSpec{Name: "oracle"} }, `unknown model "oracle"`},
+		{"negative inducing", func(s *CampaignSpec) { s.Model = &ModelSpec{Name: "sparse", Inducing: -1} }, "inducing must be >= 0"},
 		{"online without lab", func(s *CampaignSpec) {
 			s.Mode = ModeOnline
 			s.Replay = nil
@@ -128,6 +149,10 @@ func TestUnknownNamesListAlternatives(t *testing.T) {
 		!strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "replay") {
 		t.Fatalf("lab error lacks alternatives: %v", err)
 	}
+	if _, err := BuildModel(ModelSpec{Name: "oracle"}, ModelDeps{}); err == nil ||
+		!strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "sparse") {
+		t.Fatalf("model error lacks alternatives: %v", err)
+	}
 }
 
 // TestEveryRegistryEntryConstructible: each registered name must build from
@@ -157,6 +182,12 @@ func TestEveryRegistryEntryConstructible(t *testing.T) {
 	for _, name := range LabNames() {
 		if l, err := BuildLab(LabSpec{Name: name}, LabDeps{Dataset: ds}); err != nil || l == nil {
 			t.Fatalf("lab %s: %v", name, err)
+		}
+	}
+	deps := ModelDeps{Kernel: kernel.NewRBF(0.5, 1), GP: gp.Config{Noise: 0.1}}
+	for _, name := range ModelNames() {
+		if m, err := BuildModel(ModelSpec{Name: name}, deps); err != nil || m == nil {
+			t.Fatalf("model %s: %v", name, err)
 		}
 	}
 }

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"alamr/internal/gp"
+	"alamr/internal/mat"
+	"alamr/internal/obs"
+)
+
+// The streamed candidate pool replaces materialize-everything scoring for
+// pools too large to hold per-candidate state: candidates are generated
+// and scored shard by shard (each shard fanned out over the worker pool by
+// the surrogate's own batched Predict, which uses mat.ParallelFor), every
+// shard reduces into a bounded top-k heap, and the shards' heaps merge
+// into one exact global top-k shortlist. Peak pool memory is
+// O(shard + k) — the shard feature slab, its two score vectors, and the
+// shortlist — instead of the O(m·n) a ScoringCache pins or the O(m) a
+// materialized score pass allocates.
+//
+// The optional approximate mode additionally prunes shards whose best
+// previously-observed rank cannot reach the current k-th best. For
+// σ-monotone ranks (maxsigma: the posterior σ of every candidate is
+// non-increasing as observations accumulate, for the exact, sparse, and
+// per-leaf treed surrogates alike) the last observed shard maximum is a
+// valid upper bound, so pruning returns the exact top-k. For mean-coupled
+// ranks (minpred) the bound can go stale; RefreshEvery forces a full
+// un-pruned rescore every k-th call to bound the staleness window.
+// DESIGN.md §Surrogate scaling states the bound precisely.
+
+// CandidateSource yields candidate feature rows on demand, so a pool can
+// exist without ever materializing m×d storage.
+type CandidateSource interface {
+	// Len is the total number of candidates.
+	Len() int
+	// Dim is the feature dimensionality.
+	Dim() int
+	// Fill writes rows [lo, hi) into the first hi-lo rows of dst.
+	Fill(lo, hi int, dst *mat.Dense)
+}
+
+// DenseSource adapts an already-materialized feature matrix (e.g. the
+// replay dataset, which is resident regardless) to CandidateSource.
+type DenseSource struct{ X *mat.Dense }
+
+// Len implements CandidateSource.
+func (s DenseSource) Len() int { return s.X.Rows() }
+
+// Dim implements CandidateSource.
+func (s DenseSource) Dim() int { return s.X.Cols() }
+
+// Fill implements CandidateSource.
+func (s DenseSource) Fill(lo, hi int, dst *mat.Dense) {
+	for i := lo; i < hi; i++ {
+		copy(dst.Row(i-lo), s.X.Row(i))
+	}
+}
+
+// GridSource is the lazy Cartesian grid: candidate i decodes mixed-radix
+// into one coordinate per axis. A 10⁶-candidate grid occupies the axis
+// slices only — this is the source the scale benchmarks stream from.
+type GridSource struct{ Axes [][]float64 }
+
+// Len implements CandidateSource.
+func (s GridSource) Len() int {
+	n := 1
+	for _, ax := range s.Axes {
+		n *= len(ax)
+	}
+	return n
+}
+
+// Dim implements CandidateSource.
+func (s GridSource) Dim() int { return len(s.Axes) }
+
+// Fill implements CandidateSource. The last axis varies fastest.
+func (s GridSource) Fill(lo, hi int, dst *mat.Dense) {
+	d := len(s.Axes)
+	for i := lo; i < hi; i++ {
+		row := dst.Row(i - lo)
+		rem := i
+		for j := d - 1; j >= 0; j-- {
+			ax := s.Axes[j]
+			row[j] = ax[rem%len(ax)]
+			rem /= len(ax)
+		}
+	}
+}
+
+// RankFunc scores one candidate for shortlist ordering; higher is better.
+// It must be the same criterion the policy maximizes, so the policy's
+// argmax over the shortlist equals its argmax over the full pool.
+type RankFunc func(muC, sigC, muM, sigM float64) float64
+
+// rankers maps shortlist-safe policy names to their selection criterion.
+// Only pure argmax policies qualify: sampling policies (randuniform,
+// randgoodness, rgma) draw from the whole pool and cannot run on a
+// shortlist.
+var rankers = map[string]RankFunc{
+	"maxsigma": func(muC, sigC, muM, sigM float64) float64 { return sigC },
+	"minpred":  func(muC, sigC, muM, sigM float64) float64 { return sigC - muC },
+}
+
+func rankerFor(name string) (RankFunc, bool) {
+	r, ok := rankers[normName(name)]
+	return r, ok
+}
+
+// RankerNames lists the shortlist-safe policy names, sorted.
+func RankerNames() []string { return sortedKeys(rankers) }
+
+// StreamConfig tunes StreamState; the zero value gets defaults.
+type StreamConfig struct {
+	ShardSize    int  // candidates per slab (default 4096)
+	TopK         int  // shortlist size (default 64)
+	Approx       bool // enable upper-bound shard pruning
+	RefreshEvery int  // approx: full rescore every k-th call (default 16)
+	Rank         RankFunc
+}
+
+func (c *StreamConfig) setDefaults() {
+	if c.ShardSize <= 0 {
+		c.ShardSize = 4096
+	}
+	if c.TopK <= 0 {
+		c.TopK = 64
+	}
+	if c.RefreshEvery <= 0 {
+		c.RefreshEvery = 16
+	}
+}
+
+// streamEntry is one shortlist candidate: its source id and scores.
+type streamEntry struct {
+	id        int
+	rank      float64
+	muC, sigC float64
+	muM, sigM float64
+}
+
+// better orders entries like a first-max full scan: higher rank wins, ties
+// go to the smaller source id.
+func (e streamEntry) better(o streamEntry) bool {
+	if e.rank != o.rank {
+		return e.rank > o.rank
+	}
+	return e.id < o.id
+}
+
+// StreamState is a streamed candidate pool usable across AL iterations: it
+// keeps per-shard prune bounds and candidate tombstones, and produces one
+// exact (or boundedly approximate) top-k shortlist per Select call.
+type StreamState struct {
+	src       CandidateSource
+	cost, mem gp.Model
+	cfg       StreamConfig
+
+	removed  map[int]bool
+	live     int
+	prevBest []float64 // per-shard upper bound: last observed max rank
+	calls    int
+
+	xbuf *mat.Dense // shard feature slab, reused across shards and calls
+	heap []streamEntry
+
+	// Per-shard score buffers, reused across shards and calls whenever the
+	// surrogate supports PredictInto (all built-in families do) — this is
+	// what keeps the streamed path's allocations O(shard + k) rather than
+	// O(m) per Select.
+	muC, sigC, muM, sigM []float64
+}
+
+// intoPredictor is the allocation-free batched prediction surface; every
+// built-in surrogate (exact, sparse, treed) implements it.
+type intoPredictor interface {
+	PredictInto(xs *mat.Dense, mean, std []float64)
+}
+
+// predictShard scores one shard, writing into the reusable buffers when the
+// model allows and falling back to the allocating Predict otherwise.
+func predictShard(m gp.Model, xs *mat.Dense, mean, std []float64) ([]float64, []float64) {
+	if ip, ok := m.(intoPredictor); ok {
+		rows := xs.Rows()
+		ip.PredictInto(xs, mean[:rows], std[:rows])
+		return mean[:rows], std[:rows]
+	}
+	return m.Predict(xs)
+}
+
+// NewStreamState builds a streamed pool over src scored by the two fitted
+// surrogates.
+func NewStreamState(src CandidateSource, cost, mem gp.Model, cfg StreamConfig) *StreamState {
+	cfg.setDefaults()
+	if cfg.Rank == nil {
+		cfg.Rank = rankers["maxsigma"]
+	}
+	n := src.Len()
+	nShards := (n + cfg.ShardSize - 1) / cfg.ShardSize
+	st := &StreamState{
+		src:      src,
+		cost:     cost,
+		mem:      mem,
+		cfg:      cfg,
+		removed:  make(map[int]bool),
+		live:     n,
+		prevBest: make([]float64, nShards),
+		xbuf:     mat.NewDense(cfg.ShardSize, src.Dim(), nil),
+		muC:      make([]float64, cfg.ShardSize),
+		sigC:     make([]float64, cfg.ShardSize),
+		muM:      make([]float64, cfg.ShardSize),
+		sigM:     make([]float64, cfg.ShardSize),
+	}
+	for i := range st.prevBest {
+		st.prevBest[i] = math.Inf(1) // never prune an unscored shard
+	}
+	return st
+}
+
+// Live reports the number of non-removed candidates.
+func (st *StreamState) Live() int { return st.live }
+
+// Remove tombstones candidate id (a source index). Tombstones only lower a
+// shard's true maximum, so stale prune bounds stay valid upper bounds.
+func (st *StreamState) Remove(id int) {
+	if !st.removed[id] {
+		st.removed[id] = true
+		st.live--
+	}
+}
+
+// InvalidateBounds resets every shard's prune bound, forcing the next
+// Select to rescore the whole pool. Required after any wholesale posterior
+// change (a hyperparameter refit): stale shard maxima are upper bounds
+// only while the posterior drifts monotonically, and a refit can raise σ
+// everywhere at once. The replay loop calls this on every hyperopt.
+func (st *StreamState) InvalidateBounds() {
+	for i := range st.prevBest {
+		st.prevBest[i] = math.Inf(1)
+	}
+}
+
+// heapPush maintains a bounded worst-at-root heap of the best k entries.
+func (st *StreamState) heapPush(e streamEntry, k int) {
+	if len(st.heap) < k {
+		st.heap = append(st.heap, e)
+		// Sift up: parent must be worse than child (root = worst).
+		for i := len(st.heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if st.heap[i].better(st.heap[p]) {
+				break
+			}
+			st.heap[i], st.heap[p] = st.heap[p], st.heap[i]
+			i = p
+		}
+		return
+	}
+	if !e.better(st.heap[0]) {
+		return
+	}
+	st.heap[0] = e
+	// Sift down: push the new root toward the leaves past any worse child.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(st.heap) && st.heap[i].better(st.heap[l]) && st.heap[worst].better(st.heap[l]) {
+			worst = l
+		}
+		if r < len(st.heap) && st.heap[i].better(st.heap[r]) && st.heap[worst].better(st.heap[r]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		st.heap[i], st.heap[worst] = st.heap[worst], st.heap[i]
+		i = worst
+	}
+}
+
+// kthRank is the weakest shortlisted rank once the heap is full.
+func (st *StreamState) kthRank() (float64, bool) {
+	if len(st.heap) < st.cfg.TopK {
+		return 0, false
+	}
+	return st.heap[0].rank, true
+}
+
+// Select scores the pool shard by shard and returns the top-k shortlist as
+// a Candidates block plus the shortlist's source ids, both ordered by
+// (rank desc, id asc) so a first-max policy scan picks the same candidate
+// a full-pool scan would. The Candidates' slices are freshly allocated
+// (size k); the X matrix holds the shortlist rows only.
+func (st *StreamState) Select() (*Candidates, []int) {
+	n := st.src.Len()
+	shard := st.cfg.ShardSize
+	k := st.cfg.TopK
+	st.heap = st.heap[:0]
+	st.calls++
+	refresh := !st.cfg.Approx || st.cfg.RefreshEvery <= 1 || st.calls%st.cfg.RefreshEvery == 1
+
+	for lo, s := 0, 0; lo < n; lo, s = lo+shard, s+1 {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		if kth, full := st.kthRank(); st.cfg.Approx && !refresh && full && st.prevBest[s] < kth {
+			// Every candidate in this shard ranked below the current k-th
+			// best the last time it was scored, and the rank's upper bound
+			// is non-increasing — nothing here can enter the shortlist.
+			// Strict <: ties are never pruned, preserving first-max order.
+			obs.PoolShardsPruned.Inc()
+			continue
+		}
+		rows := hi - lo
+		xs := st.xbuf
+		if rows != shard {
+			xs = mat.NewDense(rows, st.src.Dim(), st.xbuf.RawData()[:rows*st.src.Dim()])
+		}
+		st.src.Fill(lo, hi, xs)
+		muC, sigC := predictShard(st.cost, xs, st.muC, st.sigC)
+		muM, sigM := predictShard(st.mem, xs, st.muM, st.sigM)
+		best := math.Inf(-1)
+		for i := 0; i < rows; i++ {
+			id := lo + i
+			if st.removed[id] {
+				continue
+			}
+			r := st.cfg.Rank(muC[i], sigC[i], muM[i], sigM[i])
+			if r > best {
+				best = r
+			}
+			st.heapPush(streamEntry{id: id, rank: r, muC: muC[i], sigC: sigC[i], muM: muM[i], sigM: sigM[i]}, k)
+		}
+		st.prevBest[s] = best
+		obs.PoolShardsScored.Inc()
+	}
+	obs.PoolStreamLive.Set(float64(st.live))
+
+	out := append([]streamEntry(nil), st.heap...)
+	sort.Slice(out, func(i, j int) bool { return out[i].better(out[j]) })
+	ids := make([]int, len(out))
+	c := &Candidates{
+		X:           mat.NewDense(len(out), st.src.Dim(), nil),
+		MuCost:      make([]float64, len(out)),
+		SigmaCost:   make([]float64, len(out)),
+		MuMem:       make([]float64, len(out)),
+		SigmaMem:    make([]float64, len(out)),
+		MemLimitLog: math.Inf(1),
+	}
+	one := mat.NewDense(1, st.src.Dim(), nil)
+	for i, e := range out {
+		ids[i] = e.id
+		c.MuCost[i], c.SigmaCost[i] = e.muC, e.sigC
+		c.MuMem[i], c.SigmaMem[i] = e.muM, e.sigM
+		st.src.Fill(e.id, e.id+1, one)
+		copy(c.X.Row(i), one.Row(0))
+	}
+	return c, ids
+}
+
+// streamScorer adapts a StreamState to the replay loop's scorer surface:
+// the policy sees the shortlist as its candidate set, and shortlist picks
+// translate back to pool positions through the sorted live-id mirror.
+type streamScorer struct {
+	st  *StreamState
+	ids []int // pool position → source id; sorted ascending (mirror of remaining)
+
+	shortIDs []int      // shortlist position → source id, from the last Select
+	shortX   *mat.Dense // shortlist feature rows, from the last Select
+}
+
+func newStreamScorer(cost, mem gp.Model, x *mat.Dense, spec *PoolSpec, rank RankFunc) *streamScorer {
+	cfg := StreamConfig{Rank: rank}
+	if spec != nil {
+		cfg.ShardSize = spec.Shard
+		cfg.TopK = spec.TopK
+		cfg.Approx = spec.Approx
+		cfg.RefreshEvery = spec.RefreshEvery
+	}
+	ids := make([]int, x.Rows())
+	for i := range ids {
+		ids[i] = i
+	}
+	return &streamScorer{
+		st:  NewStreamState(DenseSource{X: x}, cost, mem, cfg),
+		ids: ids,
+	}
+}
+
+func (s *streamScorer) candidates(memLimitLog float64) *Candidates {
+	c, ids := s.st.Select()
+	c.MemLimitLog = memLimitLog
+	s.shortIDs = ids
+	s.shortX = c.X
+	return c
+}
+
+// row returns the features of shortlist pick p (valid until the next
+// candidates call, matching the loop's consume-before-Remove contract).
+func (s *streamScorer) row(p int) []float64 { return s.shortX.Row(p) }
+
+// translate maps shortlist pick p to its pool position via binary search
+// in the sorted live-id mirror.
+func (s *streamScorer) translate(p int) int {
+	id := s.shortIDs[p]
+	pos := sort.SearchInts(s.ids, id)
+	if pos >= len(s.ids) || s.ids[pos] != id {
+		panic(fmt.Sprintf("engine: streamed pool lost candidate id %d", id))
+	}
+	return pos
+}
+
+// remove drops the candidate at pool position p: tombstoned in the stream
+// state, compacted out of the id mirror.
+func (s *streamScorer) remove(p int) {
+	s.st.Remove(s.ids[p])
+	s.ids = append(s.ids[:p], s.ids[p+1:]...)
+}
+
+// invalidate resets the prune bounds after a model refit (see
+// StreamState.InvalidateBounds).
+func (s *streamScorer) invalidate() { s.st.InvalidateBounds() }
+
+func (s *streamScorer) close() {}

@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"alamr/internal/gp"
+	"alamr/internal/kernel"
+	"alamr/internal/mat"
+	"alamr/internal/obs"
+)
+
+// streamFixture fits two small exact GPs and builds a random candidate
+// pool, the minimal ingredients for exercising StreamState directly.
+func streamFixture(t testing.TB, seed int64, n, m int) (cost, mem gp.Model, pool *mat.Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.NewDense(n, 3, nil)
+	yc := make([]float64, n)
+	ym := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.Float64()*2)
+		}
+		yc[i] = x.Row(i)[0]*1.3 - x.Row(i)[1] + 0.2*rng.NormFloat64()
+		ym[i] = x.Row(i)[2] * 0.7
+	}
+	gc := gp.New(kernel.NewRBF(0.8, 1), gp.Config{Noise: 0.1, NoOptimize: true})
+	gm := gp.New(kernel.NewRBF(0.8, 1), gp.Config{Noise: 0.1, NoOptimize: true})
+	if err := gc.Fit(x, yc); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.Fit(x, ym); err != nil {
+		t.Fatal(err)
+	}
+	pool = mat.NewDense(m, 3, nil)
+	for i := 0; i < m; i++ {
+		for j := 0; j < 3; j++ {
+			pool.Set(i, j, rng.Float64()*2)
+		}
+	}
+	return gc, gm, pool
+}
+
+// bruteTopK is the reference: score the whole pool, rank every live
+// candidate, sort by (rank desc, id asc), truncate to k.
+func bruteTopK(cost, mem gp.Model, pool *mat.Dense, removed map[int]bool, rank RankFunc, k int) []streamEntry {
+	muC, sigC := cost.Predict(pool)
+	muM, sigM := mem.Predict(pool)
+	var all []streamEntry
+	for i := 0; i < pool.Rows(); i++ {
+		if removed[i] {
+			continue
+		}
+		all = append(all, streamEntry{
+			id: i, rank: rank(muC[i], sigC[i], muM[i], sigM[i]),
+			muC: muC[i], sigC: sigC[i], muM: muM[i], sigM: sigM[i],
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].better(all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func checkShortlist(t *testing.T, tag string, c *Candidates, ids []int, want []streamEntry) {
+	t.Helper()
+	if len(ids) != len(want) {
+		t.Fatalf("%s: shortlist has %d entries, want %d", tag, len(ids), len(want))
+	}
+	for i, w := range want {
+		if ids[i] != w.id {
+			t.Fatalf("%s: shortlist[%d] = id %d, want %d", tag, i, ids[i], w.id)
+		}
+		if c.MuCost[i] != w.muC || c.SigmaCost[i] != w.sigC || c.MuMem[i] != w.muM || c.SigmaMem[i] != w.sigM {
+			t.Fatalf("%s: shortlist[%d] scores diverge from full-pool Predict", tag, i)
+		}
+	}
+}
+
+// TestStreamSelectExactTopK: the sharded heap-merge shortlist is the exact
+// top-k a full materialized scan would produce — same ids, same order,
+// bitwise-same scores — across removals and shard-boundary sizes.
+func TestStreamSelectExactTopK(t *testing.T) {
+	cost, mem, pool := streamFixture(t, 21, 40, 501) // 501: a partial tail shard
+	rank, _ := rankerFor("maxsigma")
+	st := NewStreamState(DenseSource{X: pool}, cost, mem, StreamConfig{ShardSize: 64, TopK: 10, Rank: rank})
+	removed := map[int]bool{}
+	for round := 0; round < 4; round++ {
+		c, ids := st.Select()
+		checkShortlist(t, "round", c, ids, bruteTopK(cost, mem, pool, removed, rank, 10))
+		// Remove the winner plus an arbitrary mid candidate, as a loop would.
+		for _, id := range []int{ids[0], ids[len(ids)/2]} {
+			st.Remove(id)
+			removed[id] = true
+		}
+	}
+	if st.Live() != pool.Rows()-8 {
+		t.Fatalf("live %d, want %d", st.Live(), pool.Rows()-8)
+	}
+}
+
+// TestStreamApproxExactForSigmaMonotoneRank: with the maxsigma rank the
+// per-shard bound is a true upper bound (posterior sigma never increases as
+// observations accumulate), so approximate pruning still returns the exact
+// top-k across a schedule of appends and removals.
+func TestStreamApproxExactForSigmaMonotoneRank(t *testing.T) {
+	cost, mem, pool := streamFixture(t, 22, 40, 640)
+	rank, _ := rankerFor("maxsigma")
+	approx := NewStreamState(DenseSource{X: pool}, cost, mem,
+		StreamConfig{ShardSize: 64, TopK: 8, Approx: true, RefreshEvery: 1 << 30, Rank: rank})
+	rng := rand.New(rand.NewSource(23))
+	removed := map[int]bool{}
+	for round := 0; round < 8; round++ {
+		c, ids := approx.Select()
+		checkShortlist(t, "round", c, ids, bruteTopK(cost, mem, pool, removed, rank, 8))
+		pick := ids[0]
+		approx.Remove(pick)
+		removed[pick] = true
+		// Absorb the pick as a new observation; sigma shrinks pool-wide.
+		if err := cost.Append(pool.Row(pick), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.Append(pool.Row(pick), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGridSourceDecode: mixed-radix decoding against an explicitly
+// materialized Cartesian product, last axis fastest.
+func TestGridSourceDecode(t *testing.T) {
+	src := GridSource{Axes: [][]float64{{1, 2}, {10, 20, 30}, {0.5}}}
+	if src.Len() != 6 || src.Dim() != 3 {
+		t.Fatalf("Len=%d Dim=%d, want 6 and 3", src.Len(), src.Dim())
+	}
+	var want [][]float64
+	for _, a := range []float64{1, 2} {
+		for _, b := range []float64{10, 20, 30} {
+			want = append(want, []float64{a, b, 0.5})
+		}
+	}
+	// Decode in two unaligned chunks to exercise the lo offset.
+	got := mat.NewDense(6, 3, nil)
+	src.Fill(0, 4, got)
+	chunk := mat.NewDense(2, 3, nil)
+	src.Fill(4, 6, chunk)
+	copy(got.Row(4), chunk.Row(0))
+	copy(got.Row(5), chunk.Row(1))
+	for i := range want {
+		if !reflect.DeepEqual(got.Row(i), want[i]) {
+			t.Fatalf("candidate %d decoded to %v, want %v", i, got.Row(i), want[i])
+		}
+	}
+}
+
+// TestStreamedReplayMatchesMaterialized: a streamed-pool replay campaign
+// must produce the identical trajectory to the default materialized pool
+// for every shortlist-safe policy — the shortlist argmax is the pool
+// argmax.
+func TestStreamedReplayMatchesMaterialized(t *testing.T) {
+	ds := synthDS(150, 55)
+	for _, policy := range []string{"maxsigma", "minpred"} {
+		base := replaySpec("mat/"+policy, policy, 5, 10, 6)
+		streamed := replaySpec("stream/"+policy, policy, 5, 10, 6)
+		streamed.Replay.Pool = &PoolSpec{Shard: 32, TopK: 8}
+
+		want, err := RunReplaySpec(ds, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunReplaySpec(ds, streamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %s: streamed trajectory differs from materialized", policy)
+		}
+	}
+}
+
+// TestStreamedReplayApproxMatchesMaterialized: approximate pruning under
+// the sigma-monotone maxsigma rank keeps the trajectory exact.
+func TestStreamedReplayApproxMatchesMaterialized(t *testing.T) {
+	ds := synthDS(150, 56)
+	base := replaySpec("mat/approx", "maxsigma", 6, 10, 8)
+	streamed := replaySpec("stream/approx", "maxsigma", 6, 10, 8)
+	streamed.Replay.Pool = &PoolSpec{Shard: 16, TopK: 4, Approx: true, RefreshEvery: 4}
+
+	want, err := RunReplaySpec(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunReplaySpec(ds, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("approximate streamed trajectory differs from materialized")
+	}
+}
+
+// TestStreamedReplayApproxSurvivesHyperopt: a hyperparameter refit can
+// raise sigma everywhere at once, breaking the monotone-drift premise the
+// prune bounds rest on. With RefreshEvery effectively infinite, exactness
+// across the campaign's refits (HyperoptEvery 5, 12 iterations) rests
+// entirely on the loop invalidating the bounds after each refit.
+func TestStreamedReplayApproxSurvivesHyperopt(t *testing.T) {
+	ds := synthDS(150, 58)
+	base := replaySpec("mat/hyper", "maxsigma", 9, 10, 12)
+	streamed := replaySpec("stream/hyper", "maxsigma", 9, 10, 12)
+	streamed.Replay.Pool = &PoolSpec{Shard: 16, TopK: 4, Approx: true, RefreshEvery: 1 << 20}
+
+	want, err := RunReplaySpec(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunReplaySpec(ds, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("approximate streamed trajectory drifted from materialized across hyperopt refits")
+	}
+}
+
+// TestInvalidateBoundsForcesRescore: after InvalidateBounds every shard's
+// prune bound is +Inf again, so the next Select rescores the whole pool
+// even in approximate mode.
+func TestInvalidateBoundsForcesRescore(t *testing.T) {
+	cost, mem, x := streamFixture(t, 59, 40, 200)
+	st := NewStreamState(DenseSource{X: x}, cost, mem, StreamConfig{
+		ShardSize: 32, TopK: 4, Approx: true, RefreshEvery: 1 << 20,
+	})
+	st.Select() // primes the per-shard bounds
+	for s, b := range st.prevBest {
+		if math.IsInf(b, 1) {
+			t.Fatalf("shard %d bound not primed", s)
+		}
+	}
+	st.InvalidateBounds()
+	for s, b := range st.prevBest {
+		if !math.IsInf(b, 1) {
+			t.Fatalf("shard %d bound %g after InvalidateBounds, want +Inf", s, b)
+		}
+	}
+}
+
+// TestSparseModelReplayRuns: a sparse-surrogate streamed campaign runs end
+// to end through the spec layer and yields a full trajectory.
+func TestSparseModelReplayRuns(t *testing.T) {
+	ds := synthDS(200, 57)
+	spec := replaySpec("sparse/stream", "maxsigma", 7, 30, 5)
+	spec.Model = &ModelSpec{Name: ModelSparse, Inducing: 16}
+	spec.Replay.Pool = &PoolSpec{Shard: 32, TopK: 8, Approx: true}
+	tr, err := RunReplaySpec(ds, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iterations() != 5 {
+		t.Fatalf("got %d iterations, want 5", tr.Iterations())
+	}
+	treed := replaySpec("treed/stream", "maxsigma", 7, 30, 5)
+	treed.Model = &ModelSpec{Name: ModelTreed, LeafSize: 24}
+	treed.Replay.Pool = &PoolSpec{Shard: 32, TopK: 8}
+	tr, err = RunReplaySpec(ds, treed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iterations() != 5 {
+		t.Fatalf("treed: got %d iterations, want 5", tr.Iterations())
+	}
+}
+
+// TestPoolSpecValidation: the streamed pool composes only with
+// shortlist-safe policies and never with batch selection.
+func TestPoolSpecValidation(t *testing.T) {
+	s := replaySpec("bad/batch", "maxsigma", 1, 5, 3)
+	s.Replay.Pool = &PoolSpec{}
+	s.Replay.Batch = &BatchSelectSpec{Q: 2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("pool+batch: got %v", err)
+	}
+
+	s = replaySpec("bad/policy", "rgma", 1, 5, 3)
+	s.Replay.Pool = &PoolSpec{}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "shortlist-safe") {
+		t.Fatalf("non-ranker policy: got %v", err)
+	}
+	for _, name := range RankerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list ranker %q", err, name)
+		}
+	}
+
+	s = replaySpec("bad/neg", "maxsigma", 1, 5, 3)
+	s.Replay.Pool = &PoolSpec{TopK: -1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative top_k accepted")
+	}
+}
+
+// TestStreamObsReconciles: the scored/pruned counters partition the
+// shard-visit count, the live gauge tracks the pool, and the cache-op
+// counters record the sparse surrogate's extend traffic.
+func TestStreamObsReconciles(t *testing.T) {
+	obs.Disable()
+	reg := obs.NewRegistry()
+	obs.Enable(reg, nil)
+	defer obs.Disable()
+
+	ds := synthDS(200, 58)
+	spec := replaySpec("obs/stream", "maxsigma", 9, 20, 6)
+	spec.Model = &ModelSpec{Name: ModelSparse, Inducing: 16}
+	spec.Replay.Pool = &PoolSpec{Shard: 32, TopK: 8, Approx: true, RefreshEvery: 3}
+	if _, err := RunReplaySpec(ds, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	scored, _ := reg.CounterValue(obs.MetricPoolShardsScored)
+	pruned, _ := reg.CounterValue(obs.MetricPoolShardsPruned)
+	pool := 200 - 30 - 20 // jobs minus test and init partitions
+	nShards := int64((pool + 31) / 32)
+	iters := int64(6)
+	if scored+pruned != nShards*iters {
+		t.Fatalf("scored %d + pruned %d != %d shards x %d selects", scored, pruned, nShards, iters)
+	}
+	if scored < nShards {
+		t.Fatalf("scored %d: the first select can never prune", scored)
+	}
+	live, ok := reg.GaugeValue(obs.MetricPoolStreamLive)
+	if !ok || live != float64(pool-int(iters)+1) {
+		// The gauge is set at the start of each Select, before that
+		// iteration's pick is removed: pool - (iters-1) picks so far.
+		t.Fatalf("live gauge %v (ok=%v), want %d", live, ok, pool-int(iters)+1)
+	}
+	// The streamed pool scores through the model directly (no attached
+	// cache); a materialized sparse campaign exercises the cache-op
+	// counters.
+	matSpec := replaySpec("obs/mat", "maxsigma", 9, 20, 6)
+	matSpec.Model = &ModelSpec{Name: ModelSparse, Inducing: 16}
+	if _, err := RunReplaySpec(ds, matSpec); err != nil {
+		t.Fatal(err)
+	}
+	extends, _ := reg.CounterValue(obs.Labeled(obs.MetricModelCacheOps, "kind", obs.ModelCacheSparseExtend))
+	rebuilds, _ := reg.CounterValue(obs.Labeled(obs.MetricModelCacheOps, "kind", obs.ModelCacheSparseRebuild))
+	if extends == 0 || rebuilds == 0 {
+		t.Fatalf("materialized sparse campaign recorded extends=%d rebuilds=%d cache ops", extends, rebuilds)
+	}
+}

@@ -285,12 +285,24 @@ func (g *GP) precompute() error {
 // computed in full by one goroutine, so the output does not depend on the
 // worker count.
 func (g *GP) Predict(xs *mat.Dense) (mean, std []float64) {
+	m := xs.Rows()
+	mean = make([]float64, m)
+	std = make([]float64, m)
+	g.PredictInto(xs, mean, std)
+	return mean, std
+}
+
+// PredictInto is Predict writing into caller-owned buffers, the
+// zero-allocation form streamed pool scoring loops over (keeps the live
+// set at one shard rather than the whole pool).
+func (g *GP) PredictInto(xs *mat.Dense, mean, std []float64) {
 	if !g.fitted {
 		panic("gp: Predict before Fit")
 	}
 	m := xs.Rows()
-	mean = make([]float64, m)
-	std = make([]float64, m)
+	if len(mean) != m || len(std) != m {
+		panic(fmt.Sprintf("gp: PredictInto buffers %d/%d for %d rows", len(mean), len(std), m))
+	}
 	n := g.x.Rows()
 	mat.ParallelFor(m, mat.ChunkFor(n*n/2+32*n), func(lo, hi int) {
 		// One scratch pair per worker chunk: predictOneInto reuses it for
@@ -302,7 +314,6 @@ func (g *GP) Predict(xs *mat.Dense) (mean, std []float64) {
 			mean[i], std[i] = g.predictOneInto(xs.Row(i), ks, v)
 		}
 	})
-	return mean, std
 }
 
 // PredictOne returns the posterior mean and standard deviation at a single

@@ -23,6 +23,12 @@ import (
 //
 // Hyperparameters are re-optimized on the inducing subset with an exact GP
 // (a standard, documented heuristic), then projected onto the full data.
+//
+// Append is incremental: absorbing one observation adds exactly one rank-1
+// term σ⁻² k_m k_mᵀ to A and one σ⁻² y·k_m term to the projected targets,
+// so the factor is updated by a cholupdate in O(m²) instead of rebuilding
+// the O(n·m²) projection. Attached SparseScoringCaches ride the same
+// update through a Sherman-Morrison step, O(m) per candidate.
 type Sparse struct {
 	kern     kernel.Kernel
 	cfg      Config
@@ -36,8 +42,10 @@ type Sparse struct {
 	z     *mat.Dense // inducing inputs
 	aChol *mat.Cholesky
 	beta  []float64 // A⁻¹ K_nmᵀ y / σ²
+	kty   []float64 // σ⁻² K_nmᵀ y, maintained incrementally between projections
 	zEval func(x []float64, from int, out []float64)
 
+	caches []*SparseScoringCache
 	fitted bool
 }
 
@@ -163,7 +171,9 @@ func (s *Sparse) refitHyper() error {
 	return nil
 }
 
-// project rebuilds A and β from the full training set.
+// project rebuilds A and β from the full training set and invalidates every
+// attached scoring cache (the factor, and possibly Z and the
+// hyperparameters, changed wholesale).
 func (s *Sparse) project() error {
 	m := s.z.Rows()
 	noise2 := math.Exp(2 * s.logNoise)
@@ -183,15 +193,24 @@ func (s *Sparse) project() error {
 	s.aChol = ch
 
 	// β = σ⁻² A⁻¹ K_nmᵀ y.
-	kty := knm.MulVecT(s.y)
-	mat.ScaleVec(1/noise2, kty)
-	s.beta = ch.SolveVec(kty)
+	s.kty = knm.MulVecT(s.y)
+	mat.ScaleVec(1/noise2, s.kty)
+	s.beta = ch.SolveVec(s.kty)
 	s.zEval = kernel.RowEvaluator(s.kern, s.z)
 	s.fitted = true
+	for _, c := range s.caches {
+		c.invalidate()
+	}
 	return nil
 }
 
 // Predict implements Model.
+//
+// The per-point arithmetic — k_m through zEval, mean as one Dot against β,
+// variance as ‖L⁻¹k_m‖² through the serial forward half-solve (the
+// backward sweep cancels in the quadratic form, so it is never computed) —
+// is exactly the SparseScoringCache rebuild path, so a freshly rebuilt
+// cache and Predict agree bitwise.
 func (s *Sparse) Predict(xs *mat.Dense) (mean, std []float64) {
 	if !s.fitted {
 		panic("gp: Sparse.Predict before Fit")
@@ -199,26 +218,45 @@ func (s *Sparse) Predict(xs *mat.Dense) (mean, std []float64) {
 	n := xs.Rows()
 	mean = make([]float64, n)
 	std = make([]float64, n)
+	s.PredictInto(xs, mean, std)
+	return mean, std
+}
+
+// PredictInto is Predict writing into caller-owned buffers, the
+// allocation-free form the streamed pool uses per shard. mean and std must
+// have xs.Rows() entries.
+func (s *Sparse) PredictInto(xs *mat.Dense, mean, std []float64) {
+	if !s.fitted {
+		panic("gp: Sparse.PredictInto before Fit")
+	}
+	n := xs.Rows()
+	if len(mean) != n || len(std) != n {
+		panic(fmt.Sprintf("gp: PredictInto buffers %d/%d for %d rows", len(mean), len(std), n))
+	}
 	m := s.z.Rows()
 	// Test points are independent: batch kernel rows via the cached
 	// evaluator and fan out over the pool with per-chunk scratch.
 	mat.ParallelFor(n, mat.ChunkFor(m*m+4*m), func(lo, hi int) {
 		km := make([]float64, m)
+		w := make([]float64, m)
 		for i := lo; i < hi; i++ {
 			s.zEval(xs.Row(i), 0, km)
 			mean[i] = mat.Dot(km, s.beta) + s.yMean
-			v := mat.Dot(km, s.aChol.SolveVec(km))
+			s.aChol.ForwardSolveVecToSerial(w, km)
+			v := mat.Dot(w, w)
 			if v < 0 {
 				v = 0
 			}
 			std[i] = math.Sqrt(v)
 		}
 	})
-	return mean, std
 }
 
-// Append implements Model: O(m²) projection update (A += σ⁻² k_m k_mᵀ needs
-// a refactorization, O(m³), with m small).
+// Append implements Model: one observation adds the rank-1 term
+// σ⁻² k_m k_mᵀ to A and σ⁻² y·k_m to the projected targets, so the factor
+// absorbs it with an O(m²) cholupdate — no O(n·m²) re-projection. Attached
+// caches are updated first (they need one solve against the pre-update
+// factor for their Sherman-Morrison step).
 func (s *Sparse) Append(x []float64, y float64) error {
 	if !s.fitted {
 		return errors.New("gp: Sparse.Append before Fit")
@@ -226,11 +264,31 @@ func (s *Sparse) Append(x []float64, y float64) error {
 	if len(x) != s.x.Cols() {
 		return fmt.Errorf("gp: sparse append dim %d, want %d", len(x), s.x.Cols())
 	}
-	// Amortized growth: append the new row in place of the old
-	// allocate-and-copy of the whole design matrix.
+	m := s.z.Rows()
+	noise := math.Exp(s.logNoise)
+	km := make([]float64, m)
+	s.zEval(x, 0, km)
+	u := make([]float64, m)
+	for i, v := range km {
+		u[i] = v / noise
+	}
+	if len(s.caches) > 0 {
+		// A_new⁻¹ = A⁻¹ − z zᵀ/denom with z = A⁻¹u, denom = 1 + uᵀz.
+		z := s.aChol.SolveVec(u)
+		denom := 1 + mat.Dot(u, z)
+		for _, c := range s.caches {
+			c.extendAppend(z, denom)
+		}
+	}
+	s.aChol.Rank1Update(u) // consumes u
+	yc := y - s.yMean
+	for i, v := range km {
+		s.kty[i] += v * yc / (noise * noise)
+	}
+	s.beta = s.aChol.SolveVec(s.kty)
 	s.x = s.x.AppendRow(x)
-	s.y = append(s.y, y-s.yMean)
-	return s.project()
+	s.y = append(s.y, yc)
+	return nil
 }
 
 // Refit implements Model: re-selects inducing points, re-optimizes

@@ -7,6 +7,7 @@ import (
 
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
+	"alamr/internal/obs"
 )
 
 // Model is the surrogate interface the active-learning loop consumes. *GP
@@ -25,6 +26,7 @@ type Model interface {
 var (
 	_ Model = (*GP)(nil)
 	_ Model = (*Treed)(nil)
+	_ Model = (*Sparse)(nil)
 )
 
 // Treed is a partitioned Gaussian process: the input space is recursively
@@ -33,11 +35,26 @@ var (
 // Predictions route to the covering leaf. This trades the O(n³) global fit
 // for several small fits — the standard answer to GPR's cubic scaling — at
 // the cost of discontinuities across leaf boundaries.
+//
+// Appends are amortized end to end: the sample rides the leaf GP's own
+// incremental Append (rank-1 Cholesky border extension) and the training
+// mirror grows through mat.Dense.AppendRow (amortized doubling), so no
+// refit and no O(n_leaf) re-copy happens on the hot path. A leaf grown
+// past rebalance×LeafSize is re-split, with the children warm-started from
+// the parent leaf's learned hyperparameters (a single local optimization
+// instead of a cold multi-restart search) so pathological insert orders
+// cannot degenerate into one giant leaf without bounded, amortized cost.
 type Treed struct {
 	proto    kernel.Kernel
 	cfg      Config
 	leafSize int
-	root     *treeNode
+	// rebalance is the re-split trigger factor: a leaf is split when it
+	// exceeds rebalance×leafSize rows. Minimum 1 (split as soon as the
+	// capacity is exceeded); default 2.
+	rebalance int
+	root      *treeNode
+
+	caches []*TreedScoringCache
 }
 
 type treeNode struct {
@@ -58,8 +75,20 @@ func NewTreed(k kernel.Kernel, cfg Config, leafSize int) *Treed {
 	if leafSize < 8 {
 		leafSize = 8
 	}
-	return &Treed{proto: k.Clone(), cfg: cfg, leafSize: leafSize}
+	return &Treed{proto: k.Clone(), cfg: cfg, leafSize: leafSize, rebalance: 2}
 }
+
+// SetRebalance sets the leaf re-split trigger factor: a leaf splits once
+// it holds more than f×LeafSize rows. Values below 1 clamp to 1.
+func (t *Treed) SetRebalance(f int) {
+	if f < 1 {
+		f = 1
+	}
+	t.rebalance = f
+}
+
+// LeafSize reports the configured leaf capacity.
+func (t *Treed) LeafSize() int { return t.leafSize }
 
 // Fit builds the partition tree and fits every leaf GP.
 func (t *Treed) Fit(x *mat.Dense, y []float64) error {
@@ -69,30 +98,29 @@ func (t *Treed) Fit(x *mat.Dense, y []float64) error {
 	if x.Rows() != len(y) {
 		return fmt.Errorf("gp: treed fit with %d rows and %d targets", x.Rows(), len(y))
 	}
-	root, err := t.build(x.Clone(), append([]float64(nil), y...), 0)
+	root, err := t.buildWith(t.proto, t.cfg, x.Clone(), append([]float64(nil), y...), 0)
 	if err != nil {
 		return err
 	}
 	t.root = root
+	for _, c := range t.caches {
+		c.onReset()
+	}
 	return nil
 }
 
-func (t *Treed) build(x *mat.Dense, y []float64, depth int) (*treeNode, error) {
+// buildWith recursively partitions (x, y) fitting each leaf with the given
+// kernel prototype and config. Fit passes the Treed's own proto/cfg;
+// resplit passes a warm-started prototype carrying the parent leaf's
+// learned hyperparameters.
+func (t *Treed) buildWith(proto kernel.Kernel, cfg Config, x *mat.Dense, y []float64, depth int) (*treeNode, error) {
 	n := x.Rows()
 	if n <= t.leafSize || depth >= 12 {
-		leaf := &treeNode{x: x, y: y, model: New(t.proto, t.cfg)}
-		if err := leaf.model.Fit(x, y); err != nil {
-			return nil, err
-		}
-		return leaf, nil
+		return t.fitLeaf(proto, cfg, x, y)
 	}
 	dim, threshold, ok := splitPlane(x)
 	if !ok {
-		leaf := &treeNode{x: x, y: y, model: New(t.proto, t.cfg)}
-		if err := leaf.model.Fit(x, y); err != nil {
-			return nil, err
-		}
-		return leaf, nil
+		return t.fitLeaf(proto, cfg, x, y)
 	}
 	var li, ri []int
 	for i := 0; i < n; i++ {
@@ -104,15 +132,23 @@ func (t *Treed) build(x *mat.Dense, y []float64, depth int) (*treeNode, error) {
 	}
 	lx, ly := subset(x, y, li)
 	rx, ry := subset(x, y, ri)
-	left, err := t.build(lx, ly, depth+1)
+	left, err := t.buildWith(proto, cfg, lx, ly, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := t.build(rx, ry, depth+1)
+	right, err := t.buildWith(proto, cfg, rx, ry, depth+1)
 	if err != nil {
 		return nil, err
 	}
 	return &treeNode{dim: dim, threshold: threshold, left: left, right: right}, nil
+}
+
+func (t *Treed) fitLeaf(proto kernel.Kernel, cfg Config, x *mat.Dense, y []float64) (*treeNode, error) {
+	leaf := &treeNode{x: x, y: y, model: New(proto, cfg)}
+	if err := leaf.model.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return leaf, nil
 }
 
 // splitPlane picks the dimension with the largest spread and splits at its
@@ -207,23 +243,40 @@ func (t *Treed) leafFor(x []float64) *treeNode {
 	return node
 }
 
-// Predict implements Model: each row routes to its leaf GP.
+// Predict implements Model: each row routes to its leaf GP. Rows are
+// independent, so the pool fans out over candidates (routing is read-only
+// and PredictOne uses local scratch).
 func (t *Treed) Predict(xs *mat.Dense) (mean, std []float64) {
+	m := xs.Rows()
+	mean = make([]float64, m)
+	std = make([]float64, m)
+	t.PredictInto(xs, mean, std)
+	return mean, std
+}
+
+// PredictInto is Predict writing into caller-owned buffers, the
+// zero-allocation form streamed pool scoring loops over.
+func (t *Treed) PredictInto(xs *mat.Dense, mean, std []float64) {
 	if t.root == nil {
 		panic("gp: Treed.Predict before Fit")
 	}
 	m := xs.Rows()
-	mean = make([]float64, m)
-	std = make([]float64, m)
-	for i := 0; i < m; i++ {
-		leaf := t.leafFor(xs.Row(i))
-		mean[i], std[i] = leaf.model.PredictOne(xs.Row(i))
+	if len(mean) != m || len(std) != m {
+		panic(fmt.Sprintf("gp: PredictInto buffers %d/%d for %d rows", len(mean), len(std), m))
 	}
-	return mean, std
+	mat.ParallelFor(m, mat.ChunkFor(4*t.leafSize+16), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			leaf := t.leafFor(xs.Row(i))
+			mean[i], std[i] = leaf.model.PredictOne(xs.Row(i))
+		}
+	})
 }
 
-// Append implements Model: the sample joins its covering leaf; a leaf grown
-// past twice its capacity is re-split.
+// Append implements Model: the sample joins its covering leaf through the
+// leaf GP's amortized incremental Append (rank-1 border extension — no
+// refit), and the training mirror grows by AppendRow (amortized doubling —
+// no O(n_leaf) copy). A leaf grown past rebalance×LeafSize re-splits with
+// warm-started children.
 func (t *Treed) Append(x []float64, y float64) error {
 	if t.root == nil {
 		return errors.New("gp: Treed.Append before Fit")
@@ -232,22 +285,43 @@ func (t *Treed) Append(x []float64, y float64) error {
 	if err := leaf.model.Append(x, y); err != nil {
 		return err
 	}
-	// Mirror the training data for rebuilds.
-	n := leaf.x.Rows()
-	nx := mat.NewDense(n+1, leaf.x.Cols(), nil)
-	for i := 0; i < n; i++ {
-		copy(nx.Row(i), leaf.x.Row(i))
-	}
-	copy(nx.Row(n), x)
-	leaf.x = nx
+	leaf.x = leaf.x.AppendRow(x)
 	leaf.y = append(leaf.y, y)
+	if len(t.caches) > 0 {
+		// The leaf's attached ScoringCaches extended themselves inside
+		// leaf.model.Append; this counter attributes the work to the treed
+		// family for the extend-vs-rebuild ledger.
+		obs.ModelCacheOps.Inc(obs.ModelCacheTreedExtend)
+	}
 
-	if leaf.x.Rows() > 2*t.leafSize {
-		sub, err := t.build(leaf.x, leaf.y, 0)
-		if err != nil {
-			return err
-		}
-		*leaf = *sub
+	if leaf.x.Rows() > t.rebalance*t.leafSize {
+		return t.resplit(leaf)
+	}
+	return nil
+}
+
+// resplit rebuilds the subtree under an over-full leaf. The children are
+// warm-started: the split subtree is built with a kernel prototype carrying
+// the leaf's learned hyperparameters and a single local optimization
+// (Restarts=0) instead of the cold multi-restart search a full Fit runs —
+// the leaf already sits near good hyperparameters, so the split costs
+// O(children · leafSize³) and no hyperparameter search restarts. Attached
+// pool caches re-route the dead leaf's candidates to the new leaves.
+func (t *Treed) resplit(leaf *treeNode) error {
+	old := leaf.model
+	h := old.Hyperparams()
+	proto := t.proto.Clone()
+	proto.SetParams(h[:len(h)-1])
+	cfg := t.cfg
+	cfg.Noise = math.Exp(h[len(h)-1])
+	cfg.Restarts = 0
+	sub, err := t.buildWith(proto, cfg, leaf.x, leaf.y, 0)
+	if err != nil {
+		return err
+	}
+	*leaf = *sub
+	for _, c := range t.caches {
+		c.onResplit(old)
 	}
 	return nil
 }

@@ -218,6 +218,86 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 	return x
 }
 
+// SolveVecToSerial solves A x = b into dst on the calling goroutine, the
+// scratch-buffer form of SolveVec for per-candidate solves that already run
+// inside an outer parallel section (the sparse scoring paths). Both
+// triangular sweeps use the same blocked groupings as SolveVec, so the
+// result is bitwise identical. dst may alias b.
+func (c *Cholesky) SolveVecToSerial(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("mat: SolveVecToSerial lengths %d/%d do not match size %d", len(dst), len(b), c.n))
+	}
+	copy(dst, b)
+	c.forwardBlocked(dst, false)
+	c.backwardSerial(dst)
+}
+
+// backwardSerial solves Lᵀ x = x without dispatching to the worker pool. It
+// applies the same per-element groupings as backwardInPlace's in-block
+// substitution (a strict top-down scalar recurrence per element), so serial
+// and pooled backward solves agree bitwise.
+func (c *Cholesky) backwardSerial(x []float64) {
+	n := c.n
+	if n == 0 {
+		return
+	}
+	kbStart := ((n - 1) / cholBlock) * cholBlock
+	for kb := kbStart; kb >= 0; kb -= cholBlock {
+		kend := kb + cholBlock
+		if kend > n {
+			kend = n
+		}
+		for i := kend - 1; i >= kb; i-- {
+			s := x[i]
+			for k := i + 1; k < kend; k++ {
+				s -= c.row(k)[i] * x[k]
+			}
+			x[i] = s / c.row(i)[i]
+		}
+		if kb == 0 {
+			break
+		}
+		for k := kb; k < kend; k++ {
+			rk := c.row(k)[:kb]
+			xk := x[k]
+			for j, v := range rk {
+				x[j] -= xk * v
+			}
+		}
+	}
+}
+
+// Rank1Update replaces the factorization of A with that of A + u uᵀ in
+// O(n²), the classic Givens-based cholupdate run over the packed lower
+// factor. This is the sparse surrogate's append fast path: absorbing one
+// observation updates the inducing-space normal matrix A by exactly one
+// rank-1 term, so the O(n³) refactorization is never needed. u is consumed
+// (overwritten with intermediate values).
+func (c *Cholesky) Rank1Update(u []float64) {
+	if len(u) != c.n {
+		panic(fmt.Sprintf("mat: Rank1Update length %d does not match size %d", len(u), c.n))
+	}
+	n := c.n
+	for k := 0; k < n; k++ {
+		rk := c.row(k)
+		d := rk[k]
+		r := math.Hypot(d, u[k])
+		cos, sin := r/d, u[k]/d
+		rk[k] = r
+		if k == n-1 {
+			break
+		}
+		// Column k of the packed factor is strided: element (i, k) lives at
+		// row(i)[k]. n is the inducing count (small), so the strided walk
+		// stays cheap relative to the row-major hot paths.
+		for i := k + 1; i < n; i++ {
+			ri := c.row(i)
+			ri[k] = (ri[k] + sin*u[i]) / cos
+			u[i] = cos*u[i] - sin*ri[k]
+		}
+	}
+}
+
 // ForwardSolveVec solves L y = b, the half-solve used for predictive
 // variances (v = L⁻¹k*).
 func (c *Cholesky) ForwardSolveVec(b []float64) []float64 {

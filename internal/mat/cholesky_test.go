@@ -278,3 +278,59 @@ func BenchmarkCholeskySolve100(b *testing.B) {
 		ch.SolveVec(rhs)
 	}
 }
+
+// Property: Rank1Update(u) lands on the factorization of A + u uᵀ.
+func TestCholeskyRank1Update(t *testing.T) {
+	for _, n := range []int{1, 3, 17, 70} { // 70 crosses the cholBlock boundary
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := randomVec(rng, n)
+		ch.Rank1Update(append([]float64(nil), u...))
+
+		up := a.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				up.Set(i, j, up.At(i, j)+u[i]*u[j])
+			}
+		}
+		want, err := NewCholesky(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if !almostEqual(ch.L().At(i, j), want.L().At(i, j), 1e-8) {
+					t.Fatalf("n=%d: L[%d,%d] = %g want %g", n, i, j, ch.L().At(i, j), want.L().At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// SolveVecToSerial must agree bitwise with the pooled SolveVec: the sparse
+// scoring cache rebuilds through the serial path inside an outer ParallelFor
+// while direct predictions may run pooled, and both must see identical
+// posterior state.
+func TestSolveVecToSerialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 5, 64, 65, 130, 200} {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randomVec(rng, n)
+		want := ch.SolveVec(b)
+		got := make([]float64, n)
+		ch.SolveVecToSerial(got, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: serial solve diverges at %d: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -128,6 +128,14 @@ var (
 	CacheInvalidations CounterHandle
 	CacheExtends       CounterHandle
 
+	// Streamed candidate pool.
+	PoolShardsScored CounterHandle
+	PoolShardsPruned CounterHandle
+	PoolStreamLive   GaugeHandle
+
+	// Per-model incremental scoring caches (sparse/treed).
+	ModelCacheOps CounterVecHandle
+
 	// mat worker pool.
 	MatDispatch CounterHandle
 	MatInline   CounterHandle
@@ -154,6 +162,12 @@ var (
 // dependency on the packages it instruments.
 var faultClassValues = []string{"oom", "timeout", "transient", "corrupt", "unknown"}
 
+// modelCacheOpValues enumerates the label values of MetricModelCacheOps.
+var modelCacheOpValues = []string{
+	ModelCacheSparseExtend, ModelCacheSparseRebuild,
+	ModelCacheTreedExtend, ModelCacheTreedRebuild,
+}
+
 // bindHandles points every handle at live instruments in r. Called under
 // global.mu by Enable.
 func bindHandles(r *Registry) {
@@ -179,6 +193,15 @@ func bindHandles(r *Registry) {
 	CacheRebuilds.p.Store(r.Counter(MetricCacheRebuilds, "ScoringCache full rebuilds"))
 	CacheInvalidations.p.Store(r.Counter(MetricCacheInvalidations, "ScoringCache invalidations (Fit/Refit)"))
 	CacheExtends.p.Store(r.Counter(MetricCacheExtends, "ScoringCache incremental extensions (Append)"))
+
+	PoolShardsScored.p.Store(r.Counter(MetricPoolShardsScored, "streamed-pool shards scored"))
+	PoolShardsPruned.p.Store(r.Counter(MetricPoolShardsPruned, "streamed-pool shards pruned by the upper-bound test"))
+	PoolStreamLive.p.Store(r.Gauge(MetricPoolStreamLive, "live candidates in the streamed pool"))
+	modelOps := make(map[string]*Counter, len(modelCacheOpValues))
+	for _, op := range modelCacheOpValues {
+		modelOps[op] = r.Counter(Labeled(MetricModelCacheOps, "kind", op), "per-model scoring-cache maintenance operations")
+	}
+	ModelCacheOps.p.Store(&modelOps)
 
 	MatDispatch.p.Store(r.Counter(MetricMatDispatch, "ParallelFor calls dispatched to the worker pool"))
 	MatInline.p.Store(r.Counter(MetricMatInline, "ParallelFor calls run inline (serial fast path)"))
@@ -208,6 +231,7 @@ func unbindHandles() {
 		&LoopIterations, &CampaignViolations,
 		&GPRebuilds, &GPExtends,
 		&CacheHits, &CacheRebuilds, &CacheInvalidations, &CacheExtends,
+		&PoolShardsScored, &PoolShardsPruned,
 		&MatDispatch, &MatInline,
 		&FaultAttempts, &FaultRetries, &FaultSuccess, &FaultCensored, &FaultFatal,
 		&CheckpointWrites, &CheckpointRestores,
@@ -216,7 +240,7 @@ func unbindHandles() {
 	}
 	for _, g := range []*GaugeHandle{
 		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
-		&PoolSize, &GPTrainRows, &MatWorkers,
+		&PoolSize, &PoolStreamLive, &GPTrainRows, &MatWorkers,
 	} {
 		g.p.Store(nil)
 	}
@@ -230,4 +254,5 @@ func unbindHandles() {
 		sp.hist.Store(nil)
 	}
 	FaultByClass.p.Store(nil)
+	ModelCacheOps.p.Store(nil)
 }

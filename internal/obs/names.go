@@ -31,6 +31,15 @@ const (
 	MetricCacheInvalidations = "alamr_cache_invalidations_total"
 	MetricCacheExtends       = "alamr_cache_extends_total"
 
+	// Streamed candidate pool (engine.StreamSelect).
+	MetricPoolShardsScored = "alamr_pool_shards_scored_total"
+	MetricPoolShardsPruned = "alamr_pool_shards_pruned_total"
+	MetricPoolStreamLive   = "alamr_pool_stream_live"
+
+	// Per-model incremental scoring caches (sparse/treed analogues of
+	// ScoringCache). One labeled series per (model, operation) pair.
+	MetricModelCacheOps = "alamr_model_cache_ops_total" // label: kind
+
 	// mat worker pool.
 	MetricMatDispatch = "alamr_mat_dispatch_total"
 	MetricMatInline   = "alamr_mat_inline_total"
@@ -64,6 +73,15 @@ const (
 
 // LabelCampaign is the label key of the per-campaign sweep series.
 const LabelCampaign = "campaign"
+
+// Label values of MetricModelCacheOps: which model family's incremental
+// scoring cache performed which maintenance operation.
+const (
+	ModelCacheSparseExtend  = "sparse-extend"
+	ModelCacheSparseRebuild = "sparse-rebuild"
+	ModelCacheTreedExtend   = "treed-extend"
+	ModelCacheTreedRebuild  = "treed-rebuild"
+)
 
 // Phase labels used with MetricLoopPhaseSeconds and trace span names.
 const (
@@ -100,6 +118,13 @@ var AllMetricNames = []string{
 	MetricCacheRebuilds,
 	MetricCacheInvalidations,
 	MetricCacheExtends,
+	MetricPoolShardsScored,
+	MetricPoolShardsPruned,
+	MetricPoolStreamLive,
+	Labeled(MetricModelCacheOps, "kind", ModelCacheSparseExtend),
+	Labeled(MetricModelCacheOps, "kind", ModelCacheSparseRebuild),
+	Labeled(MetricModelCacheOps, "kind", ModelCacheTreedExtend),
+	Labeled(MetricModelCacheOps, "kind", ModelCacheTreedRebuild),
 	MetricMatDispatch,
 	MetricMatInline,
 	MetricMatWorkers,

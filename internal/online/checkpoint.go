@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"alamr/internal/core"
+	"alamr/internal/engine"
 	"alamr/internal/faults"
 	"alamr/internal/obs"
 	"alamr/internal/stats"
@@ -31,6 +32,7 @@ type checkpointFile struct {
 	RNGDraws  uint64          `json:"rng_draws"`
 	CumCost   float64         `json:"cum_cost"`
 	CumRegret float64         `json:"cum_regret"`
+	Model     string          `json:"model,omitempty"`
 	Feeds     []feedRec       `json:"feeds"`
 	Result    *Result         `json:"result"`
 	LabState  json.RawMessage `json:"lab_state,omitempty"`
@@ -54,6 +56,7 @@ func (c *campaign) saveCheckpoint(done bool) error {
 		RNGDraws:  c.src.Draws(),
 		CumCost:   c.cumCost,
 		CumRegret: c.cumRegret,
+		Model:     configModelName(c.cfg),
 		Feeds:     c.feeds,
 		Result:    c.res,
 		Done:      done,
@@ -115,7 +118,29 @@ func validateCheckpoint(cfg Config, ck *checkpointFile) error {
 	if ck.InitLen > len(ck.Feeds) {
 		return fmt.Errorf("online: corrupt checkpoint: init length %d exceeds %d feed records", ck.InitLen, len(ck.Feeds))
 	}
+	if got, want := canonicalModelName(ck.Model), canonicalModelName(configModelName(cfg)); got != want {
+		return fmt.Errorf("online: checkpoint was written with surrogate model %q, resuming with %q", got, want)
+	}
 	return nil
+}
+
+// configModelName reports the configured surrogate family name; "" for the
+// default exact GP (and in pre-model checkpoints, which omitted the field).
+func configModelName(cfg Config) string {
+	if cfg.Model == nil {
+		return ""
+	}
+	return cfg.Model.Name
+}
+
+// canonicalModelName folds the empty name into the explicit default so a
+// checkpoint written before the model field existed resumes under an
+// explicit {"name": "exact"} spec, and vice versa.
+func canonicalModelName(name string) string {
+	if name == "" {
+		return engine.ModelExact
+	}
+	return name
 }
 
 // resumeCampaign reconstructs the exact mid-campaign state from a

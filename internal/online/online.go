@@ -211,6 +211,11 @@ type Config struct {
 	Kernel     kernel.Kernel
 	GP         gp.Config
 	Seed       int64
+	// Model selects the surrogate family from the engine registry
+	// ("exact", "sparse", "treed"); nil means the exact GP. The model name
+	// is recorded in checkpoints, so a resume under a different surrogate
+	// family is rejected instead of silently diverging.
+	Model *engine.ModelSpec
 
 	// Retry paces repeated attempts on failed jobs; the zero value means
 	// up to 3 attempts with 1s-base exponential backoff and deterministic
@@ -355,7 +360,7 @@ type campaign struct {
 	cfg Config
 	res *Result
 
-	gpCost, gpMem *gp.GP
+	gpCost, gpMem gp.Model
 	pool          []dataset.Combo
 	src           *stats.CountingSource
 	rng           *rand.Rand
@@ -363,14 +368,18 @@ type campaign struct {
 	initLen       int
 
 	// poolX and the two caches mirror pool: scaled features in grid order
-	// plus one incremental posterior cache per surrogate, so each
-	// selection re-scores the pool in O(m·n) instead of O(m·n²). Caches
-	// built after a checkpoint resume rebuild through the flat solve path
-	// and therefore agree bitwise with caches maintained across an
-	// uninterrupted run — the kill-and-resume contract is unchanged.
+	// plus one incremental posterior cache per surrogate (the
+	// model-appropriate gp.PoolCache), so each selection re-scores the
+	// pool in O(m·n) — or O(m·k) sparse, O(m·leaf) treed — instead of
+	// re-solving per candidate. Exact and treed caches built after a
+	// checkpoint resume rebuild through the flat solve path and therefore
+	// agree bitwise with caches maintained across an uninterrupted run;
+	// the sparse cache resynchronizes exactly at every refit cadence (see
+	// gp.SparseScoringCache). Nil caches (custom surrogates) fall back to
+	// direct Predict over poolX.
 	poolX     *mat.Dense
-	costCache *gp.ScoringCache
-	memCache  *gp.ScoringCache
+	costCache gp.PoolCache
+	memCache  gp.PoolCache
 
 	memLimitLog, memLimitRaw float64
 	cumCost, cumRegret       float64
@@ -472,8 +481,10 @@ func (c *campaign) init() error {
 
 // fitFromFeeds builds and fits both surrogates from init-phase feed
 // records. The cost and memory training sets may differ: censored warm-up
-// jobs contribute only their memory bound.
-func fitFromFeeds(cfg Config, init []feedRec) (*gp.GP, *gp.GP, error) {
+// jobs contribute only their memory bound. The surrogate family comes from
+// cfg.Model via the engine registry; nil keeps the exact GP, so existing
+// campaigns (and their checkpoints) are untouched.
+func fitFromFeeds(cfg Config, init []feedRec) (gp.Model, gp.Model, error) {
 	var xc, xm [][]float64
 	var yc, ym []float64
 	for _, f := range init {
@@ -489,8 +500,14 @@ func fitFromFeeds(cfg Config, init []feedRec) (*gp.GP, *gp.GP, error) {
 	if len(yc) == 0 || len(ym) == 0 {
 		return nil, nil, errors.New("online: init design yielded no usable observations (all warm-up jobs failed)")
 	}
-	gpCost := gp.New(cfg.Kernel, cfg.GP)
-	gpMem := gp.New(cfg.Kernel, cfg.GP)
+	gpCost, err := newSurrogate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	gpMem, err := newSurrogate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := gpCost.Fit(rowsToDense(xc), yc); err != nil {
 		return nil, nil, err
 	}
@@ -500,6 +517,14 @@ func fitFromFeeds(cfg Config, init []feedRec) (*gp.GP, *gp.GP, error) {
 	gpCost.SetRestarts(0)
 	gpMem.SetRestarts(0)
 	return gpCost, gpMem, nil
+}
+
+// newSurrogate constructs one unfitted surrogate of the configured family.
+func newSurrogate(cfg Config) (gp.Model, error) {
+	if cfg.Model != nil {
+		return engine.BuildModel(*cfg.Model, engine.ModelDeps{Kernel: cfg.Kernel, GP: cfg.GP})
+	}
+	return gp.New(cfg.Kernel, cfg.GP), nil
 }
 
 // rebuildPool derives the candidate pool: the design grid minus every
@@ -534,8 +559,18 @@ func (c *campaign) buildCaches() {
 		copy(x.Row(i), f[:])
 	}
 	c.poolX = x
-	c.costCache = gp.NewScoringCache(c.gpCost, x)
-	c.memCache = gp.NewScoringCache(c.gpMem, x)
+	c.costCache = gp.NewPoolCache(c.gpCost, x)
+	c.memCache = gp.NewPoolCache(c.gpMem, x)
+	if c.costCache == nil || c.memCache == nil {
+		// Uncacheable model type: fall back to direct scoring in Score.
+		if c.costCache != nil {
+			c.costCache.Close()
+		}
+		if c.memCache != nil {
+			c.memCache.Close()
+		}
+		c.costCache, c.memCache = nil, nil
+	}
 }
 
 // applyFeed absorbs one selection's feed record into the live surrogates.
@@ -573,8 +608,14 @@ func (c *campaign) PoolLen() int { return len(c.pool) }
 // Score implements engine.LoopEnv: model predictions for the remaining
 // pool, straight from the incremental scoring caches.
 func (c *campaign) Score() *core.Candidates {
-	muC, sigC := c.costCache.Scores()
-	muM, sigM := c.memCache.Scores()
+	var muC, sigC, muM, sigM []float64
+	if c.costCache != nil {
+		muC, sigC = c.costCache.Scores()
+		muM, sigM = c.memCache.Scores()
+	} else {
+		muC, sigC = c.gpCost.Predict(c.poolX)
+		muM, sigM = c.gpMem.Predict(c.poolX)
+	}
 	return &core.Candidates{
 		X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
 		MemLimitLog: c.memLimitLog,
@@ -651,8 +692,10 @@ func (c *campaign) Remove(picks []int) {
 	for _, pick := range picks {
 		c.pool = append(c.pool[:pick], c.pool[pick+1:]...)
 		c.poolX = c.poolX.RemoveRow(pick)
-		c.costCache.Remove(pick)
-		c.memCache.Remove(pick)
+		if c.costCache != nil {
+			c.costCache.Remove(pick)
+			c.memCache.Remove(pick)
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ func RunSpecScoped(spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.
 		Budget:          o.Budget,
 		MaxExperiments:  o.MaxExperiments,
 		Seed:            spec.Seed,
+		Model:           spec.Model,
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,
 		Campaign:        scope,
