@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al bench-scale bench-scale-smoke fmt vet race chaos obs-check sweep-smoke
+.PHONY: all build test ci bench bench-al bench-scale bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke
 
 all: build
 
@@ -22,7 +22,8 @@ vet:
 # carries the sweep worker pool.
 race:
 	$(GO) test -race -short ./internal/mat ./internal/kernel ./internal/gp \
-		./internal/core ./internal/engine ./internal/faults ./internal/online
+		./internal/core ./internal/engine ./internal/faults ./internal/online \
+		./internal/remotelab
 
 # sweep-smoke drives a tiny 2x2 policy-by-seed grid through the unified
 # campaign engine under the race detector: concurrent workers sharing the
@@ -38,6 +39,15 @@ chaos:
 	CHAOS=1 $(GO) test -race -count=1 \
 		-run 'Chaos|Fault|Retry|Censor|Checkpoint|Resume|Backoff' \
 		./internal/faults ./internal/online
+
+# chaos-remote is the distributed-execution gate: a four-process worker
+# fleet (the test binary re-exec'ing itself as al-worker bodies) with one
+# worker SIGKILLed mid-job must finish the campaign bitwise identical to an
+# unkilled fleet, and a campaign killed mid-flight must resume through a
+# brand-new dispatcher to the identical Result — both under -race.
+chaos-remote:
+	$(GO) test -race -count=1 -run 'TestChaosWorkerKill|TestDispatcherCampaignKillResume' \
+		./internal/remotelab
 
 # obs-check gates the observability layer: vet over the instrumented
 # packages, the metric-name lint (unique names, alamr_ prefix, every name
@@ -55,7 +65,7 @@ obs-check:
 # observability, sweep, and pool-scaling gates. The race target already
 # covers ./internal/gp and ./internal/engine, so the cache-equivalence and
 # streamed-pool tests run under the race detector here too.
-ci: fmt vet build test race obs-check sweep-smoke bench-scale-smoke
+ci: fmt vet build test race obs-check sweep-smoke chaos-remote bench-scale-smoke
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;

@@ -39,6 +39,7 @@ import (
 	"alamr/internal/faults"
 	"alamr/internal/obs"
 	"alamr/internal/online"
+	_ "alamr/internal/remotelab" // registers the "remote" lab for -spec files
 	"alamr/internal/report"
 )
 
@@ -166,13 +167,17 @@ func main() {
 		var lab online.Lab = sim
 		injecting = o.pTransient > 0 || o.pCorrupt > 0 || o.rssLimit > 0 || o.wallLimit > 0
 		if injecting {
-			lab = faults.NewFaultyLab(sim, faults.LabConfig{
+			lab, err = faults.NewFaultyLab(sim, faults.LabConfig{
 				Seed:         *seed,
 				RSSLimitMB:   o.rssLimit,
 				WallLimitSec: o.wallLimit,
 				PTransient:   o.pTransient,
 				PCorrupt:     o.pCorrupt,
 			})
+			if err != nil {
+				bundle.Close()
+				log.Fatal(err)
+			}
 		}
 
 		res, err = online.Run(lab, online.Config{

@@ -1,0 +1,98 @@
+// Command al-worker is one member of a remote lab fleet: it dials the
+// dispatcher embedded in a campaign runner (any command running a spec with
+// `"lab": {"name": "remote", ...}`), announces itself, and executes the
+// jobs it is handed until the dispatcher hangs up. Measurement noise is
+// seeded per job by the dispatcher, so a fleet of any size — including one
+// that loses workers mid-campaign — reproduces the single-process
+// trajectory exactly.
+//
+// Usage:
+//
+//	al-worker -addr 127.0.0.1:7777 -name w0 [-lab synth|sim] [-refnx 256]
+//	          [-heartbeat 1] [-slowdown 0]
+//
+// Start one process per worker; names must be unique across the fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"alamr/internal/online"
+	"alamr/internal/remotelab"
+)
+
+// options carries every flag value that needs validation, so the checks can
+// be exercised by a table test without forking the process.
+type options struct {
+	addr      string
+	name      string
+	lab       string
+	refNx     int
+	heartbeat float64
+	slowdown  float64
+}
+
+// validate returns the first flag error, or nil.
+func (o options) validate() error {
+	if o.addr == "" {
+		return fmt.Errorf("-addr is required (the campaign dispatcher's listen address)")
+	}
+	if o.name == "" {
+		return fmt.Errorf("-name is required and must be unique across the fleet")
+	}
+	switch o.lab {
+	case "synth", "sim":
+	default:
+		return fmt.Errorf("-lab must be synth or sim, got %q", o.lab)
+	}
+	if o.refNx <= 0 {
+		return fmt.Errorf("-refnx must be positive, got %d", o.refNx)
+	}
+	if o.heartbeat <= 0 {
+		return fmt.Errorf("-heartbeat must be positive seconds, got %g", o.heartbeat)
+	}
+	if o.slowdown < 0 {
+		return fmt.Errorf("-slowdown must be non-negative seconds, got %g", o.slowdown)
+	}
+	return nil
+}
+
+// executor builds the lab backend the worker runs jobs on.
+func (o options) executor() remotelab.Executor {
+	if o.lab == "sim" {
+		return online.NewSimLab(online.SimLabConfig{RefNx: o.refNx})
+	}
+	return remotelab.SynthLab{}
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "dispatcher address to connect to (required)")
+	flag.StringVar(&o.name, "name", "", "unique worker name (required)")
+	flag.StringVar(&o.lab, "lab", "synth", "lab backend: synth (analytic) or sim (AMR emulator)")
+	flag.IntVar(&o.refNx, "refnx", 256, "sim lab: reference-solution resolution")
+	flag.Float64Var(&o.heartbeat, "heartbeat", 1, "liveness-frame interval in seconds")
+	flag.Float64Var(&o.slowdown, "slowdown", 0, "stretch each job to at least this many seconds")
+	flag.Parse()
+
+	if err := o.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "al-worker: %v\n", err)
+		os.Exit(2)
+	}
+
+	log.Printf("al-worker %s: dialing %s (lab=%s)", o.name, o.addr, o.lab)
+	err := remotelab.RunWorker(o.addr, remotelab.WorkerConfig{
+		Name:      o.name,
+		Executor:  o.executor(),
+		Heartbeat: time.Duration(o.heartbeat * float64(time.Second)),
+		Slowdown:  time.Duration(o.slowdown * float64(time.Second)),
+	})
+	if err != nil {
+		log.Fatalf("al-worker %s: %v", o.name, err)
+	}
+	log.Printf("al-worker %s: dispatcher closed, exiting", o.name)
+}

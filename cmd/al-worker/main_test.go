@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"alamr/internal/remotelab"
+)
+
+func validOptions() options {
+	return options{addr: "127.0.0.1:7777", name: "w0", lab: "synth", refNx: 256, heartbeat: 1}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring, "" = valid
+	}{
+		{name: "valid synth", mutate: func(o *options) {}},
+		{name: "valid sim", mutate: func(o *options) { o.lab = "sim" }},
+		{name: "valid with slowdown", mutate: func(o *options) { o.slowdown = 0.5 }},
+		{name: "missing addr", mutate: func(o *options) { o.addr = "" }, wantErr: "-addr"},
+		{name: "missing name", mutate: func(o *options) { o.name = "" }, wantErr: "-name"},
+		{name: "unknown lab", mutate: func(o *options) { o.lab = "quantum" }, wantErr: "-lab"},
+		{name: "bad refnx", mutate: func(o *options) { o.refNx = 0 }, wantErr: "-refnx"},
+		{name: "bad heartbeat", mutate: func(o *options) { o.heartbeat = 0 }, wantErr: "-heartbeat"},
+		{name: "negative slowdown", mutate: func(o *options) { o.slowdown = -1 }, wantErr: "-slowdown"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := validOptions()
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestExecutorSelection(t *testing.T) {
+	o := validOptions()
+	if _, ok := o.executor().(remotelab.SynthLab); !ok {
+		t.Fatalf("synth options built %T", o.executor())
+	}
+	o.lab = "sim"
+	if _, ok := o.executor().(remotelab.SynthLab); ok {
+		t.Fatal("sim options built the synth lab")
+	}
+}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -62,5 +64,31 @@ func TestHumanUnits(t *testing.T) {
 	}
 	if got := humanBytes(32016544); got != "30.53 MiB" {
 		t.Fatalf("humanBytes = %q", got)
+	}
+}
+
+// TestRunEmptyInputIsClean: a bench event stream with no benchmark lines —
+// empty file, filtered run, interrupted run — renders a note and exits 0,
+// so `make bench*` pipelines do not fail on a quiet stream.
+func TestRunEmptyInputIsClean(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	noBench := filepath.Join(dir, "nobench.json")
+	header := `{"Action":"start","Package":"alamr/internal/engine"}` + "\n"
+	if err := os.WriteFile(noBench, []byte(header), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{empty, noBench} {
+		var out strings.Builder
+		if err := run([]string{path}, &out); err != nil {
+			t.Fatalf("%s: run returned %v, want a clean exit", path, err)
+		}
+		if !strings.Contains(out.String(), "no benchmarks") {
+			t.Fatalf("%s: output %q lacks the no-benchmarks note", path, out.String())
+		}
 	}
 }

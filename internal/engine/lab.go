@@ -26,6 +26,7 @@ type ReplayLab struct {
 	index map[dataset.Combo]int
 	order []dataset.Combo
 	gone  map[dataset.Combo]bool
+	live  int
 }
 
 // NewReplayLab indexes the dataset by configuration. When the dataset holds
@@ -44,6 +45,7 @@ func NewReplayLab(ds *dataset.Dataset) *ReplayLab {
 			l.order = append(l.order, c)
 		}
 	}
+	l.live = len(l.order)
 	return l
 }
 
@@ -60,9 +62,13 @@ func (l *ReplayLab) Run(c dataset.Combo) (dataset.Job, error) {
 }
 
 // Candidates implements Lab: all dataset configurations not yet removed, in
-// dataset order.
+// dataset order. When removed entries come to dominate the order slice
+// (more than half), it is first compacted in place so repeated polling on a
+// heavily-drained pool stops re-walking dead entries; the amortized cost per
+// call is O(live).
 func (l *ReplayLab) Candidates() []dataset.Combo {
-	out := make([]dataset.Combo, 0, len(l.order))
+	l.compact()
+	out := make([]dataset.Combo, 0, l.live)
 	for _, c := range l.order {
 		if !l.gone[c] {
 			out = append(out, c)
@@ -71,22 +77,34 @@ func (l *ReplayLab) Candidates() []dataset.Combo {
 	return out
 }
 
+// compact drops removed entries from the order slice once they outnumber the
+// survivors, preserving dataset order. Each removed entry is walked at most
+// O(1) amortized times across the lab's lifetime: an entry survives at most
+// one doubling of the dead fraction before a compaction sweeps it out.
+func (l *ReplayLab) compact() {
+	if len(l.order) <= 2*l.live {
+		return
+	}
+	keep := l.order[:0]
+	for _, c := range l.order {
+		if l.gone[c] {
+			delete(l.gone, c)
+			continue
+		}
+		keep = append(keep, c)
+	}
+	l.order = keep
+}
+
 // Remove drops a configuration from the candidate pool (remove-from-pool
-// semantic: the offline pool only ever shrinks). Unknown configurations are
-// a no-op.
+// semantic: the offline pool only ever shrinks). Unknown or already-removed
+// configurations are a no-op.
 func (l *ReplayLab) Remove(c dataset.Combo) {
-	if _, ok := l.index[c]; ok {
+	if _, ok := l.index[c]; ok && !l.gone[c] {
 		l.gone[c] = true
+		l.live--
 	}
 }
 
-// PoolLen reports how many candidates remain.
-func (l *ReplayLab) PoolLen() int {
-	n := 0
-	for _, c := range l.order {
-		if !l.gone[c] {
-			n++
-		}
-	}
-	return n
-}
+// PoolLen reports how many candidates remain, in O(1).
+func (l *ReplayLab) PoolLen() int { return l.live }

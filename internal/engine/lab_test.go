@@ -68,3 +68,55 @@ func TestReplayLabRemove(t *testing.T) {
 		t.Fatal("removing an unknown combo changed the pool")
 	}
 }
+
+func TestReplayLabRemoveIdempotentAndCompacting(t *testing.T) {
+	ds := synthDS(200, 33)
+	lab := NewReplayLab(ds)
+	all := lab.Candidates()
+	total := len(all)
+
+	// Double-remove must not double-decrement the live count.
+	lab.Remove(all[0])
+	lab.Remove(all[0])
+	if lab.PoolLen() != total-1 {
+		t.Fatalf("PoolLen after double remove = %d want %d", lab.PoolLen(), total-1)
+	}
+
+	// Drain most of the pool so the compaction threshold (dead > live)
+	// trips, then verify order, contents, and counts all survive it.
+	for _, c := range all[1 : total-3] {
+		lab.Remove(c)
+	}
+	want := []dataset.Combo{all[total-3], all[total-2], all[total-1]}
+	if lab.PoolLen() != len(want) {
+		t.Fatalf("PoolLen after drain = %d want %d", lab.PoolLen(), len(want))
+	}
+	got := lab.Candidates()
+	if len(got) != len(want) {
+		t.Fatalf("Candidates after drain = %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dataset order lost after compaction: got %v want %v", got, want)
+		}
+	}
+	if len(lab.order) != len(want) {
+		t.Fatalf("order not compacted: len = %d want %d", len(lab.order), len(want))
+	}
+	if len(lab.gone) != 0 {
+		t.Fatalf("compaction left %d stale gone entries", len(lab.gone))
+	}
+
+	// Survivors still behave after compaction: runnable, removable.
+	if _, err := lab.Run(want[0]); err != nil {
+		t.Fatalf("survivor not runnable after compaction: %v", err)
+	}
+	lab.Remove(want[1])
+	if lab.PoolLen() != 2 {
+		t.Fatalf("PoolLen after post-compaction remove = %d want 2", lab.PoolLen())
+	}
+	got = lab.Candidates()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[2] {
+		t.Fatalf("post-compaction candidates = %v want [%v %v]", got, want[0], want[2])
+	}
+}

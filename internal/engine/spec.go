@@ -118,6 +118,19 @@ type LabSpec struct {
 	RefTEnd  float64 `json:"ref_t_end,omitempty"`
 	RefSnaps int     `json:"ref_snaps,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
+	// Remote-lab ("remote") parameters: the TCP address the dispatcher
+	// listens on for al-worker connections ("127.0.0.1:0" picks a free
+	// port), how many workers must connect before the campaign starts, the
+	// heartbeat deadline after which a silent worker is declared lost, and
+	// how long a dispatch waits for any live worker before charging a
+	// retryable fault.
+	Listen       string  `json:"listen,omitempty"`
+	MinWorkers   int     `json:"min_workers,omitempty"`
+	HeartbeatSec float64 `json:"heartbeat_sec,omitempty"`
+	WaitSec      float64 `json:"wait_sec,omitempty"`
+	// RSSLimitMB makes the remote fleet enforce an OOM kill threshold:
+	// workers report jobs whose MaxRSS reaches it as censored observations.
+	RSSLimitMB float64 `json:"rss_limit_mb,omitempty"`
 }
 
 // OnlineSpec holds the online-mode parameters.

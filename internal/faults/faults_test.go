@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"alamr/internal/dataset"
@@ -85,7 +86,7 @@ func TestFaultyLabDeterministicPerAttempt(t *testing.T) {
 	// Records are compared as formatted strings: corrupted jobs carry NaN,
 	// which never compares equal to itself under reflect.DeepEqual.
 	trace := func(order []dataset.Combo) map[string][]string {
-		lab := NewFaultyLab(newAnalyticLab(), cfg)
+		lab := MustFaultyLab(newAnalyticLab(), cfg)
 		out := make(map[string][]string)
 		for _, c := range order {
 			for a := 0; a < 3; a++ {
@@ -110,7 +111,7 @@ func TestFaultyLabDeterministicPerAttempt(t *testing.T) {
 
 func TestFaultyLabOOMCensorsAtLimit(t *testing.T) {
 	const limit = 0.4
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 3, RSSLimitMB: limit})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 3, RSSLimitMB: limit})
 	inner := newAnalyticLab()
 	oom, clean := 0, 0
 	for _, c := range dataset.AllCombos()[:200] {
@@ -147,7 +148,7 @@ func TestFaultyLabOOMCensorsAtLimit(t *testing.T) {
 }
 
 func TestFaultyLabTimeoutKills(t *testing.T) {
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 5, WallLimitSec: 10})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 5, WallLimitSec: 10})
 	inner := newAnalyticLab()
 	kills := 0
 	for _, c := range dataset.AllCombos()[:100] {
@@ -178,7 +179,7 @@ func TestFaultyLabTimeoutKills(t *testing.T) {
 }
 
 func TestFaultyLabCorruptReturnsBadMeasurement(t *testing.T) {
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 9, PCorrupt: 1})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 9, PCorrupt: 1})
 	j, err := lab.Run(dataset.Combo{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1})
 	if err != nil {
 		t.Fatalf("corrupt job should surface as a bad measurement, got error %v", err)
@@ -190,7 +191,7 @@ func TestFaultyLabCorruptReturnsBadMeasurement(t *testing.T) {
 
 func TestFaultyLabStateRoundTrip(t *testing.T) {
 	cfg := LabConfig{Seed: 21, PTransient: 0.5}
-	lab := NewFaultyLab(newAnalyticLab(), cfg)
+	lab := MustFaultyLab(newAnalyticLab(), cfg)
 	c := dataset.Combo{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1}
 	var first []error
 	for i := 0; i < 4; i++ {
@@ -202,7 +203,7 @@ func TestFaultyLabStateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Continue the original and a restored copy in lockstep.
-	fresh := NewFaultyLab(newAnalyticLab(), cfg)
+	fresh := MustFaultyLab(newAnalyticLab(), cfg)
 	if err := fresh.RestoreLabState(st); err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestFaultyLabStateRoundTrip(t *testing.T) {
 
 func TestRunWithRetryRecoversTransients(t *testing.T) {
 	// High transient rate + generous budget: retry until clean.
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 2, PTransient: 0.6})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 2, PTransient: 0.6})
 	p := RetryPolicy{MaxAttempts: 20, Seed: 2}
 	retried := false
 	for _, c := range dataset.AllCombos()[:30] {
@@ -241,7 +242,7 @@ func TestRunWithRetryRecoversTransients(t *testing.T) {
 }
 
 func TestRunWithRetryCensoredIsTerminal(t *testing.T) {
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 2, RSSLimitMB: 1e-6})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 2, RSSLimitMB: 1e-6})
 	out := RunWithRetry(lab, dataset.Combo{P: 4, Mx: 32, MaxLevel: 6, R0: 0.5, RhoIn: 0.02}, RetryPolicy{})
 	if out.OK || out.Fault == nil || out.Fault.Class != ClassOOM {
 		t.Fatalf("outcome %+v", out)
@@ -252,7 +253,7 @@ func TestRunWithRetryCensoredIsTerminal(t *testing.T) {
 }
 
 func TestRunWithRetryBudgetExhaustion(t *testing.T) {
-	lab := NewFaultyLab(newAnalyticLab(), LabConfig{Seed: 4, PTransient: 1})
+	lab := MustFaultyLab(newAnalyticLab(), LabConfig{Seed: 4, PTransient: 1})
 	slept := 0
 	out := RunWithRetry(lab, dataset.Combo{P: 8, Mx: 8, MaxLevel: 3, R0: 0.2, RhoIn: 0.02}, RetryPolicy{
 		MaxAttempts: 4,
@@ -303,5 +304,51 @@ func TestBackoffGrowsAndIsDeterministic(t *testing.T) {
 			t.Fatalf("non-positive delay %g", d)
 		}
 		prevBase = base
+	}
+}
+
+func TestLabConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     LabConfig
+		wantErr string // substring of the error, "" = valid
+	}{
+		{name: "zero value", cfg: LabConfig{}},
+		{name: "typical", cfg: LabConfig{Seed: 1, RSSLimitMB: 4096, WallLimitSec: 600, PTransient: 0.1, PCorrupt: 0.05}},
+		{name: "probabilities at zero", cfg: LabConfig{PTransient: 0, PCorrupt: 0}},
+		{name: "negative transient probability", cfg: LabConfig{PTransient: -0.1}, wantErr: "PTransient"},
+		{name: "negative corrupt probability", cfg: LabConfig{PCorrupt: -1e-9}, wantErr: "PCorrupt"},
+		{name: "transient probability of one (always inject)", cfg: LabConfig{PTransient: 1}},
+		{name: "corrupt probability above one", cfg: LabConfig{PCorrupt: 40}, wantErr: "PCorrupt"},
+		{name: "transient probability above one", cfg: LabConfig{PTransient: 1.5}, wantErr: "PTransient"},
+		{name: "NaN transient probability", cfg: LabConfig{PTransient: math.NaN()}, wantErr: "PTransient"},
+		{name: "NaN RSS limit", cfg: LabConfig{RSSLimitMB: math.NaN()}, wantErr: "RSSLimitMB"},
+		{name: "negative RSS limit", cfg: LabConfig{RSSLimitMB: -1}, wantErr: "RSSLimitMB"},
+		{name: "infinite RSS limit", cfg: LabConfig{RSSLimitMB: math.Inf(1)}, wantErr: "RSSLimitMB"},
+		{name: "NaN wall limit", cfg: LabConfig{WallLimitSec: math.NaN()}, wantErr: "WallLimitSec"},
+		{name: "negative wall limit", cfg: LabConfig{WallLimitSec: -3}, wantErr: "WallLimitSec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				if _, nerr := NewFaultyLab(newAnalyticLab(), tc.cfg); nerr != nil {
+					t.Fatalf("NewFaultyLab rejected valid config: %v", nerr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted: %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the bad field %q", err, tc.wantErr)
+			}
+			if _, nerr := NewFaultyLab(newAnalyticLab(), tc.cfg); nerr == nil {
+				t.Fatal("NewFaultyLab accepted invalid config")
+			}
+		})
 	}
 }

@@ -49,6 +49,36 @@ type LabConfig struct {
 	PCorrupt float64
 }
 
+// Validate rejects injector configurations that would silently misbehave:
+// probabilities outside [0, 1] and limits that are NaN, infinite, or
+// negative. A probability of exactly 1 is allowed (always-inject is how the
+// exhaustion tests drive the retry ladder); values above 1 are almost
+// certainly mistyped percentages.
+func (c LabConfig) Validate() error {
+	checkProb := func(name string, p float64) error {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s must be a probability in [0, 1], got %g", name, p)
+		}
+		return nil
+	}
+	if err := checkProb("PTransient", c.PTransient); err != nil {
+		return err
+	}
+	if err := checkProb("PCorrupt", c.PCorrupt); err != nil {
+		return err
+	}
+	checkLimit := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("faults: %s must be a finite non-negative limit (0 disables), got %g", name, v)
+		}
+		return nil
+	}
+	if err := checkLimit("RSSLimitMB", c.RSSLimitMB); err != nil {
+		return err
+	}
+	return checkLimit("WallLimitSec", c.WallLimitSec)
+}
+
 // FaultyLab wraps a Lab and injects classified failures. All injection is
 // deterministic: the fault draws of attempt k on configuration c depend only
 // on (Seed, c, k).
@@ -61,14 +91,29 @@ type FaultyLab struct {
 	counts   map[Class]int
 }
 
-// NewFaultyLab wraps inner with the fault injector.
-func NewFaultyLab(inner Lab, cfg LabConfig) *FaultyLab {
+// NewFaultyLab wraps inner with the fault injector; the configuration is
+// validated up front so a NaN limit or out-of-range probability fails loudly
+// instead of silently disabling (or saturating) a fault class.
+func NewFaultyLab(inner Lab, cfg LabConfig) (*FaultyLab, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return &FaultyLab{
 		inner:    inner,
 		cfg:      cfg,
 		attempts: make(map[dataset.Combo]int),
 		counts:   make(map[Class]int),
+	}, nil
+}
+
+// MustFaultyLab is NewFaultyLab for configurations known valid at compile
+// time (tests, examples); it panics on a validation error.
+func MustFaultyLab(inner Lab, cfg LabConfig) *FaultyLab {
+	l, err := NewFaultyLab(inner, cfg)
+	if err != nil {
+		panic(err)
 	}
+	return l
 }
 
 // Candidates implements Lab.

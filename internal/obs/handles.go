@@ -156,6 +156,15 @@ var (
 	CheckpointRestores    CounterHandle
 	SpanCheckpointWrite   = SpanHandle{name: "checkpoint.write"}
 	SpanCheckpointRestore = SpanHandle{name: "checkpoint.restore"}
+
+	// Remote lab dispatcher (aggregate across workers; the dispatcher also
+	// creates per-worker labeled series dynamically).
+	RemoteJobsDispatched CounterHandle
+	RemoteJobsCompleted  CounterHandle
+	RemoteJobsStolen     CounterHandle
+	RemoteJobsLost       CounterHandle
+	RemoteWorkersLive    GaugeHandle
+	RemoteHeartbeat      HistogramHandle
 )
 
 // faultClassValues mirrors faults.Classes(); kept here so obs has no
@@ -223,6 +232,13 @@ func bindHandles(r *Registry) {
 	CheckpointRestores.p.Store(r.Counter(MetricCheckpointRestores, "campaigns resumed from a checkpoint"))
 	SpanCheckpointWrite.hist.Store(r.Histogram(MetricCheckpointWriteSeconds, "checkpoint write duration (seconds)", LatencyBuckets))
 	SpanCheckpointRestore.hist.Store(r.Histogram(MetricCheckpointRestoreSeconds, "checkpoint restore duration (seconds)", LatencyBuckets))
+
+	RemoteJobsDispatched.p.Store(r.Counter(MetricRemoteJobsDispatched, "jobs handed to remote workers (including re-dispatches)"))
+	RemoteJobsCompleted.p.Store(r.Counter(MetricRemoteJobsCompleted, "jobs remote workers finished (success or reported fault)"))
+	RemoteJobsStolen.p.Store(r.Counter(MetricRemoteJobsStolen, "journaled jobs re-dispatched after a worker loss or resume"))
+	RemoteJobsLost.p.Store(r.Counter(MetricRemoteJobsLost, "in-flight jobs lost to a vanished worker"))
+	RemoteWorkersLive.p.Store(r.Gauge(MetricRemoteWorkersLive, "remote workers currently connected"))
+	RemoteHeartbeat.p.Store(r.Histogram(MetricRemoteHeartbeat, "gap between consecutive frames from a worker (seconds)", LatencyBuckets))
 }
 
 // unbindHandles reverts every handle to a no-op. Called under global.mu.
@@ -235,16 +251,18 @@ func unbindHandles() {
 		&MatDispatch, &MatInline,
 		&FaultAttempts, &FaultRetries, &FaultSuccess, &FaultCensored, &FaultFatal,
 		&CheckpointWrites, &CheckpointRestores,
+		&RemoteJobsDispatched, &RemoteJobsCompleted, &RemoteJobsStolen, &RemoteJobsLost,
 	} {
 		c.p.Store(nil)
 	}
 	for _, g := range []*GaugeHandle{
 		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
 		&PoolSize, &PoolStreamLive, &GPTrainRows, &MatWorkers,
+		&RemoteWorkersLive,
 	} {
 		g.p.Store(nil)
 	}
-	for _, h := range []*HistogramHandle{&JobCost, &JobMem, &FaultBackoff} {
+	for _, h := range []*HistogramHandle{&JobCost, &JobMem, &FaultBackoff, &RemoteHeartbeat} {
 		h.p.Store(nil)
 	}
 	for _, sp := range []*SpanHandle{

@@ -60,6 +60,17 @@ const (
 	MetricCheckpointWriteSeconds   = "alamr_checkpoint_write_seconds"
 	MetricCheckpointRestoreSeconds = "alamr_checkpoint_restore_seconds"
 
+	// Remote lab (internal/remotelab dispatcher). The aggregate series
+	// below are static; per-worker breakdowns additionally appear as
+	// dynamically-created `{worker="..."}` series (see the sweep note
+	// below for why those are absent from AllMetricNames).
+	MetricRemoteJobsDispatched = "alamr_remote_jobs_dispatched_total"
+	MetricRemoteJobsCompleted  = "alamr_remote_jobs_completed_total"
+	MetricRemoteJobsStolen     = "alamr_remote_jobs_stolen_total"
+	MetricRemoteJobsLost       = "alamr_remote_jobs_lost_total"
+	MetricRemoteWorkersLive    = "alamr_remote_workers_live"
+	MetricRemoteHeartbeat      = "alamr_remote_heartbeat_seconds"
+
 	// Per-campaign sweep series. These are labeled with the campaign id
 	// (`{campaign="..."}`), whose values are only known at sweep time, so —
 	// unlike every other name here — their labeled series are created
@@ -73,6 +84,9 @@ const (
 
 // LabelCampaign is the label key of the per-campaign sweep series.
 const LabelCampaign = "campaign"
+
+// LabelWorker is the label key of the per-worker remote-lab series.
+const LabelWorker = "worker"
 
 // Label values of MetricModelCacheOps: which model family's incremental
 // scoring cache performed which maintenance operation.
@@ -143,6 +157,12 @@ var AllMetricNames = []string{
 	MetricCheckpointRestores,
 	MetricCheckpointWriteSeconds,
 	MetricCheckpointRestoreSeconds,
+	MetricRemoteJobsDispatched,
+	MetricRemoteJobsCompleted,
+	MetricRemoteJobsStolen,
+	MetricRemoteJobsLost,
+	MetricRemoteWorkersLive,
+	MetricRemoteHeartbeat,
 }
 
 // Labeled builds the full series name for a single-label metric:

@@ -19,6 +19,24 @@ import (
 // or feedRec changes incompatibly.
 const checkpointVersion = 1
 
+// Sentinel errors distinguishing the checkpoint-restore failure modes, so
+// operators (and tests) can tell a half-written file from a trashed one from
+// a checkpoint that simply belongs to a different campaign. All are wrapped
+// with file/context detail — match with errors.Is.
+var (
+	// ErrCheckpointCorrupt marks checkpoint bytes that do not decode as the
+	// expected schema: malformed JSON mid-file, a missing result, or an
+	// internally inconsistent record.
+	ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+	// ErrCheckpointTruncated marks a checkpoint cut short — an empty file or
+	// JSON that ends mid-value, the signature of a crash during an
+	// non-atomic copy (the writer itself renames atomically).
+	ErrCheckpointTruncated = errors.New("checkpoint truncated")
+	// ErrCheckpointModelMismatch marks a checkpoint written under a
+	// different surrogate model than the resuming configuration.
+	ErrCheckpointModelMismatch = errors.New("checkpoint surrogate model mismatch")
+)
+
 // checkpointFile is the versioned JSON schema of a campaign checkpoint. A
 // checkpoint carries the full Result so far, the model feed log (replayed to
 // rebuild the exact GP state), the policy RNG stream position, and the
@@ -93,17 +111,35 @@ func readCheckpoint(path string) (*checkpointFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("online: reading checkpoint: %w", err)
 	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("online: checkpoint %s is empty: %w", path, ErrCheckpointTruncated)
+	}
 	var ck checkpointFile
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return nil, fmt.Errorf("online: decoding checkpoint %s: %w", path, err)
+		if truncatedJSON(data, err) {
+			return nil, fmt.Errorf("online: checkpoint %s ends mid-record (%v): %w", path, err, ErrCheckpointTruncated)
+		}
+		return nil, fmt.Errorf("online: decoding checkpoint %s (%v): %w", path, err, ErrCheckpointCorrupt)
 	}
 	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("online: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+		return nil, fmt.Errorf("online: checkpoint %s has version %d, want %d: %w", path, ck.Version, checkpointVersion, ErrCheckpointCorrupt)
 	}
 	if ck.Result == nil {
-		return nil, fmt.Errorf("online: checkpoint %s carries no result", path)
+		return nil, fmt.Errorf("online: checkpoint %s carries no result: %w", path, ErrCheckpointCorrupt)
 	}
 	return &ck, nil
+}
+
+// truncatedJSON reports whether a decode failure is consistent with the
+// input being cut short rather than garbled: the decoder ran off the end of
+// the data ("unexpected end of JSON input" surfaces as a SyntaxError whose
+// offset sits at or past the last byte).
+func truncatedJSON(data []byte, err error) bool {
+	var syn *json.SyntaxError
+	if !errors.As(err, &syn) {
+		return false
+	}
+	return syn.Offset >= int64(len(data))
 }
 
 // validateCheckpoint rejects checkpoints written under a different campaign
@@ -119,7 +155,7 @@ func validateCheckpoint(cfg Config, ck *checkpointFile) error {
 		return fmt.Errorf("online: corrupt checkpoint: init length %d exceeds %d feed records", ck.InitLen, len(ck.Feeds))
 	}
 	if got, want := canonicalModelName(ck.Model), canonicalModelName(configModelName(cfg)); got != want {
-		return fmt.Errorf("online: checkpoint was written with surrogate model %q, resuming with %q", got, want)
+		return fmt.Errorf("online: checkpoint was written with surrogate model %q, resuming with %q: %w", got, want, ErrCheckpointModelMismatch)
 	}
 	return nil
 }
@@ -177,7 +213,7 @@ func resumeCampaign(lab Lab, cfg Config, ck *checkpointFile) (*campaign, error) 
 			return nil, errors.New("online: checkpoint carries lab state but the lab cannot restore it")
 		}
 		if err := r.RestoreLabState(ck.LabState); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("online: restoring lab state: %v: %w", err, ErrCheckpointCorrupt)
 		}
 	}
 

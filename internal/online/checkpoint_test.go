@@ -1,6 +1,7 @@
 package online
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"alamr/internal/core"
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/faults"
 )
 
@@ -40,7 +42,7 @@ func campaignCfg(seed int64) Config {
 // NaN, so equality here is bitwise equality.)
 func TestOnlineFaultyCampaignDeterministic(t *testing.T) {
 	run := func() (*Result, error) {
-		lab := faults.NewFaultyLab(newFakeLab(), faultyCfg(31))
+		lab := faults.MustFaultyLab(newFakeLab(), faultyCfg(31))
 		return Run(lab, campaignCfg(31))
 	}
 	a, errA := run()
@@ -97,7 +99,7 @@ func (l *killLab) RestoreLabState(b []byte) error {
 // censored observations, same health ledger.
 func TestOnlineCheckpointKillResume(t *testing.T) {
 	const seed = 31
-	uninterrupted, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), campaignCfg(seed))
+	uninterrupted, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), campaignCfg(seed))
 	if err != nil {
 		t.Fatalf("uninterrupted run failed: %v", err)
 	}
@@ -108,7 +110,7 @@ func TestOnlineCheckpointKillResume(t *testing.T) {
 		// First process: dies after killAfter lab calls.
 		cfg := campaignCfg(seed)
 		cfg.CheckpointPath = path
-		kl := &killLab{inner: faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), after: killAfter}
+		kl := &killLab{inner: faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), after: killAfter}
 		partial, err := Run(kl, cfg)
 		if err == nil {
 			t.Fatalf("killAfter=%d: campaign survived the kill", killAfter)
@@ -129,7 +131,7 @@ func TestOnlineCheckpointKillResume(t *testing.T) {
 		}
 
 		// Second process: fresh lab, fresh campaign, same checkpoint.
-		resumed, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
+		resumed, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
 		if err != nil {
 			t.Fatalf("killAfter=%d: resume failed: %v", killAfter, err)
 		}
@@ -139,7 +141,7 @@ func TestOnlineCheckpointKillResume(t *testing.T) {
 		}
 
 		// Running once more against the finished checkpoint is idempotent.
-		again, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
+		again, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
 		if err != nil {
 			t.Fatalf("killAfter=%d: rerun after done: %v", killAfter, err)
 		}
@@ -210,4 +212,96 @@ func TestReadCheckpointErrors(t *testing.T) {
 	if _, err := readCheckpoint(p); err == nil {
 		t.Fatal("future version accepted")
 	}
+}
+
+// TestCheckpointRestoreErrorPaths pins the failure taxonomy of checkpoint
+// restoration: a truncated file, garbled bytes, corrupted lab state, and a
+// surrogate-model mismatch each surface a distinct sentinel (errors.Is) so
+// operators can tell a crashed copy from a trashed disk from a
+// wrong-campaign resume.
+func TestCheckpointRestoreErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	seed := int64(31)
+
+	// Produce a real mid-campaign checkpoint by killing the lab partway.
+	cfg := campaignCfg(seed)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 1
+	kl := &killLab{inner: faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), after: 5}
+	if _, err := Run(kl, cfg); err == nil {
+		t.Fatal("kill-lab campaign unexpectedly completed")
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sentinels := map[string]error{
+		"corrupt":   ErrCheckpointCorrupt,
+		"truncated": ErrCheckpointTruncated,
+		"mismatch":  ErrCheckpointModelMismatch,
+	}
+	// check asserts err wraps exactly the named sentinel and none other.
+	check := func(t *testing.T, err error, want string) {
+		t.Helper()
+		if err == nil {
+			t.Fatal("damaged checkpoint resumed without error")
+		}
+		for name, sentinel := range sentinels {
+			if got := errors.Is(err, sentinel); got != (name == want) {
+				t.Fatalf("error %q: errors.Is(%s) = %v, want the %s sentinel only", err, name, got, want)
+			}
+		}
+	}
+	resume := func(t *testing.T, data []byte, cfg Config) error {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
+		return err
+	}
+
+	t.Run("truncated file", func(t *testing.T) {
+		check(t, resume(t, good[:len(good)/2], cfg), "truncated")
+	})
+	t.Run("empty file", func(t *testing.T) {
+		check(t, resume(t, nil, cfg), "truncated")
+	})
+	t.Run("corrupted bytes", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		copy(bad[4:], []byte("####")) // garble inside the JSON, same length
+		check(t, resume(t, bad, cfg), "corrupt")
+	})
+	t.Run("corrupted lab state", func(t *testing.T) {
+		var ck map[string]json.RawMessage
+		if err := json.Unmarshal(good, &ck); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ck["lab_state"]; !ok {
+			t.Fatal("checkpoint carries no lab state to corrupt")
+		}
+		// Valid JSON (the outer decode succeeds) whose shape the faulty
+		// lab's RestoreLabState rejects.
+		ck["lab_state"] = json.RawMessage(`{"attempts": "not-a-list"}`)
+		bad, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, resume(t, bad, cfg), "corrupt")
+	})
+	t.Run("model mismatch", func(t *testing.T) {
+		mcfg := cfg
+		mcfg.Model = &engine.ModelSpec{Name: engine.ModelSparse, Inducing: 16}
+		check(t, resume(t, good, mcfg), "mismatch")
+	})
+	t.Run("intact checkpoint still resumes", func(t *testing.T) {
+		if err := os.WriteFile(path, good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), cfg); err != nil {
+			t.Fatalf("undamaged checkpoint failed to resume: %v", err)
+		}
+	})
 }

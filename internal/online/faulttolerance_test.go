@@ -26,7 +26,7 @@ func countKills(res *Result) int {
 // budget, the campaign completes at full length and the ledger accounts for
 // every attempt.
 func TestOnlineTransientFaultsRecovered(t *testing.T) {
-	lab := faults.NewFaultyLab(newFakeLab(), faults.LabConfig{
+	lab := faults.MustFaultyLab(newFakeLab(), faults.LabConfig{
 		Seed: 7, PTransient: 0.25, PCorrupt: 0.1,
 	})
 	res, err := Run(lab, Config{
@@ -70,7 +70,7 @@ func TestOnlineTransientFaultsRecovered(t *testing.T) {
 // model.
 func TestOnlineCensoredOOMObservations(t *testing.T) {
 	const limit = 0.3
-	lab := faults.NewFaultyLab(newFakeLab(), faults.LabConfig{Seed: 13, RSSLimitMB: limit})
+	lab := faults.MustFaultyLab(newFakeLab(), faults.LabConfig{Seed: 13, RSSLimitMB: limit})
 	res, err := Run(lab, Config{
 		// MaxSigma chases uncertainty into the high-memory corner, so kills
 		// are guaranteed.
@@ -119,7 +119,7 @@ func TestOnlineCensoredOOMObservations(t *testing.T) {
 func TestOnlineCensoringReducesViolations(t *testing.T) {
 	const limit = 0.3
 	run := func(p core.Policy) *Result {
-		lab := faults.NewFaultyLab(newFakeLab(), faults.LabConfig{Seed: 17, RSSLimitMB: limit})
+		lab := faults.MustFaultyLab(newFakeLab(), faults.LabConfig{Seed: 17, RSSLimitMB: limit})
 		res, err := Run(lab, Config{
 			Policy:         p,
 			MaxExperiments: 40,
@@ -199,7 +199,7 @@ func TestOnlineInitDesignKeepsPartialJobs(t *testing.T) {
 // TestOnlineRetryBudgetExhaustionReturnsPartial: when a job burns its whole
 // attempt budget the campaign stops — but with everything learned so far.
 func TestOnlineRetryBudgetExhaustionReturnsPartial(t *testing.T) {
-	lab := faults.NewFaultyLab(newFakeLab(), faults.LabConfig{Seed: 23, PTransient: 0.45})
+	lab := faults.MustFaultyLab(newFakeLab(), faults.LabConfig{Seed: 23, PTransient: 0.45})
 	res, err := Run(lab, Config{
 		Policy:         core.RandUniform{},
 		MaxExperiments: 60,
@@ -236,7 +236,7 @@ func TestOnlineChaos(t *testing.T) {
 	for s := 0; s < seeds; s++ {
 		s := s
 		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
-			lab := faults.NewFaultyLab(newFakeLab(), faults.LabConfig{
+			lab := faults.MustFaultyLab(newFakeLab(), faults.LabConfig{
 				Seed:         int64(s),
 				RSSLimitMB:   0.5,
 				WallLimitSec: 40,

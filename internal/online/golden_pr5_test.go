@@ -98,7 +98,7 @@ func TestGoldenOnlineBudget(t *testing.T) {
 // retries, censored OOM kills feeding only the memory surrogate, and the
 // health ledger.
 func TestGoldenOnlineFaulty(t *testing.T) {
-	res, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(31)), campaignCfg(31))
+	res, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(31)), campaignCfg(31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +111,11 @@ func TestGoldenOnlineFaulty(t *testing.T) {
 func TestGoldenOnlineResumeMatchesPin(t *testing.T) {
 	cfg := campaignCfg(31)
 	cfg.CheckpointPath = filepath.Join(t.TempDir(), "campaign.ckpt")
-	kl := &killLab{inner: faults.NewFaultyLab(newFakeLab(), faultyCfg(31)), after: 5}
+	kl := &killLab{inner: faults.MustFaultyLab(newFakeLab(), faultyCfg(31)), after: 5}
 	if _, err := Run(kl, cfg); err == nil {
 		t.Fatal("campaign survived the kill")
 	}
-	resumed, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(31)), cfg)
+	resumed, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(31)), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

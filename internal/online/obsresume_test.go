@@ -21,7 +21,7 @@ func TestOnlineKillResumeWithTracingEnabled(t *testing.T) {
 
 	// Reference: the uninterrupted run with observability OFF.
 	obs.Disable()
-	uninterrupted, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), campaignCfg(seed))
+	uninterrupted, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), campaignCfg(seed))
 	if err != nil {
 		t.Fatalf("uninterrupted run failed: %v", err)
 	}
@@ -41,11 +41,11 @@ func TestOnlineKillResumeWithTracingEnabled(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "campaign.ckpt")
 	cfg := campaignCfg(seed)
 	cfg.CheckpointPath = path
-	kl := &killLab{inner: faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), after: 5}
+	kl := &killLab{inner: faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), after: 5}
 	if _, err := Run(kl, cfg); err == nil {
 		t.Fatal("campaign survived the kill")
 	}
-	resumed, err := Run(faults.NewFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
+	resumed, err := Run(faults.MustFaultyLab(newFakeLab(), faultyCfg(seed)), cfg)
 	if err != nil {
 		t.Fatalf("resume failed: %v", err)
 	}

@@ -118,8 +118,22 @@ func (l *SimLab) NumReferenceRuns() int {
 	return len(l.refs)
 }
 
-// Run implements Lab.
+// Run implements Lab: each call advances the lab's run counter, which seeds
+// that run's measurement noise.
 func (l *SimLab) Run(c dataset.Combo) (dataset.Job, error) {
+	l.mu.Lock()
+	l.runs++
+	run := l.runs
+	l.mu.Unlock()
+	return l.RunSeeded(c, stats.SplitSeed(l.seed, run))
+}
+
+// RunSeeded executes the configuration with an explicitly-seeded noise
+// stream instead of drawing from the lab's own run counter. The result is a
+// pure function of (c, noiseSeed), which is what lets a remote dispatcher
+// assign run indices centrally and re-execute a lost job on any worker with
+// an identical outcome.
+func (l *SimLab) RunSeeded(c dataset.Combo, noiseSeed int64) (dataset.Job, error) {
 	ref, err := l.reference(c.R0, c.RhoIn)
 	if err != nil {
 		return dataset.Job{}, err
@@ -132,11 +146,7 @@ func (l *SimLab) Run(c dataset.Combo) (dataset.Job, error) {
 	if err != nil {
 		return dataset.Job{}, err
 	}
-	l.mu.Lock()
-	l.runs++
-	run := l.runs
-	l.mu.Unlock()
-	noise := rand.New(rand.NewSource(stats.SplitSeed(l.seed, run)))
+	noise := rand.New(rand.NewSource(noiseSeed))
 	acc, err := l.machine.Simulate(cluster.JobSpec{Nodes: c.P, Mx: c.Mx, Stats: st}, noise)
 	if err != nil {
 		return dataset.Job{}, err

@@ -16,7 +16,7 @@ import (
 // the gp-level equivalence suite, driven by the real feed paths instead of
 // a synthetic schedule.
 func TestOnlineScoringCacheMatchesPredict(t *testing.T) {
-	lab := faults.NewFaultyLab(newFakeLab(), faultyCfg(19))
+	lab := faults.MustFaultyLab(newFakeLab(), faultyCfg(19))
 	c := newCampaign(lab, campaignCfg(19))
 	c.cfg.setDefaults()
 	if err := c.init(); err != nil {

@@ -1,0 +1,185 @@
+package remotelab
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"testing"
+	"time"
+
+	"alamr/internal/dataset"
+	"alamr/internal/obs"
+	"alamr/internal/online"
+)
+
+// TestRemoteWorkerHelper is not a test: it is the body of the worker
+// subprocesses the chaos test spawns by re-exec'ing the test binary (the
+// standard helper-process pattern). Without the env gate it skips.
+func TestRemoteWorkerHelper(t *testing.T) {
+	addr := os.Getenv("AL_REMOTE_WORKER_ADDR")
+	if addr == "" {
+		t.Skip("helper process: only meaningful when re-exec'd by the chaos test")
+	}
+	slowdown, err := time.ParseDuration(os.Getenv("AL_REMOTE_WORKER_SLOWDOWN"))
+	if err != nil {
+		t.Fatalf("bad AL_REMOTE_WORKER_SLOWDOWN: %v", err)
+	}
+	if err := RunWorker(addr, WorkerConfig{
+		Name:      os.Getenv("AL_REMOTE_WORKER_NAME"),
+		Executor:  SynthLab{},
+		Heartbeat: 50 * time.Millisecond,
+		Slowdown:  slowdown,
+	}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+// spawnWorkerProcess forks one real al-worker-shaped OS process (the test
+// binary re-running TestRemoteWorkerHelper) and registers a SIGKILL+reap
+// cleanup. It exits on its own when the dispatcher closes.
+func spawnWorkerProcess(t *testing.T, addr, name string, slowdown time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestRemoteWorkerHelper$")
+	cmd.Env = append(os.Environ(),
+		"AL_REMOTE_WORKER_ADDR="+addr,
+		"AL_REMOTE_WORKER_NAME="+name,
+		"AL_REMOTE_WORKER_SLOWDOWN="+slowdown.String(),
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning worker %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// TestChaosWorkerKillBitwiseIdentical is the acceptance pin for the remote
+// lab: a campaign against four worker processes, one of which is SIGKILLed
+// mid-job, completes with a trajectory bitwise identical to the same seed
+// on an unkilled fleet. Only the Health ledger and the obs counters may
+// differ — and they must record the loss, agree with each other, and
+// balance.
+func TestChaosWorkerKillBitwiseIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker subprocesses; run directly or via make chaos-remote")
+	}
+	const seed = 7
+	pool := dataset.AllCombos()[:64]
+	cfg := remoteCampaignCfg(seed)
+
+	// Reference: the same campaign on an unkilled in-process fleet. Jobs
+	// are pure functions of (combo, dispatcher-assigned seed), so worker
+	// placement cannot show up in the trajectory.
+	want, err := online.Run(synthFleet(t, seed, 4, pool), cfg)
+	if err != nil {
+		t.Fatalf("unkilled run failed: %v", err)
+	}
+
+	// Observability on for the chaos run only, so the counters below
+	// account exactly one campaign.
+	defer obs.Disable()
+	reg := obs.NewRegistry()
+	obs.Enable(reg, nil)
+
+	d := testDispatcher(t, Config{Seed: seed, Candidates: pool, Heartbeat: 700 * time.Millisecond})
+	procs := make(map[string]*exec.Cmd, 4)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("w%d", i)
+		procs[name] = spawnWorkerProcess(t, d.Addr(), name, 300*time.Millisecond)
+	}
+	waitWorkers(t, d, 4)
+
+	// The assassin: once the campaign is past its second completed job,
+	// SIGKILL the next worker observed *entering* a job — mid-batch and
+	// almost the full Slowdown away from reporting a result.
+	killed := make(chan string, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		wasBusy := make(map[string]bool)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			done := 0
+			victim := ""
+			for _, w := range d.Workers() {
+				done += w.Done
+				if w.Busy && !wasBusy[w.Name] {
+					victim = w.Name
+				}
+				wasBusy[w.Name] = w.Busy
+			}
+			if done >= 2 && victim != "" {
+				procs[victim].Process.Kill()
+				killed <- victim
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	got, err := online.Run(d, cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	var victim string
+	select {
+	case victim = <-killed:
+	default:
+		t.Fatal("assassin never fired: the campaign finished before a worker could be killed")
+	}
+
+	// The trajectory — selections, costs, regret, violations, censoring,
+	// stop reason — must be bitwise identical; only the fault ledger may
+	// (and must) differ.
+	a, b := *want, *got
+	a.Health, b.Health = online.Health{}, online.Health{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("killing %s changed the trajectory:\nchaos:  %+v\nclean:  %+v", victim, b, a)
+	}
+
+	h := got.Health
+	if !h.Consistent() {
+		t.Fatalf("chaos health ledger does not balance: %+v", h)
+	}
+	if h.Retries < 1 {
+		t.Fatalf("SIGKILL of %s left no retry in the ledger: %+v", victim, h)
+	}
+	if h.FaultsByClass["transient"] < 1 {
+		t.Fatalf("worker loss not classified transient: %+v", h)
+	}
+
+	// Ledger ↔ obs reconciliation: the two accounting systems are built
+	// independently and must agree job for job.
+	dispatched, _ := reg.CounterValue(obs.MetricRemoteJobsDispatched)
+	completed, _ := reg.CounterValue(obs.MetricRemoteJobsCompleted)
+	lost, _ := reg.CounterValue(obs.MetricRemoteJobsLost)
+	stolen, _ := reg.CounterValue(obs.MetricRemoteJobsStolen)
+	if lost < 1 {
+		t.Fatalf("no lost job counted after killing %s", victim)
+	}
+	if dispatched != completed+lost {
+		t.Fatalf("dispatched=%d != completed=%d + lost=%d", dispatched, completed, lost)
+	}
+	if stolen != lost {
+		t.Fatalf("every lost job must be re-dispatched exactly once: stolen=%d lost=%d", stolen, lost)
+	}
+	if int64(h.Attempts) != dispatched {
+		t.Fatalf("ledger attempts=%d != obs dispatched=%d", h.Attempts, dispatched)
+	}
+	if int64(h.FaultsByClass["transient"]) != lost {
+		t.Fatalf("ledger transient=%d != obs lost=%d", h.FaultsByClass["transient"], lost)
+	}
+	if vlost, _ := reg.CounterValue(obs.Labeled(obs.MetricRemoteJobsLost, obs.LabelWorker, victim)); vlost < 1 {
+		t.Fatalf("per-worker loss counter for %s is %d", victim, vlost)
+	}
+	if live, ok := reg.GaugeValue(obs.MetricRemoteWorkersLive); !ok || live != 3 {
+		t.Fatalf("live worker gauge = %v after losing one of four", live)
+	}
+}

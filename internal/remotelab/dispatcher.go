@@ -1,0 +1,594 @@
+package remotelab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"alamr/internal/dataset"
+	"alamr/internal/faults"
+	"alamr/internal/obs"
+	"alamr/internal/stats"
+)
+
+// Config configures the dispatcher side of a worker fleet.
+type Config struct {
+	// Listen is the TCP address workers connect to; "127.0.0.1:0" picks a
+	// free port (read it back from Addr).
+	Listen string
+	// Seed is the base of the per-run noise-seed stream: the job holding
+	// run index r executes under stats.SplitSeed(Seed, r) on whichever
+	// worker it lands.
+	Seed int64
+	// MinWorkers blocks NewDispatcher until that many workers have
+	// connected (0 = do not wait), so a campaign cannot start selecting
+	// against an empty fleet.
+	MinWorkers int
+	// Heartbeat is the per-worker silence deadline: a worker that sends no
+	// frame (result or heartbeat) for this long is declared lost and its
+	// in-flight job reassigned. Default 5s.
+	Heartbeat time.Duration
+	// Wait bounds how long one dispatch waits for an idle live worker (and
+	// how long NewDispatcher waits for MinWorkers). When it expires the
+	// dispatch fails with a retryable fault, so a fully-dead fleet drains
+	// the campaign's retry budget instead of hanging it. Default 30s.
+	Wait time.Duration
+	// RSSLimitMB is forwarded to workers on every job frame; a worker
+	// whose measured MaxRSS reaches it reports an OOM kill (censored
+	// observation) instead of a clean result. 0 disables enforcement.
+	RSSLimitMB float64
+	// Candidates is the dispatcher's candidate pool; nil means the paper's
+	// full combination grid.
+	Candidates []dataset.Combo
+}
+
+func (c *Config) setDefaults() {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.Wait <= 0 {
+		c.Wait = 30 * time.Second
+	}
+}
+
+// assignmentEnd is how an in-flight dispatch terminates: a result frame
+// from the worker, or the worker's loss.
+type assignmentEnd struct {
+	msg  message // valid when err == nil
+	err  error   // loss cause: I/O error, or *errProtocol
+	lost bool    // true when the worker vanished instead of answering
+}
+
+// workerObs is the per-worker labeled metric set, created dynamically at
+// registration (like engine.CampaignObs — worker names are only known at
+// connect time, so these series are absent from obs.AllMetricNames).
+type workerObs struct {
+	dispatched, completed, stolen, lost *obs.Counter
+}
+
+func newWorkerObs(name string) workerObs {
+	r := obs.Default()
+	if r == nil {
+		return workerObs{}
+	}
+	return workerObs{
+		dispatched: r.Counter(obs.Labeled(obs.MetricRemoteJobsDispatched, obs.LabelWorker, name), "jobs dispatched to this worker"),
+		completed:  r.Counter(obs.Labeled(obs.MetricRemoteJobsCompleted, obs.LabelWorker, name), "jobs this worker completed"),
+		stolen:     r.Counter(obs.Labeled(obs.MetricRemoteJobsStolen, obs.LabelWorker, name), "journaled jobs re-dispatched to this worker"),
+		lost:       r.Counter(obs.Labeled(obs.MetricRemoteJobsLost, obs.LabelWorker, name), "jobs lost when this worker vanished"),
+	}
+}
+
+// workerConn is the dispatcher's handle on one connected worker. The reader
+// goroutine owns all reads; Run (via the dispatcher) owns all writes.
+type workerConn struct {
+	d    *Dispatcher
+	name string
+	conn net.Conn
+	wobs workerObs
+
+	mu        sync.Mutex
+	alive     bool
+	assignID  uint64
+	delivered bool
+	resultCh  chan assignmentEnd
+	progress  float64 // node-hours reported consumed by the in-flight job
+	nDone     int     // jobs completed (WorkerStatus)
+}
+
+// busy reports whether an assignment is in flight (under w.mu).
+func (w *workerConn) busyLocked() bool { return w.assignID != 0 }
+
+// begin opens an assignment window for frame id.
+func (w *workerConn) begin(id uint64) <-chan assignmentEnd {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.assignID = id
+	w.delivered = false
+	w.progress = 0
+	w.resultCh = make(chan assignmentEnd, 1)
+	return w.resultCh
+}
+
+// deliver terminates the open assignment exactly once; frames or losses
+// arriving outside an assignment window are dropped.
+func (w *workerConn) deliver(end assignmentEnd) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.assignID == 0 || w.delivered {
+		return
+	}
+	w.delivered = true
+	w.resultCh <- end
+}
+
+// clear closes the assignment window and reports the last progress figure.
+func (w *workerConn) clear() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.assignID = 0
+	return w.progress
+}
+
+// fail marks the worker dead, unregisters it, and — if a job was in
+// flight — terminates the assignment as lost.
+func (w *workerConn) fail(err error) {
+	w.mu.Lock()
+	already := !w.alive
+	w.alive = false
+	w.mu.Unlock()
+	if already {
+		return
+	}
+	w.conn.Close()
+	w.d.unregister(w)
+	w.deliver(assignmentEnd{err: err, lost: true})
+}
+
+// readLoop owns the connection's read side: every frame re-arms the
+// heartbeat deadline, so a worker that goes silent — SIGKILL with the
+// socket held open by a NAT, a hung process, a dead machine — is detected
+// within Heartbeat even when no TCP reset ever arrives.
+func (w *workerConn) readLoop() {
+	last := time.Now()
+	for {
+		w.conn.SetReadDeadline(time.Now().Add(w.d.cfg.Heartbeat))
+		m, err := readFrame(w.conn)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		now := time.Now()
+		obs.RemoteHeartbeat.Observe(now.Sub(last).Seconds())
+		last = now
+		switch m.Type {
+		case msgHeartbeat:
+			w.mu.Lock()
+			if m.ID == w.assignID {
+				w.progress = m.ProgressNH
+			}
+			w.mu.Unlock()
+		case msgResult:
+			w.mu.Lock()
+			ok := m.ID == w.assignID && w.assignID != 0
+			w.mu.Unlock()
+			if !ok {
+				w.fail(&errProtocol{fmt.Errorf("worker %s: result for assignment %d which is not in flight", w.name, m.ID)})
+				return
+			}
+			w.deliver(assignmentEnd{msg: m})
+		default:
+			w.fail(&errProtocol{fmt.Errorf("worker %s: unexpected %q frame", w.name, m.Type)})
+			return
+		}
+	}
+}
+
+// WorkerStatus is a point-in-time snapshot of one worker for introspection
+// (tests, the chaos harness, future status endpoints).
+type WorkerStatus struct {
+	Name string
+	Busy bool
+	Done int // jobs completed
+}
+
+// Dispatcher serves the engine.Lab interface from a fleet of remote worker
+// processes. It also implements faults.Resumable: the run counter and the
+// journal of in-flight assignments checkpoint with the campaign, so a
+// killed campaign re-dispatches exactly the journaled incomplete jobs under
+// their original noise seeds.
+type Dispatcher struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	workers  map[string]*workerConn
+	idle     []*workerConn // FIFO: longest-idle worker gets the next job
+	runs     int
+	journal  map[dataset.Combo]int // combo → run index, until the job completes
+	attempts map[dataset.Combo]int
+	nextID   uint64
+
+	idleCh chan struct{} // cap-1 wakeup hint: idle pool or fleet changed
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewDispatcher listens for workers and, when cfg.MinWorkers > 0, blocks
+// until that many have joined (bounded by cfg.Wait).
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	cfg.setDefaults()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("remotelab: listen %s: %w", cfg.Listen, err)
+	}
+	d := &Dispatcher{
+		cfg:      cfg,
+		ln:       ln,
+		workers:  make(map[string]*workerConn),
+		journal:  make(map[dataset.Combo]int),
+		attempts: make(map[dataset.Combo]int),
+		idleCh:   make(chan struct{}, 1),
+		closed:   make(chan struct{}),
+	}
+	go d.acceptLoop()
+	if cfg.MinWorkers > 0 {
+		deadline := time.NewTimer(cfg.Wait)
+		defer deadline.Stop()
+		for d.liveWorkers() < cfg.MinWorkers {
+			select {
+			case <-d.idleCh:
+			case <-deadline.C:
+				d.Close()
+				return nil, fmt.Errorf("remotelab: %d of %d workers connected within %v",
+					d.liveWorkers(), cfg.MinWorkers, cfg.Wait)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Addr is the address workers should dial — the resolved form of
+// cfg.Listen (useful with ":0").
+func (d *Dispatcher) Addr() string { return d.ln.Addr().String() }
+
+// Close stops accepting workers and disconnects the fleet. In-flight
+// dispatches terminate as lost-worker faults.
+func (d *Dispatcher) Close() {
+	d.once.Do(func() {
+		close(d.closed)
+		d.ln.Close()
+		d.mu.Lock()
+		ws := make([]*workerConn, 0, len(d.workers))
+		for _, w := range d.workers {
+			ws = append(ws, w)
+		}
+		d.mu.Unlock()
+		for _, w := range ws {
+			w.fail(errors.New("remotelab: dispatcher closed"))
+		}
+	})
+}
+
+func (d *Dispatcher) acceptLoop() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go d.handshake(conn)
+	}
+}
+
+// handshake admits a worker: one hello frame with the right protocol
+// version and a name not already connected. Rejections just close the
+// socket — the campaign never saw this worker, so nothing is charged.
+func (d *Dispatcher) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(d.cfg.Wait))
+	m, err := readFrame(conn)
+	if err != nil || m.Type != msgHello || m.Version != protocolVersion || m.Worker == "" {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	w := &workerConn{d: d, name: m.Worker, conn: conn, alive: true, wobs: newWorkerObs(m.Worker)}
+	d.mu.Lock()
+	if _, taken := d.workers[w.name]; taken {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.workers[w.name] = w
+	d.idle = append(d.idle, w)
+	live := len(d.workers)
+	d.mu.Unlock()
+	obs.RemoteWorkersLive.Set(float64(live))
+	d.wake()
+	go w.readLoop()
+}
+
+func (d *Dispatcher) unregister(w *workerConn) {
+	d.mu.Lock()
+	if d.workers[w.name] == w {
+		delete(d.workers, w.name)
+	}
+	live := len(d.workers)
+	d.mu.Unlock()
+	obs.RemoteWorkersLive.Set(float64(live))
+	d.wake()
+}
+
+// wake nudges whoever is waiting on fleet/idle state; the cap-1 channel
+// coalesces bursts (waiters re-check real state after every wakeup).
+func (d *Dispatcher) wake() {
+	select {
+	case d.idleCh <- struct{}{}:
+	default:
+	}
+}
+
+func (d *Dispatcher) liveWorkers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.workers)
+}
+
+// Workers snapshots the fleet, sorted by name.
+func (d *Dispatcher) Workers() []WorkerStatus {
+	d.mu.Lock()
+	out := make([]WorkerStatus, 0, len(d.workers))
+	for _, w := range d.workers {
+		w.mu.Lock()
+		out = append(out, WorkerStatus{Name: w.name, Busy: w.busyLocked(), Done: w.nDone})
+		w.mu.Unlock()
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// acquire pops the longest-idle live worker, waiting up to cfg.Wait for
+// one to free up; nil means no live worker appeared in time.
+func (d *Dispatcher) acquire() *workerConn {
+	deadline := time.NewTimer(d.cfg.Wait)
+	defer deadline.Stop()
+	for {
+		d.mu.Lock()
+		for len(d.idle) > 0 {
+			w := d.idle[0]
+			d.idle = d.idle[1:]
+			w.mu.Lock()
+			ok := w.alive
+			w.mu.Unlock()
+			if ok {
+				d.mu.Unlock()
+				return w
+			}
+		}
+		d.mu.Unlock()
+		select {
+		case <-d.idleCh:
+		case <-d.closed:
+			return nil
+		case <-deadline.C:
+			return nil
+		}
+	}
+}
+
+// release returns a worker to the idle pool (unless it died meanwhile).
+func (d *Dispatcher) release(w *workerConn) {
+	w.mu.Lock()
+	ok := w.alive
+	w.nDone++
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	d.idle = append(d.idle, w)
+	d.mu.Unlock()
+	d.wake()
+}
+
+// Candidates implements engine.Lab.
+func (d *Dispatcher) Candidates() []dataset.Combo {
+	if d.cfg.Candidates != nil {
+		return d.cfg.Candidates
+	}
+	return dataset.AllCombos()
+}
+
+// Run implements engine.Lab: journal a run index for the configuration
+// (reusing the journaled one on a re-dispatch, which is what keeps retries
+// and resumes bitwise-identical), hand the job to the longest-idle worker,
+// and classify whatever comes back onto the faults taxonomy:
+//
+//	worker loss (reset, heartbeat silence) → ClassTransient, Retryable,
+//	    with the last heartbeat's progress charged as the partial cost;
+//	worker-reported OOM kill → ClassOOM, Censored, carrying the censored
+//	    observation for the memory surrogate;
+//	protocol violation → ClassUnknown, Fatal;
+//	worker-reported executor error → a plain error (fatal upstream),
+//	    mirroring how FaultyLab passes inner lab errors through.
+func (d *Dispatcher) Run(c dataset.Combo) (dataset.Job, error) {
+	d.mu.Lock()
+	d.attempts[c]++
+	attempt := d.attempts[c]
+	run, journaled := d.journal[c]
+	if !journaled {
+		d.runs++
+		run = d.runs
+		d.journal[c] = run
+	}
+	d.nextID++
+	id := d.nextID
+	d.mu.Unlock()
+	seed := stats.SplitSeed(d.cfg.Seed, run)
+
+	w := d.acquire()
+	if w == nil {
+		// The journal entry survives: when a worker finally joins, the
+		// retry re-dispatches under the same run index.
+		return dataset.Job{}, &faults.Fault{
+			Class:    faults.ClassTransient,
+			Severity: faults.Retryable,
+			Combo:    c,
+			Attempt:  attempt,
+			Err:      fmt.Errorf("remotelab: no live worker within %v", d.cfg.Wait),
+		}
+	}
+	if journaled {
+		obs.RemoteJobsStolen.Inc()
+		w.wobs.stolen.Inc()
+	}
+	resultCh := w.begin(id)
+	obs.RemoteJobsDispatched.Inc()
+	w.wobs.dispatched.Inc()
+	if err := writeFrame(w.conn, message{Type: msgJob, ID: id, Combo: &c, Seed: seed, RSSLimitMB: d.cfg.RSSLimitMB}); err != nil {
+		w.fail(err)
+	}
+	end := <-resultCh
+	progress := w.clear()
+
+	if end.lost {
+		var pv *errProtocol
+		if errors.As(end.err, &pv) {
+			return dataset.Job{}, &faults.Fault{
+				Class:    faults.ClassUnknown,
+				Severity: faults.Fatal,
+				Combo:    c,
+				Attempt:  attempt,
+				Err:      end.err,
+			}
+		}
+		obs.RemoteJobsLost.Inc()
+		w.wobs.lost.Inc()
+		return dataset.Job{}, &faults.Fault{
+			Class:    faults.ClassTransient,
+			Severity: faults.Retryable,
+			Combo:    c,
+			Attempt:  attempt,
+			LostNH:   progress,
+			Err:      fmt.Errorf("remotelab: worker %s lost mid-job: %v", w.name, end.err),
+		}
+	}
+
+	obs.RemoteJobsCompleted.Inc()
+	w.wobs.completed.Inc()
+	d.release(w)
+	m := end.msg
+	switch {
+	case m.Error != "":
+		d.forget(c)
+		return dataset.Job{}, fmt.Errorf("remotelab: worker %s: %s", w.name, m.Error)
+	case m.OOM && m.Job != nil:
+		d.forget(c)
+		return dataset.Job{}, &faults.Fault{
+			Class:    faults.ClassOOM,
+			Severity: faults.Censored,
+			Combo:    c,
+			Attempt:  attempt,
+			LostNH:   m.Job.CostNH,
+			Job:      *m.Job,
+		}
+	case m.Job != nil:
+		d.forget(c)
+		return *m.Job, nil
+	default:
+		w.fail(&errProtocol{fmt.Errorf("worker %s: result frame carries neither job nor error", w.name)})
+		return dataset.Job{}, &faults.Fault{
+			Class:    faults.ClassUnknown,
+			Severity: faults.Fatal,
+			Combo:    c,
+			Attempt:  attempt,
+			Err:      fmt.Errorf("remotelab: worker %s sent an empty result", w.name),
+		}
+	}
+}
+
+// forget closes a configuration's journal entry once its job reached a
+// terminal outcome (success, censored kill, or executor error).
+func (d *Dispatcher) forget(c dataset.Combo) {
+	d.mu.Lock()
+	delete(d.journal, c)
+	d.mu.Unlock()
+}
+
+// labState is the JSON schema of the dispatcher's checkpointable state: the
+// run counter (so future assignments draw fresh noise streams), the journal
+// of incomplete assignments (re-dispatched under their original run indices
+// on resume), and the per-configuration attempt counters.
+type labState struct {
+	Runs     int            `json:"runs"`
+	Pending  []pendingJob   `json:"pending,omitempty"`
+	Attempts []comboCounter `json:"attempts,omitempty"`
+}
+
+type pendingJob struct {
+	Combo dataset.Combo `json:"combo"`
+	Run   int           `json:"run"`
+}
+
+type comboCounter struct {
+	Combo dataset.Combo `json:"combo"`
+	N     int           `json:"n"`
+}
+
+func comboLess(a, b dataset.Combo) bool {
+	switch {
+	case a.P != b.P:
+		return a.P < b.P
+	case a.Mx != b.Mx:
+		return a.Mx < b.Mx
+	case a.MaxLevel != b.MaxLevel:
+		return a.MaxLevel < b.MaxLevel
+	case a.R0 != b.R0:
+		return a.R0 < b.R0
+	default:
+		return a.RhoIn < b.RhoIn
+	}
+}
+
+// LabState implements faults.Resumable.
+func (d *Dispatcher) LabState() ([]byte, error) {
+	d.mu.Lock()
+	st := labState{Runs: d.runs}
+	for c, r := range d.journal {
+		st.Pending = append(st.Pending, pendingJob{Combo: c, Run: r})
+	}
+	for c, n := range d.attempts {
+		st.Attempts = append(st.Attempts, comboCounter{Combo: c, N: n})
+	}
+	d.mu.Unlock()
+	sort.Slice(st.Pending, func(i, j int) bool { return comboLess(st.Pending[i].Combo, st.Pending[j].Combo) })
+	sort.Slice(st.Attempts, func(i, j int) bool { return comboLess(st.Attempts[i].Combo, st.Attempts[j].Combo) })
+	return json.Marshal(st)
+}
+
+// RestoreLabState implements faults.Resumable.
+func (d *Dispatcher) RestoreLabState(state []byte) error {
+	var st labState
+	if err := json.Unmarshal(state, &st); err != nil {
+		return fmt.Errorf("remotelab: decoding dispatcher state: %w", err)
+	}
+	d.mu.Lock()
+	d.runs = st.Runs
+	d.journal = make(map[dataset.Combo]int, len(st.Pending))
+	for _, p := range st.Pending {
+		d.journal[p.Combo] = p.Run
+	}
+	d.attempts = make(map[dataset.Combo]int, len(st.Attempts))
+	for _, a := range st.Attempts {
+		d.attempts[a.Combo] = a.N
+	}
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package remotelab runs lab workers as separate processes behind the
+// engine.Lab seam: a dispatcher listens on TCP, al-worker processes connect
+// and execute jobs, and every way a worker can fail — connection reset,
+// heartbeat silence, an OOM kill it managed to report, a frame that breaks
+// the protocol — is classified onto the faults taxonomy the campaign
+// runtime already understands. The paper ran on a real batch system (Edison
+// + SLURM) where exactly these failures happened; internal/faults simulates
+// them, this package makes them real.
+//
+// Determinism across failures is the load-bearing property: the dispatcher
+// assigns each logical job a run index that seeds the worker's measurement
+// noise, and journals the assignment until the job completes. A retry after
+// a lost worker re-dispatches the same (combo, seed) pair — to any worker —
+// and produces the identical measurement, so a campaign whose fleet lost a
+// worker mid-batch ends on the same trajectory as one that never did. The
+// journal rides inside the campaign checkpoint via faults.Resumable, which
+// extends the guarantee across a killed campaign process.
+package remotelab
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+
+	"alamr/internal/dataset"
+)
+
+// protocolVersion gates the wire schema; a worker and dispatcher must agree
+// exactly (there is no negotiation — fleets deploy from one binary).
+const protocolVersion = 1
+
+// maxFrame bounds a single frame so a corrupt or hostile length prefix
+// cannot make the reader allocate unbounded memory.
+const maxFrame = 1 << 20
+
+// Message types.
+const (
+	// msgHello is the worker's first frame: its name and protocol version.
+	msgHello = "hello"
+	// msgJob is a dispatcher→worker assignment: combo + noise seed.
+	msgJob = "job"
+	// msgHeartbeat is a worker→dispatcher liveness frame carrying how many
+	// node-hours of the in-flight job have been consumed so far — the
+	// partial cost charged if the worker vanishes.
+	msgHeartbeat = "heartbeat"
+	// msgResult terminates an assignment: a clean job, an OOM report, or an
+	// executor error.
+	msgResult = "result"
+)
+
+// message is the single wire envelope. Exactly one of the payload groups is
+// populated per type; unknown fields are a protocol violation (the decoder
+// is strict so schema drift fails loudly).
+type message struct {
+	Type    string `json:"type"`
+	Version int    `json:"version,omitempty"` // hello
+	Worker  string `json:"worker,omitempty"`  // hello
+	// ID matches a result/heartbeat to its assignment; the dispatcher
+	// rejects frames for an assignment that is not in flight.
+	ID    uint64         `json:"id,omitempty"`
+	Combo *dataset.Combo `json:"combo,omitempty"` // job
+	Seed  int64          `json:"seed,omitempty"`  // job: noise seed
+	// RSSLimitMB rides on job frames so the whole fleet enforces the
+	// dispatcher's memory limit without per-worker configuration.
+	RSSLimitMB float64 `json:"rss_limit_mb,omitempty"`
+	// Result payload: the measured job, or a partial one when OOM is set.
+	Job *dataset.Job `json:"job,omitempty"`
+	// OOM marks a result as an OOM kill the worker itself observed and
+	// reported: Job carries the censored observation (MemMB = limit).
+	OOM bool `json:"oom,omitempty"`
+	// Error carries an executor failure (the remote analogue of a lab
+	// returning an error).
+	Error string `json:"error,omitempty"`
+	// ProgressNH is the heartbeat's consumed-so-far node-hours.
+	ProgressNH float64 `json:"progress_nh,omitempty"`
+}
+
+// writeFrame sends one length-prefixed JSON frame.
+func writeFrame(conn net.Conn, m message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("remotelab: encoding %s frame: %w", m.Type, err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("remotelab: %s frame of %d bytes exceeds the %d-byte limit", m.Type, len(body), maxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = conn.Write(buf)
+	return err
+}
+
+// errProtocol marks a frame that violates the wire contract — garbage where
+// a length or JSON envelope should be. The dispatcher maps it to a Fatal
+// fault: a peer speaking a different protocol is not a transient condition.
+type errProtocol struct{ err error }
+
+func (e *errProtocol) Error() string { return "remotelab: protocol violation: " + e.err.Error() }
+func (e *errProtocol) Unwrap() error { return e.err }
+
+// readFrame reads one length-prefixed JSON frame. I/O failures (reset,
+// timeout, EOF) come back as-is; undecodable payloads come back as
+// *errProtocol so the caller can tell a dead peer from a misbehaving one.
+func readFrame(conn net.Conn) (message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return message{}, &errProtocol{fmt.Errorf("frame length %d outside (0, %d]", n, maxFrame)}
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return message{}, err
+	}
+	var m message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return message{}, &errProtocol{fmt.Errorf("undecodable frame: %w", err)}
+	}
+	if m.Type == "" {
+		return message{}, &errProtocol{fmt.Errorf("frame carries no type")}
+	}
+	return m, nil
+}

@@ -1,0 +1,25 @@
+package remotelab
+
+import (
+	"time"
+
+	"alamr/internal/engine"
+)
+
+// init registers the dispatcher in the engine lab registry, so a campaign
+// spec targets a worker fleet with `"lab": {"name": "remote", ...}` and
+// nothing else changes. Building the lab blocks until min_workers have
+// connected (bounded by wait_sec), because a campaign that starts selecting
+// before the fleet exists would just burn its retry budget.
+func init() {
+	engine.RegisterLab("remote", func(s engine.LabSpec, _ engine.LabDeps) (engine.Lab, error) {
+		return NewDispatcher(Config{
+			Listen:     s.Listen,
+			Seed:       s.Seed,
+			MinWorkers: s.MinWorkers,
+			Heartbeat:  time.Duration(s.HeartbeatSec * float64(time.Second)),
+			Wait:       time.Duration(s.WaitSec * float64(time.Second)),
+			RSSLimitMB: s.RSSLimitMB,
+		})
+	})
+}

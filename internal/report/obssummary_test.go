@@ -80,7 +80,7 @@ func TestObsSummaryReconcilesWithHealth(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.Enable(reg, nil)
 
-	lab := faults.NewFaultyLab(&analyticLab{combos: dataset.AllCombos()}, faults.LabConfig{
+	lab := faults.MustFaultyLab(&analyticLab{combos: dataset.AllCombos()}, faults.LabConfig{
 		Seed:       31,
 		RSSLimitMB: 0.35,
 		PTransient: 0.15,
