@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al bench-scale bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke
+.PHONY: all build test ci bench bench-al bench-scale bench-scale-full bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke
 
 all: build
 
@@ -19,11 +19,16 @@ vet:
 # Race runs use -short: the equivalence tests scale their sizes down so the
 # instrumented binary stays within CI time budgets. faults and online carry
 # the concurrency-sensitive fault-injection and checkpoint paths; engine
-# carries the sweep worker pool.
+# carries the sweep worker pool. The second line re-runs the streamed-pool
+# engine tests explicitly (-count=1, no -short): the shard-parallel Select
+# lanes and their worker-count-invariance pins must face the race detector
+# at full size on every CI pass, never satisfied from the test cache.
 race:
 	$(GO) test -race -short ./internal/mat ./internal/kernel ./internal/gp \
 		./internal/core ./internal/engine ./internal/faults ./internal/online \
 		./internal/remotelab
+	$(GO) test -race -count=1 -run 'TestStream|TestGridSource|TestScaleSmoke|TestPredictIntoSerial' \
+		./internal/engine ./internal/gp
 
 # sweep-smoke drives a tiny 2x2 policy-by-seed grid through the unified
 # campaign engine under the race detector: concurrent workers sharing the
@@ -89,20 +94,31 @@ bench-al:
 	@grep -o '"Output":".*ns/op[^"]*"' BENCH_al.json | sed 's/"Output":"//; s/\\t/\t/g; s/\\n"//' || true
 
 # bench-scale measures the million-candidate selection step: one full
-# pool-scoring pass per op across surrogate families (exact where feasible,
-# sparse, treed), n in {2e3, 1e4}, m in {1e5, 1e6}, and pool layouts
-# (materialized vs streamed vs streamed+approximate shard pruning). The
-# B/op column is the pool-scoring working set: materialized pools allocate
-# O(m), streamed pools O(shard+k). Raw events go to BENCH_al.json;
-# bench-summary renders the table. Expect several minutes end to end (the
-# exact n=2000 m=1e5 pass alone is tens of seconds per op).
+# pool-scoring pass per op across surrogate families, n in {2e3, 1e4}, m in
+# {1e5, 1e6}, pool layouts (materialized vs streamed vs streamed+approximate
+# shard pruning), and mat worker counts {1, 2, 4, GOMAXPROCS}. The B/op
+# column is the pool-scoring working set: materialized pools allocate O(m),
+# streamed pools O(workers·shard + k). Exact-model cases are skipped by
+# default (the O(m·n²) pass is tens of minutes); run bench-scale-full to
+# include them. bench-summary renders the table with a provenance header
+# and a speedup-vs-workers column.
 bench-scale:
 	$(GO) test -run '^$$' -bench 'ScaleScoring' -benchtime 1x -benchmem -json \
 		-timeout 60m ./internal/engine > BENCH_al.json
 	$(GO) run ./cmd/bench-summary BENCH_al.json
 
+# bench-scale-full is bench-scale with the exact-model cases included
+# (-args -full); budget well over an hour at m=1e5.
+bench-scale-full:
+	$(GO) test -run '^$$' -bench 'ScaleScoring' -benchtime 1x -benchmem -json \
+		-timeout 180m ./internal/engine -args -full > BENCH_al.json
+	$(GO) run ./cmd/bench-summary BENCH_al.json
+
 # bench-scale-smoke is the CI-sized correctness twin of bench-scale
 # (n=500, m=1e4): every surrogate family's streamed shortlist winner must
-# equal the materialized argmax, with and without approximate pruning.
+# equal the materialized argmax, with and without approximate pruning, and
+# the parallel Select must reproduce the serial shortlist bit for bit at
+# 1, 2, 4, and GOMAXPROCS worker lanes (the worker-invariance pins).
 bench-scale-smoke:
-	$(GO) test -count=1 -run 'TestScaleSmoke' ./internal/engine
+	$(GO) test -count=1 -run 'TestScaleSmoke|TestStreamSelectWorkerCountInvariant|TestStreamedReplayWorkerCountInvariant' \
+		./internal/engine

@@ -8,6 +8,11 @@
 // With no arguments it reads BENCH_al.json; "-" reads stdin. Inputs that are
 // not JSON event streams (plain `go test -bench` output) parse too, so the
 // tool composes with a pipe.
+//
+// The table is preceded by a provenance header (CPU model, goos/goarch,
+// GOMAXPROCS, go version) so recorded numbers stay interpretable, and
+// benchmarks carrying a `/workers=N` axis get a speedup column relative to
+// their own workers=1 row.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -26,16 +33,30 @@ import (
 // benchResult is one parsed benchmark line.
 type benchResult struct {
 	Name   string
+	Procs  int // GOMAXPROCS of the run (the -N name suffix); 0 when absent
 	Iters  int64
 	NsOp   float64
 	BOp    int64 // -1 when the run lacked -benchmem
 	Allocs int64 // -1 when the run lacked -benchmem
 }
 
+// provenance is the run environment `go test -bench` prints before the
+// first result; first occurrence wins when streams are concatenated.
+type provenance struct {
+	CPU, Goos, Goarch string
+}
+
 // benchLine matches a Go benchmark result: name, iterations, ns/op, and the
 // optional -benchmem columns.
 var benchLine = regexp.MustCompile(
 	`(?m)^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// provLine matches the environment lines of a benchmark run's preamble.
+var provLine = regexp.MustCompile(`(?m)^(goos|goarch|cpu): (.+?)\s*$`)
+
+// workersSeg matches the workers axis the scale suite encodes in
+// sub-benchmark names.
+var workersSeg = regexp.MustCompile(`/workers=(\d+)`)
 
 // event is the subset of the `go test -json` schema the parser needs.
 type event struct {
@@ -66,13 +87,15 @@ func flatten(r io.Reader) (string, error) {
 
 // parse extracts every benchmark result from flattened output. Benchmark
 // names keep their full sub-benchmark path (the scale suite encodes
-// n/m/model/pool there) but drop the trailing -GOMAXPROCS suffix.
+// n/m/model/pool/workers there); the trailing -GOMAXPROCS suffix moves into
+// the Procs field.
 func parse(text string) []benchResult {
 	var out []benchResult
 	for _, m := range benchLine.FindAllStringSubmatch(text, -1) {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := benchResult{Name: trimProcs(m[1]), Iters: iters, NsOp: ns, BOp: -1, Allocs: -1}
+		name, procs := trimProcs(m[1])
+		r := benchResult{Name: name, Procs: procs, Iters: iters, NsOp: ns, BOp: -1, Allocs: -1}
 		if m[4] != "" {
 			r.BOp, _ = strconv.ParseInt(m[4], 10, 64)
 		}
@@ -84,16 +107,38 @@ func parse(text string) []benchResult {
 	return out
 }
 
-// trimProcs drops the -N GOMAXPROCS suffix Go appends to benchmark names.
-func trimProcs(name string) string {
+// parseProv folds the preamble environment lines into p, first value wins.
+func parseProv(text string, p *provenance) {
+	for _, m := range provLine.FindAllStringSubmatch(text, -1) {
+		switch m[1] {
+		case "cpu":
+			if p.CPU == "" {
+				p.CPU = m[2]
+			}
+		case "goos":
+			if p.Goos == "" {
+				p.Goos = m[2]
+			}
+		case "goarch":
+			if p.Goarch == "" {
+				p.Goarch = m[2]
+			}
+		}
+	}
+}
+
+// trimProcs splits the -N GOMAXPROCS suffix Go appends to benchmark names
+// off the name; procs is 0 when the name carries no suffix.
+func trimProcs(name string) (string, int) {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
 }
 
 // humanTime renders ns/op at the natural scale.
@@ -124,11 +169,84 @@ func humanBytes(b int64) string {
 	}
 }
 
-// table renders parsed results, preserving input order (the bench targets
-// emit related sub-benchmarks adjacently).
-func table(results []benchResult) *report.Table {
-	t := &report.Table{Header: []string{"benchmark", "iters", "time/op", "mem/op", "allocs/op"}}
+// speedupCol computes each result's speedup over the workers=1 run of the
+// same benchmark (the name with the /workers=N segment removed). Returns
+// nil when no result carries a workers axis, so plain tables stay narrow.
+func speedupCol(results []benchResult) []string {
+	base := map[string]float64{}
 	for _, r := range results {
+		if m := workersSeg.FindStringSubmatch(r.Name); m != nil && m[1] == "1" {
+			key := workersSeg.ReplaceAllString(r.Name, "")
+			if _, ok := base[key]; !ok {
+				base[key] = r.NsOp
+			}
+		}
+	}
+	out := make([]string, len(results))
+	any := false
+	for i, r := range results {
+		if !workersSeg.MatchString(r.Name) {
+			continue
+		}
+		if b, ok := base[workersSeg.ReplaceAllString(r.Name, "")]; ok && r.NsOp > 0 {
+			out[i] = fmt.Sprintf("%.2fx", b/r.NsOp)
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// header renders the provenance block: everything needed to interpret the
+// numbers — what CPU, what platform, how many procs the runs used, and the
+// toolchain this summary was built with.
+func header(p provenance, results []benchResult) string {
+	var b strings.Builder
+	if p.CPU != "" {
+		fmt.Fprintf(&b, "cpu: %s\n", p.CPU)
+	}
+	if p.Goos != "" || p.Goarch != "" {
+		fmt.Fprintf(&b, "goos/goarch: %s/%s\n", p.Goos, p.Goarch)
+	}
+	procs := map[int]bool{}
+	for _, r := range results {
+		if r.Procs > 0 {
+			procs[r.Procs] = true
+		}
+	}
+	if len(procs) > 0 {
+		var vals []string
+		for _, n := range sortedInts(procs) {
+			vals = append(vals, strconv.Itoa(n))
+		}
+		fmt.Fprintf(&b, "GOMAXPROCS: %s\n", strings.Join(vals, ", "))
+	}
+	fmt.Fprintf(&b, "go: %s\n", runtime.Version())
+	return b.String()
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// table renders parsed results, preserving input order (the bench targets
+// emit related sub-benchmarks adjacently). The speedup column appears only
+// when a workers axis is present.
+func table(results []benchResult) *report.Table {
+	speedup := speedupCol(results)
+	head := []string{"benchmark", "iters", "time/op", "mem/op", "allocs/op"}
+	if speedup != nil {
+		head = append(head, "speedup")
+	}
+	t := &report.Table{Header: head}
+	for i, r := range results {
 		mem, allocs := "", ""
 		if r.BOp >= 0 {
 			mem = humanBytes(r.BOp)
@@ -136,7 +254,11 @@ func table(results []benchResult) *report.Table {
 		if r.Allocs >= 0 {
 			allocs = strconv.FormatInt(r.Allocs, 10)
 		}
-		t.Add(strings.TrimPrefix(r.Name, "Benchmark"), r.Iters, humanTime(r.NsOp), mem, allocs)
+		row := []any{strings.TrimPrefix(r.Name, "Benchmark"), r.Iters, humanTime(r.NsOp), mem, allocs}
+		if speedup != nil {
+			row = append(row, speedup[i])
+		}
+		t.Add(row...)
 	}
 	return t
 }
@@ -146,6 +268,7 @@ func run(args []string, stdout io.Writer) error {
 		args = []string{"BENCH_al.json"}
 	}
 	var results []benchResult
+	var prov provenance
 	for _, path := range args {
 		var r io.Reader
 		if path == "-" {
@@ -162,6 +285,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		parseProv(text, &prov)
 		results = append(results, parse(text)...)
 	}
 	if len(results) == 0 {
@@ -169,6 +293,9 @@ func run(args []string, stdout io.Writer) error {
 		// filtered or interrupted bench run, not a tool failure: note it
 		// and exit clean so Make pipelines keep going.
 		_, err := fmt.Fprintf(stdout, "bench-summary: no benchmarks in %s\n", strings.Join(args, ", "))
+		return err
+	}
+	if _, err := fmt.Fprint(stdout, header(prov, results)); err != nil {
 		return err
 	}
 	_, err := fmt.Fprint(stdout, table(results).String())

@@ -32,7 +32,7 @@ func TestParseJSONStreamAndPlainText(t *testing.T) {
 	if rs[0] != want0 {
 		t.Fatalf("result 0 = %+v, want %+v", rs[0], want0)
 	}
-	if rs[1].Name != "BenchmarkPredict/50" || rs[1].BOp != -1 || rs[1].Allocs != -1 {
+	if rs[1].Name != "BenchmarkPredict/50" || rs[1].Procs != 8 || rs[1].BOp != -1 || rs[1].Allocs != -1 {
 		t.Fatalf("GOMAXPROCS suffix / missing benchmem not handled: %+v", rs[1])
 	}
 	if rs[2].Name != "BenchmarkPlain" || rs[2].Allocs != 2 {
@@ -64,6 +64,58 @@ func TestHumanUnits(t *testing.T) {
 	}
 	if got := humanBytes(32016544); got != "30.53 MiB" {
 		t.Fatalf("humanBytes = %q", got)
+	}
+}
+
+// TestProvenanceHeader: the summary leads with the run environment parsed
+// from the stream preamble — CPU model, platform, GOMAXPROCS values seen
+// on the result lines — plus the summarizer's own go version.
+func TestProvenanceHeader(t *testing.T) {
+	text := "goos: linux\ngoarch: amd64\ncpu: Intel(R) Xeon(R) CPU @ 2.10GHz\n" +
+		"BenchmarkA-1 \t 10\t 1000 ns/op\nBenchmarkB-4 \t 10\t 500 ns/op\n"
+	var prov provenance
+	parseProv(text, &prov)
+	if prov.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" || prov.Goos != "linux" || prov.Goarch != "amd64" {
+		t.Fatalf("provenance parsed as %+v", prov)
+	}
+	out := header(prov, parse(text))
+	for _, want := range []string{
+		"cpu: Intel(R) Xeon(R) CPU @ 2.10GHz",
+		"goos/goarch: linux/amd64",
+		"GOMAXPROCS: 1, 4",
+		"go: go",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("header lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpeedupColumn: results carrying a /workers=N axis gain a speedup
+// column relative to their own workers=1 row; tables without the axis stay
+// at five columns.
+func TestSpeedupColumn(t *testing.T) {
+	rs := []benchResult{
+		{Name: "BenchmarkScale/m=10/pool=streamed/workers=1", Iters: 1, NsOp: 4000, BOp: -1, Allocs: -1},
+		{Name: "BenchmarkScale/m=10/pool=streamed/workers=4", Iters: 1, NsOp: 1000, BOp: -1, Allocs: -1},
+		{Name: "BenchmarkScale/m=10/pool=materialized/workers=4", Iters: 1, NsOp: 1000, BOp: -1, Allocs: -1},
+		{Name: "BenchmarkOther", Iters: 1, NsOp: 123, BOp: -1, Allocs: -1},
+	}
+	col := speedupCol(rs)
+	if col == nil {
+		t.Fatal("speedupCol returned nil for a workers-axis table")
+	}
+	// 1.00x baseline, 4.00x scaled, blank where the group lacks a
+	// workers=1 baseline, blank without the axis at all.
+	if col[0] != "1.00x" || col[1] != "4.00x" || col[2] != "" || col[3] != "" {
+		t.Fatalf("speedup column = %q", col)
+	}
+	out := table(rs).String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "4.00x") {
+		t.Fatalf("rendered table lacks the speedup column:\n%s", out)
+	}
+	if plain := table(rs[3:]).String(); strings.Contains(plain, "speedup") {
+		t.Fatalf("axis-free table should not grow a speedup column:\n%s", plain)
 	}
 }
 

@@ -261,7 +261,8 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 			return nil, fmt.Errorf("engine: policy %q is not shortlist-safe; the streamed pool supports: %s",
 				cfg.Policy.Name(), strings.Join(RankerNames(), ", "))
 		}
-		sc = newStreamScorer(gpCost, gpMem, features(remaining), cfg.Pool, rank)
+		sc = newStreamScorer(gpCost, gpMem, features(remaining), cfg.Pool, rank,
+			rankerIsMonotone(cfg.Policy.Name()))
 	} else {
 		sc = newPoolScorer(gpCost, gpMem, features(remaining), cfg.DirectScoring)
 	}

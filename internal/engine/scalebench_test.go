@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,12 @@ import (
 	"alamr/internal/kernel"
 	"alamr/internal/mat"
 )
+
+// benchFull opts the scale benchmarks into the exact-model pool passes
+// (O(m·n²) — tens of minutes at m=10⁵). Off by default so `make
+// bench-scale` finishes in sparse/treed time; pass `-args -full` to
+// measure the exact family too.
+var benchFull = flag.Bool("full", false, "include the slow exact-model scale benchmark cases")
 
 // The scale benchmark suite measures one full pool-scoring pass — the
 // per-iteration cost of an AL campaign's selection step — across surrogate
@@ -114,36 +121,50 @@ func BenchmarkScaleScoring(b *testing.B) {
 				if model == ModelExact && !exactFeasible(n, m) {
 					continue
 				}
+				if model == ModelExact && m >= 100000 && !*benchFull {
+					b.Logf("skipping n=%d/m=%d/model=%s: exact-model pool pass is O(m·n²); pass -args -full to include it", n, m, model)
+					continue
+				}
 				if cost == nil {
 					cost, mem = fitScaleModels(b, model, n)
 				}
 				src := scaleGrid(m)
 				name := fmt.Sprintf("n=%d/m=%d/model=%s", n, m, model)
 
-				b.Run(name+"/pool=materialized", func(b *testing.B) {
-					poolX := mat.NewDense(m, scaleDim, nil)
-					src.Fill(0, m, poolX)
-					b.ReportAllocs()
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						materializedPass(cost, mem, poolX, rank)
-					}
-				})
-				for _, mode := range []struct {
-					tag    string
-					approx bool
-				}{{"streamed", false}, {"streamed-approx", true}} {
-					b.Run(name+"/pool="+mode.tag, func(b *testing.B) {
-						st := NewStreamState(src, cost, mem, StreamConfig{
-							ShardSize: 4096, TopK: 64, Approx: mode.approx, Rank: rank,
-						})
-						st.Select() // steady state: bounds primed before timing
+				// The workers axis sweeps the same pass at 1, 2, 4, and
+				// GOMAXPROCS mat workers (deduplicated); bench-summary
+				// derives its speedup column from the workers=1 row.
+				for _, wc := range streamWorkerCounts() {
+					wc := wc
+					b.Run(fmt.Sprintf("%s/pool=materialized/workers=%d", name, wc), func(b *testing.B) {
+						prev := mat.SetWorkers(wc)
+						defer mat.SetWorkers(prev)
+						poolX := mat.NewDense(m, scaleDim, nil)
+						src.Fill(0, m, poolX)
 						b.ReportAllocs()
 						b.ResetTimer()
 						for i := 0; i < b.N; i++ {
-							st.Select()
+							materializedPass(cost, mem, poolX, rank)
 						}
 					})
+					for _, mode := range []struct {
+						tag    string
+						approx bool
+					}{{"streamed", false}, {"streamed-approx", true}} {
+						b.Run(fmt.Sprintf("%s/pool=%s/workers=%d", name, mode.tag, wc), func(b *testing.B) {
+							prev := mat.SetWorkers(wc)
+							defer mat.SetWorkers(prev)
+							st := NewStreamState(src, cost, mem, StreamConfig{
+								ShardSize: 4096, TopK: 64, Approx: mode.approx, Rank: rank,
+							})
+							st.Select() // steady state: bounds primed before timing
+							b.ReportAllocs()
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								st.Select()
+							}
+						})
+					}
 				}
 			}
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"sync/atomic"
 
 	"alamr/internal/gp"
 	"alamr/internal/mat"
@@ -12,26 +14,51 @@ import (
 
 // The streamed candidate pool replaces materialize-everything scoring for
 // pools too large to hold per-candidate state: candidates are generated
-// and scored shard by shard (each shard fanned out over the worker pool by
-// the surrogate's own batched Predict, which uses mat.ParallelFor), every
-// shard reduces into a bounded top-k heap, and the shards' heaps merge
-// into one exact global top-k shortlist. Peak pool memory is
-// O(shard + k) — the shard feature slab, its two score vectors, and the
-// shortlist — instead of the O(m·n) a ScoringCache pins or the O(m) a
-// materialized score pass allocates.
+// and scored shard by shard, every shard reduces into a bounded top-k
+// heap, and the heaps merge into one exact global top-k shortlist. Peak
+// pool memory is O(workers·shard + k) — per-worker feature slabs, score
+// vectors, and partial heaps, plus the shortlist — instead of the O(m·n) a
+// ScoringCache pins or the O(m) a materialized score pass allocates.
+//
+// Shard scoring is parallel: Select dispatches W = min(mat.Workers(),
+// shards) worker lanes over the internal/mat pool, each lane claiming
+// shards from a shared atomic cursor, scoring them serially
+// (PredictIntoSerial — the lanes *are* the parallelism) into its own slabs
+// and bounded heap, while a per-lane filler goroutine generates the next
+// claimed shard into the other half of a double-buffered slab so
+// CandidateSource.Fill cost overlaps scoring. The shortlist is independent
+// of scheduling at every worker count: the top-k under the strict total
+// order (rank desc, id asc) is a unique set, each candidate's scores are
+// computed in full by exactly one lane with a floating-point evaluation
+// order fixed by the shard layout alone, and the final merge sorts the
+// union of the lanes' heaps under that same order — so which lane scored
+// which shard cannot change the result. mat.SetWorkers(1) degrades to the
+// fully serial reference path.
 //
 // The optional approximate mode additionally prunes shards whose best
 // previously-observed rank cannot reach the current k-th best. For
 // σ-monotone ranks (maxsigma: the posterior σ of every candidate is
 // non-increasing as observations accumulate, for the exact, sparse, and
 // per-leaf treed surrogates alike) the last observed shard maximum is a
-// valid upper bound, so pruning returns the exact top-k. For mean-coupled
-// ranks (minpred) the bound can go stale; RefreshEvery forces a full
-// un-pruned rescore every k-th call to bound the staleness window.
-// DESIGN.md §Surrogate scaling states the bound precisely.
+// valid upper bound and the prune test compares it against a shared
+// monotone lower bound on the final k-th rank (any lane that has filled
+// its local heap publishes its heap root via an atomic CAS-max: k
+// candidates rank at least that high, so the final k-th rank can only be
+// higher). A stale read of the bound is always a smaller value, so racing
+// lanes can only prune less, never more — pruning stays exact under any
+// interleaving, even though *which* shards get pruned may vary with the
+// schedule. For mean-coupled ranks (minpred) a mid-call bound is not valid
+// and a schedule-dependent prune set would make the output depend on the
+// worker count, so the prune threshold is instead the previous Select's
+// final k-th rank — deterministic by construction, boundedly stale, with
+// RefreshEvery forcing a full un-pruned rescore every k-th call.
+// DESIGN.md §Surrogate scaling states both bounds precisely.
 
 // CandidateSource yields candidate feature rows on demand, so a pool can
-// exist without ever materializing m×d storage.
+// exist without ever materializing m×d storage. Fill must be safe for
+// concurrent use with distinct dst buffers: the parallel Select calls it
+// from per-worker filler goroutines (both built-in sources are read-only
+// during Fill).
 type CandidateSource interface {
 	// Len is the total number of candidates.
 	Len() int
@@ -94,19 +121,32 @@ func (s GridSource) Fill(lo, hi int, dst *mat.Dense) {
 // argmax over the shortlist equals its argmax over the full pool.
 type RankFunc func(muC, sigC, muM, sigM float64) float64
 
+// rankerSpec pairs a shortlist criterion with its pruning class: monotone
+// ranks can only decrease as observations accumulate (they depend on σ
+// alone), so stale per-shard maxima are true upper bounds and approximate
+// pruning stays exact.
+type rankerSpec struct {
+	fn       RankFunc
+	monotone bool
+}
+
 // rankers maps shortlist-safe policy names to their selection criterion.
 // Only pure argmax policies qualify: sampling policies (randuniform,
 // randgoodness, rgma) draw from the whole pool and cannot run on a
 // shortlist.
-var rankers = map[string]RankFunc{
-	"maxsigma": func(muC, sigC, muM, sigM float64) float64 { return sigC },
-	"minpred":  func(muC, sigC, muM, sigM float64) float64 { return sigC - muC },
+var rankers = map[string]rankerSpec{
+	"maxsigma": {fn: func(muC, sigC, muM, sigM float64) float64 { return sigC }, monotone: true},
+	"minpred":  {fn: func(muC, sigC, muM, sigM float64) float64 { return sigC - muC }},
 }
 
 func rankerFor(name string) (RankFunc, bool) {
 	r, ok := rankers[normName(name)]
-	return r, ok
+	return r.fn, ok
 }
+
+// rankerIsMonotone reports whether the named criterion is σ-monotone (see
+// rankerSpec); unknown names report false.
+func rankerIsMonotone(name string) bool { return rankers[normName(name)].monotone }
 
 // RankerNames lists the shortlist-safe policy names, sorted.
 func RankerNames() []string { return sortedKeys(rankers) }
@@ -118,6 +158,13 @@ type StreamConfig struct {
 	Approx       bool // enable upper-bound shard pruning
 	RefreshEvery int  // approx: full rescore every k-th call (default 16)
 	Rank         RankFunc
+	// NonMonotoneRank declares that Rank is not σ-monotone (its value can
+	// rise for a fixed candidate as observations accumulate, e.g. minpred's
+	// mean term). Approximate pruning then thresholds against the previous
+	// Select's final k-th rank — a deterministic, boundedly-stale test —
+	// instead of the in-call shared lower bound, which is exact only for
+	// monotone ranks. Leave false for σ-only criteria like maxsigma.
+	NonMonotoneRank bool
 }
 
 func (c *StreamConfig) setDefaults() {
@@ -149,9 +196,78 @@ func (e streamEntry) better(o streamEntry) bool {
 	return e.id < o.id
 }
 
+// fillReq asks a worker lane's filler goroutine to generate rows [lo, hi)
+// into dst (one half of the lane's double-buffered slab).
+type fillReq struct {
+	lo, hi int
+	dst    *mat.Dense
+}
+
+// streamWorker is one scoring lane's private state, reused across Select
+// calls: a double-buffered feature slab (the second half allocated only
+// when prefetch runs), score buffers, a bounded partial heap, and the
+// lane's shard counters (aggregated into the obs totals after the merge).
+type streamWorker struct {
+	xbuf                 [2]*mat.Dense
+	muC, sigC, muM, sigM []float64
+	heap                 []streamEntry
+	scored, pruned       int64
+
+	req  chan fillReq
+	done chan struct{}
+}
+
+// startFiller launches the lane's shard-generation goroutine. The protocol
+// allows one outstanding request: every req send is matched by one done
+// receive before the next send, so the capacity-1 channels never block the
+// filler.
+func (w *streamWorker) startFiller(src CandidateSource) {
+	w.req = make(chan fillReq, 1)
+	w.done = make(chan struct{}, 1)
+	go func(req chan fillReq, done chan struct{}) {
+		for r := range req {
+			src.Fill(r.lo, r.hi, r.dst)
+			done <- struct{}{}
+		}
+	}(w.req, w.done)
+}
+
+// stopFiller shuts the lane's filler down; all requests must be drained.
+func (w *streamWorker) stopFiller() {
+	close(w.req)
+	w.req, w.done = nil, nil
+}
+
+// kthBound is the shared monotone lower bound on the final k-th shortlist
+// rank, published across lanes with a CAS-max. Any lane whose local heap
+// holds k entries knows the merged top-k ranks at least as high as its
+// heap root, so raising the bound to that root is always sound; a stale
+// (lower) read by another lane only prunes less.
+type kthBound struct{ bits atomic.Uint64 }
+
+func (b *kthBound) store(v float64) { b.bits.Store(math.Float64bits(v)) }
+
+func (b *kthBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// raise lifts the bound to v if v is higher; concurrent raises keep the
+// maximum. Comparison is on float values, not bit patterns.
+func (b *kthBound) raise(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // StreamState is a streamed candidate pool usable across AL iterations: it
 // keeps per-shard prune bounds and candidate tombstones, and produces one
 // exact (or boundedly approximate) top-k shortlist per Select call.
+// Select, Remove, and InvalidateBounds must not overlap (one selection
+// loop owns the state); Select parallelizes internally.
 type StreamState struct {
 	src       CandidateSource
 	cost, mem gp.Model
@@ -161,15 +277,9 @@ type StreamState struct {
 	live     int
 	prevBest []float64 // per-shard upper bound: last observed max rank
 	calls    int
+	lastKth  float64 // previous Select's final k-th rank (non-monotone prune threshold)
 
-	xbuf *mat.Dense // shard feature slab, reused across shards and calls
-	heap []streamEntry
-
-	// Per-shard score buffers, reused across shards and calls whenever the
-	// surrogate supports PredictInto (all built-in families do) — this is
-	// what keeps the streamed path's allocations O(shard + k) rather than
-	// O(m) per Select.
-	muC, sigC, muM, sigM []float64
+	workers []*streamWorker
 }
 
 // intoPredictor is the allocation-free batched prediction surface; every
@@ -178,11 +288,27 @@ type intoPredictor interface {
 	PredictInto(xs *mat.Dense, mean, std []float64)
 }
 
+// serialPredictor is the single-goroutine form of intoPredictor, the one a
+// parallel Select's worker lanes call: the lanes are the parallelism, so
+// nested worker-pool dispatch inside the model would only add scheduling
+// churn. All built-in surrogates implement it with per-call scratch,
+// bitwise-equal to PredictInto.
+type serialPredictor interface {
+	PredictIntoSerial(xs *mat.Dense, mean, std []float64)
+}
+
 // predictShard scores one shard, writing into the reusable buffers when the
-// model allows and falling back to the allocating Predict otherwise.
-func predictShard(m gp.Model, xs *mat.Dense, mean, std []float64) ([]float64, []float64) {
+// model allows and falling back to the allocating Predict otherwise. serial
+// selects the single-goroutine model path (used inside worker lanes).
+func predictShard(m gp.Model, xs *mat.Dense, mean, std []float64, serial bool) ([]float64, []float64) {
+	rows := xs.Rows()
+	if serial {
+		if sp, ok := m.(serialPredictor); ok {
+			sp.PredictIntoSerial(xs, mean[:rows], std[:rows])
+			return mean[:rows], std[:rows]
+		}
+	}
 	if ip, ok := m.(intoPredictor); ok {
-		rows := xs.Rows()
 		ip.PredictInto(xs, mean[:rows], std[:rows])
 		return mean[:rows], std[:rows]
 	}
@@ -194,7 +320,7 @@ func predictShard(m gp.Model, xs *mat.Dense, mean, std []float64) ([]float64, []
 func NewStreamState(src CandidateSource, cost, mem gp.Model, cfg StreamConfig) *StreamState {
 	cfg.setDefaults()
 	if cfg.Rank == nil {
-		cfg.Rank = rankers["maxsigma"]
+		cfg.Rank = rankers["maxsigma"].fn
 	}
 	n := src.Len()
 	nShards := (n + cfg.ShardSize - 1) / cfg.ShardSize
@@ -206,11 +332,7 @@ func NewStreamState(src CandidateSource, cost, mem gp.Model, cfg StreamConfig) *
 		removed:  make(map[int]bool),
 		live:     n,
 		prevBest: make([]float64, nShards),
-		xbuf:     mat.NewDense(cfg.ShardSize, src.Dim(), nil),
-		muC:      make([]float64, cfg.ShardSize),
-		sigC:     make([]float64, cfg.ShardSize),
-		muM:      make([]float64, cfg.ShardSize),
-		sigM:     make([]float64, cfg.ShardSize),
+		lastKth:  math.Inf(-1),
 	}
 	for i := range st.prevBest {
 		st.prevBest[i] = math.Inf(1) // never prune an unscored shard
@@ -222,7 +344,9 @@ func NewStreamState(src CandidateSource, cost, mem gp.Model, cfg StreamConfig) *
 func (st *StreamState) Live() int { return st.live }
 
 // Remove tombstones candidate id (a source index). Tombstones only lower a
-// shard's true maximum, so stale prune bounds stay valid upper bounds.
+// shard's true maximum, so stale prune bounds stay valid upper bounds —
+// including when the last live candidate of a shard goes: the shard's next
+// scoring pass records -Inf and it prunes forever after.
 func (st *StreamState) Remove(id int) {
 	if !st.removed[id] {
 		st.removed[id] = true
@@ -239,106 +363,261 @@ func (st *StreamState) InvalidateBounds() {
 	for i := range st.prevBest {
 		st.prevBest[i] = math.Inf(1)
 	}
+	st.lastKth = math.Inf(-1)
 }
 
-// heapPush maintains a bounded worst-at-root heap of the best k entries.
-func (st *StreamState) heapPush(e streamEntry, k int) {
-	if len(st.heap) < k {
-		st.heap = append(st.heap, e)
+// pushBounded maintains a bounded worst-at-root heap of the best k entries.
+func pushBounded(h []streamEntry, e streamEntry, k int) []streamEntry {
+	if len(h) < k {
+		h = append(h, e)
 		// Sift up: parent must be worse than child (root = worst).
-		for i := len(st.heap) - 1; i > 0; {
+		for i := len(h) - 1; i > 0; {
 			p := (i - 1) / 2
-			if st.heap[i].better(st.heap[p]) {
+			if h[i].better(h[p]) {
 				break
 			}
-			st.heap[i], st.heap[p] = st.heap[p], st.heap[i]
+			h[i], h[p] = h[p], h[i]
 			i = p
 		}
-		return
+		return h
 	}
-	if !e.better(st.heap[0]) {
-		return
+	if !e.better(h[0]) {
+		return h
 	}
-	st.heap[0] = e
+	h[0] = e
 	// Sift down: push the new root toward the leaves past any worse child.
 	for i := 0; ; {
 		l, r := 2*i+1, 2*i+2
 		worst := i
-		if l < len(st.heap) && st.heap[i].better(st.heap[l]) && st.heap[worst].better(st.heap[l]) {
+		if l < len(h) && h[i].better(h[l]) && h[worst].better(h[l]) {
 			worst = l
 		}
-		if r < len(st.heap) && st.heap[i].better(st.heap[r]) && st.heap[worst].better(st.heap[r]) {
+		if r < len(h) && h[i].better(h[r]) && h[worst].better(h[r]) {
 			worst = r
 		}
 		if worst == i {
 			break
 		}
-		st.heap[i], st.heap[worst] = st.heap[worst], st.heap[i]
+		h[i], h[worst] = h[worst], h[i]
 		i = worst
 	}
+	return h
 }
 
-// kthRank is the weakest shortlisted rank once the heap is full.
-func (st *StreamState) kthRank() (float64, bool) {
-	if len(st.heap) < st.cfg.TopK {
-		return 0, false
+// ensureWorkers sizes the lane pool to w, allocating each lane's slabs and
+// buffers once and reusing them across Select calls. The second slab half
+// exists only where prefetch runs (parallel lanes), keeping the serial
+// path's footprint at one shard.
+func (st *StreamState) ensureWorkers(w int, prefetch bool) {
+	shard := st.cfg.ShardSize
+	dim := st.src.Dim()
+	for len(st.workers) < w {
+		st.workers = append(st.workers, nil)
 	}
-	return st.heap[0].rank, true
+	for i := 0; i < w; i++ {
+		sw := st.workers[i]
+		if sw == nil {
+			sw = &streamWorker{
+				muC:  make([]float64, shard),
+				sigC: make([]float64, shard),
+				muM:  make([]float64, shard),
+				sigM: make([]float64, shard),
+			}
+			sw.xbuf[0] = mat.NewDense(shard, dim, nil)
+			st.workers[i] = sw
+		}
+		if prefetch && sw.xbuf[1] == nil {
+			sw.xbuf[1] = mat.NewDense(shard, dim, nil)
+		}
+	}
 }
 
-// Select scores the pool shard by shard and returns the top-k shortlist as
-// a Candidates block plus the shortlist's source ids, both ordered by
-// (rank desc, id asc) so a first-max policy scan picks the same candidate
-// a full-pool scan would. The Candidates' slices are freshly allocated
-// (size k); the X matrix holds the shortlist rows only.
-func (st *StreamState) Select() (*Candidates, []int) {
+// scoreShard predicts one filled shard through both surrogates, reduces
+// its live candidates into the lane's bounded heap, and refreshes the
+// shard's prune bound. Writes touch lane-private state plus prevBest[s],
+// which only this lane (the shard's claimant) writes.
+func (st *StreamState) scoreShard(w *streamWorker, s, lo, hi int, xs *mat.Dense, bound *kthBound, useShared, serial bool) {
+	obs.PoolShardsInflight.Add(1)
+	sp := obs.SpanShardScore.Start()
+	muC, sigC := predictShard(st.cost, xs, w.muC, w.sigC, serial)
+	muM, sigM := predictShard(st.mem, xs, w.muM, w.sigM, serial)
+	k := st.cfg.TopK
+	best := math.Inf(-1)
+	for i := 0; i < hi-lo; i++ {
+		id := lo + i
+		if st.removed[id] {
+			continue
+		}
+		r := st.cfg.Rank(muC[i], sigC[i], muM[i], sigM[i])
+		if r > best {
+			best = r
+		}
+		w.heap = pushBounded(w.heap, streamEntry{id: id, rank: r, muC: muC[i], sigC: sigC[i], muM: muM[i], sigM: sigM[i]}, k)
+	}
+	st.prevBest[s] = best
+	w.scored++
+	if useShared && len(w.heap) == k {
+		bound.raise(w.heap[0].rank)
+	}
+	sp.End()
+	obs.PoolShardsInflight.Add(-1)
+}
+
+// scoreLoop is one lane's Select body: claim shards off the shared cursor
+// (consuming prune decisions inline), generate, and score. threshold is
+// the deterministic non-monotone prune limit; useShared switches to the
+// in-call monotone bound. In parallel mode the lane's filler generates the
+// next claimed shard into the other slab half while this goroutine scores
+// the current one.
+func (st *StreamState) scoreLoop(w *streamWorker, next *atomic.Int64, bound *kthBound, threshold float64, useShared, prune, parallel bool, nShards int) {
 	n := st.src.Len()
 	shard := st.cfg.ShardSize
-	k := st.cfg.TopK
-	st.heap = st.heap[:0]
-	st.calls++
-	refresh := !st.cfg.Approx || st.cfg.RefreshEvery <= 1 || st.calls%st.cfg.RefreshEvery == 1
-
-	for lo, s := 0, 0; lo < n; lo, s = lo+shard, s+1 {
+	dim := st.src.Dim()
+	claim := func() int {
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= nShards {
+				return -1
+			}
+			if prune {
+				lim := threshold
+				if useShared {
+					lim = bound.load()
+				}
+				if st.prevBest[s] < lim {
+					// Every candidate here ranked below the k-th-rank lower
+					// bound the last time the shard was scored — nothing can
+					// enter the shortlist. Strict <: ties are never pruned,
+					// preserving first-max order.
+					w.pruned++
+					continue
+				}
+			}
+			return s
+		}
+	}
+	view := func(buf, s int) (*mat.Dense, int, int) {
+		lo := s * shard
 		hi := lo + shard
 		if hi > n {
 			hi = n
 		}
-		if kth, full := st.kthRank(); st.cfg.Approx && !refresh && full && st.prevBest[s] < kth {
-			// Every candidate in this shard ranked below the current k-th
-			// best the last time it was scored, and the rank's upper bound
-			// is non-increasing — nothing here can enter the shortlist.
-			// Strict <: ties are never pruned, preserving first-max order.
-			obs.PoolShardsPruned.Inc()
-			continue
+		xs := w.xbuf[buf]
+		if hi-lo != shard {
+			xs = mat.NewDense(hi-lo, dim, xs.RawData()[:(hi-lo)*dim])
 		}
-		rows := hi - lo
-		xs := st.xbuf
-		if rows != shard {
-			xs = mat.NewDense(rows, st.src.Dim(), st.xbuf.RawData()[:rows*st.src.Dim()])
-		}
-		st.src.Fill(lo, hi, xs)
-		muC, sigC := predictShard(st.cost, xs, st.muC, st.sigC)
-		muM, sigM := predictShard(st.mem, xs, st.muM, st.sigM)
-		best := math.Inf(-1)
-		for i := 0; i < rows; i++ {
-			id := lo + i
-			if st.removed[id] {
-				continue
-			}
-			r := st.cfg.Rank(muC[i], sigC[i], muM[i], sigM[i])
-			if r > best {
-				best = r
-			}
-			st.heapPush(streamEntry{id: id, rank: r, muC: muC[i], sigC: sigC[i], muM: muM[i], sigM: sigM[i]}, k)
-		}
-		st.prevBest[s] = best
-		obs.PoolShardsScored.Inc()
+		return xs, lo, hi
 	}
-	obs.PoolStreamLive.Set(float64(st.live))
+	if !parallel {
+		// Serial reference path: fill and score in place, letting the
+		// model's own PredictInto fan out over the mat pool if it can.
+		for s := claim(); s >= 0; s = claim() {
+			xs, lo, hi := view(0, s)
+			st.src.Fill(lo, hi, xs)
+			st.scoreShard(w, s, lo, hi, xs, bound, useShared, false)
+		}
+		return
+	}
+	w.startFiller(st.src)
+	defer w.stopFiller()
+	cur := claim()
+	if cur < 0 {
+		return
+	}
+	buf := 0
+	xs, lo, hi := view(buf, cur)
+	w.req <- fillReq{lo: lo, hi: hi, dst: xs}
+	for cur >= 0 {
+		<-w.done // the current shard's slab is ready
+		curXS, curLo, curHi, curS := xs, lo, hi, cur
+		if cur = claim(); cur >= 0 {
+			buf = 1 - buf
+			xs, lo, hi = view(buf, cur)
+			w.req <- fillReq{lo: lo, hi: hi, dst: xs}
+		}
+		st.scoreShard(w, curS, curLo, curHi, curXS, bound, useShared, true)
+	}
+}
 
-	out := append([]streamEntry(nil), st.heap...)
+// Select scores the pool shard by shard — fanned out over min(Workers,
+// shards) lanes, see the package comment for the determinism argument —
+// and returns the top-k shortlist as a Candidates block plus the
+// shortlist's source ids, both ordered by (rank desc, id asc) so a
+// first-max policy scan picks the same candidate a full-pool scan would.
+// The Candidates' slices are freshly allocated (size k); the X matrix
+// holds the shortlist rows only.
+func (st *StreamState) Select() (*Candidates, []int) {
+	n := st.src.Len()
+	shard := st.cfg.ShardSize
+	k := st.cfg.TopK
+	nShards := (n + shard - 1) / shard
+	st.calls++
+	refresh := !st.cfg.Approx || st.cfg.RefreshEvery <= 1 || st.calls%st.cfg.RefreshEvery == 1
+	prune := st.cfg.Approx && !refresh
+	useShared := prune && !st.cfg.NonMonotoneRank
+	threshold := math.Inf(-1) // -Inf never prunes (strict <)
+	if prune && st.cfg.NonMonotoneRank {
+		threshold = st.lastKth
+	}
+	var bound kthBound
+	bound.store(math.Inf(-1))
+
+	w := mat.Workers()
+	if w > nShards {
+		w = nShards
+	}
+	if w < 1 {
+		w = 1
+	}
+	st.ensureWorkers(w, w > 1)
+	for _, sw := range st.workers[:w] {
+		sw.heap = sw.heap[:0]
+		sw.scored, sw.pruned = 0, 0
+	}
+	var next atomic.Int64
+	if w == 1 {
+		st.scoreLoop(st.workers[0], &next, &bound, threshold, useShared, prune, false, nShards)
+	} else {
+		mat.ParallelWorkers(w, func(lane int) {
+			st.scoreLoop(st.workers[lane], &next, &bound, threshold, useShared, prune, true, nShards)
+		})
+	}
+
+	var scored, pruned int64
+	for _, sw := range st.workers[:w] {
+		scored += sw.scored
+		pruned += sw.pruned
+	}
+	obs.PoolShardsScored.Add(scored)
+	obs.PoolShardsPruned.Add(pruned)
+	obs.PoolStreamLive.Set(float64(st.live))
+	if r := obs.Default(); r != nil {
+		for lane, sw := range st.workers[:w] {
+			if sw.scored > 0 {
+				r.Counter(obs.Labeled(obs.MetricPoolWorkerShards, obs.LabelWorker, strconv.Itoa(lane)),
+					"streamed-pool shards scored, by worker lane").Add(sw.scored)
+			}
+		}
+	}
+
+	// Merge: the union of the lanes' bounded heaps contains the global
+	// top-k (each lane kept the best k of its own shards), and sorting
+	// under the strict total order recovers it independent of which lane
+	// held what.
+	var out []streamEntry
+	for _, sw := range st.workers[:w] {
+		out = append(out, sw.heap...)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].better(out[j]) })
+	if len(out) > k {
+		out = out[:k]
+	}
+	if len(out) == k {
+		st.lastKth = out[k-1].rank
+	} else {
+		st.lastKth = math.Inf(-1)
+	}
+
 	ids := make([]int, len(out))
 	c := &Candidates{
 		X:           mat.NewDense(len(out), st.src.Dim(), nil),
@@ -370,8 +649,8 @@ type streamScorer struct {
 	shortX   *mat.Dense // shortlist feature rows, from the last Select
 }
 
-func newStreamScorer(cost, mem gp.Model, x *mat.Dense, spec *PoolSpec, rank RankFunc) *streamScorer {
-	cfg := StreamConfig{Rank: rank}
+func newStreamScorer(cost, mem gp.Model, x *mat.Dense, spec *PoolSpec, rank RankFunc, monotone bool) *streamScorer {
+	cfg := StreamConfig{Rank: rank, NonMonotoneRank: !monotone}
 	if spec != nil {
 		cfg.ShardSize = spec.Shard
 		cfg.TopK = spec.TopK

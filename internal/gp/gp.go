@@ -305,15 +305,41 @@ func (g *GP) PredictInto(xs *mat.Dense, mean, std []float64) {
 	}
 	n := g.x.Rows()
 	mat.ParallelFor(m, mat.ChunkFor(n*n/2+32*n), func(lo, hi int) {
-		// One scratch pair per worker chunk: predictOneInto reuses it for
-		// every point in the chunk, so the hot path allocates nothing per
-		// candidate.
-		scratch := make([]float64, 2*n)
-		ks, v := scratch[:n], scratch[n:]
-		for i := lo; i < hi; i++ {
-			mean[i], std[i] = g.predictOneInto(xs.Row(i), ks, v)
-		}
+		g.predictRange(xs, mean, std, lo, hi)
 	})
+}
+
+// predictRange scores rows [lo, hi) with one scratch pair for the whole
+// range: predictOneInto reuses it for every point, so the hot path
+// allocates nothing per candidate. Model state is read-only here and the
+// scratch is call-local, so any number of predictRange calls (and through
+// them PredictInto / PredictIntoSerial calls) may run concurrently on one
+// fitted model.
+func (g *GP) predictRange(xs *mat.Dense, mean, std []float64, lo, hi int) {
+	n := g.x.Rows()
+	scratch := make([]float64, 2*n)
+	ks, v := scratch[:n], scratch[n:]
+	for i := lo; i < hi; i++ {
+		mean[i], std[i] = g.predictOneInto(xs.Row(i), ks, v)
+	}
+}
+
+// PredictIntoSerial is PredictInto pinned to the calling goroutine: no
+// worker-pool dispatch, identical per-candidate arithmetic, so its output
+// is bitwise-equal to PredictInto's. It exists for callers that are
+// themselves one lane of a higher-level parallel dispatch (the engine's
+// shard workers), where nested fan-out would only add scheduling churn.
+// Safe for concurrent use on a fitted model: prediction reads model state
+// only (Fit/Append/Refit must not overlap, same contract as Predict).
+func (g *GP) PredictIntoSerial(xs *mat.Dense, mean, std []float64) {
+	if !g.fitted {
+		panic("gp: Predict before Fit")
+	}
+	m := xs.Rows()
+	if len(mean) != m || len(std) != m {
+		panic(fmt.Sprintf("gp: PredictIntoSerial buffers %d/%d for %d rows", len(mean), len(std), m))
+	}
+	g.predictRange(xs, mean, std, 0, m)
 }
 
 // PredictOne returns the posterior mean and standard deviation at a single

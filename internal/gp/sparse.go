@@ -237,19 +237,43 @@ func (s *Sparse) PredictInto(xs *mat.Dense, mean, std []float64) {
 	// Test points are independent: batch kernel rows via the cached
 	// evaluator and fan out over the pool with per-chunk scratch.
 	mat.ParallelFor(n, mat.ChunkFor(m*m+4*m), func(lo, hi int) {
-		km := make([]float64, m)
-		w := make([]float64, m)
-		for i := lo; i < hi; i++ {
-			s.zEval(xs.Row(i), 0, km)
-			mean[i] = mat.Dot(km, s.beta) + s.yMean
-			s.aChol.ForwardSolveVecToSerial(w, km)
-			v := mat.Dot(w, w)
-			if v < 0 {
-				v = 0
-			}
-			std[i] = math.Sqrt(v)
-		}
+		s.predictRange(xs, mean, std, lo, hi)
 	})
+}
+
+// predictRange scores rows [lo, hi) with one scratch pair for the whole
+// range. Prediction reads model state only (zEval is concurrent-safe, the
+// factor solve writes caller scratch), so concurrent predictRange calls on
+// one fitted model are race-free.
+func (s *Sparse) predictRange(xs *mat.Dense, mean, std []float64, lo, hi int) {
+	m := s.z.Rows()
+	km := make([]float64, m)
+	w := make([]float64, m)
+	for i := lo; i < hi; i++ {
+		s.zEval(xs.Row(i), 0, km)
+		mean[i] = mat.Dot(km, s.beta) + s.yMean
+		s.aChol.ForwardSolveVecToSerial(w, km)
+		v := mat.Dot(w, w)
+		if v < 0 {
+			v = 0
+		}
+		std[i] = math.Sqrt(v)
+	}
+}
+
+// PredictIntoSerial is PredictInto pinned to the calling goroutine —
+// bitwise-equal output (same per-candidate arithmetic), no worker-pool
+// dispatch. See GP.PredictIntoSerial for the use case and the concurrency
+// contract.
+func (s *Sparse) PredictIntoSerial(xs *mat.Dense, mean, std []float64) {
+	if !s.fitted {
+		panic("gp: Sparse.PredictInto before Fit")
+	}
+	n := xs.Rows()
+	if len(mean) != n || len(std) != n {
+		panic(fmt.Sprintf("gp: PredictIntoSerial buffers %d/%d for %d rows", len(mean), len(std), n))
+	}
+	s.predictRange(xs, mean, std, 0, n)
 }
 
 // Append implements Model: one observation adds the rank-1 term

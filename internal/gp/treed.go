@@ -265,11 +265,42 @@ func (t *Treed) PredictInto(xs *mat.Dense, mean, std []float64) {
 		panic(fmt.Sprintf("gp: PredictInto buffers %d/%d for %d rows", len(mean), len(std), m))
 	}
 	mat.ParallelFor(m, mat.ChunkFor(4*t.leafSize+16), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			leaf := t.leafFor(xs.Row(i))
-			mean[i], std[i] = leaf.model.PredictOne(xs.Row(i))
-		}
+		t.predictRange(xs, mean, std, lo, hi)
 	})
+}
+
+// predictRange scores rows [lo, hi) with one growable scratch pair shared
+// across the whole range — scratch is sized to the largest leaf seen so
+// far, so a range allocates O(distinct leaf-size increases) rather than the
+// O(rows) a per-candidate PredictOne would. Routing and the leaf models are
+// read-only during prediction, so concurrent predictRange calls are
+// race-free.
+func (t *Treed) predictRange(xs *mat.Dense, mean, std []float64, lo, hi int) {
+	var scratch []float64
+	for i := lo; i < hi; i++ {
+		leaf := t.leafFor(xs.Row(i))
+		n := leaf.model.NumTrain()
+		if cap(scratch) < 2*n {
+			scratch = make([]float64, 2*n)
+		}
+		s := scratch[:2*n]
+		mean[i], std[i] = leaf.model.predictOneInto(xs.Row(i), s[:n], s[n:])
+	}
+}
+
+// PredictIntoSerial is PredictInto pinned to the calling goroutine —
+// bitwise-equal output (each row goes through the same predictOneInto its
+// leaf's PredictOne uses), no worker-pool dispatch. See GP.PredictIntoSerial
+// for the use case and the concurrency contract.
+func (t *Treed) PredictIntoSerial(xs *mat.Dense, mean, std []float64) {
+	if t.root == nil {
+		panic("gp: Treed.Predict before Fit")
+	}
+	m := xs.Rows()
+	if len(mean) != m || len(std) != m {
+		panic(fmt.Sprintf("gp: PredictIntoSerial buffers %d/%d for %d rows", len(mean), len(std), m))
+	}
+	t.predictRange(xs, mean, std, 0, m)
 }
 
 // Append implements Model: the sample joins its covering leaf through the

@@ -142,6 +142,50 @@ func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ParallelWorkers runs fn(0) … fn(w-1) concurrently over the package worker
+// pool, with the caller participating. Unlike ParallelFor — which splits one
+// index range into interchangeable chunks — each body here has an identity:
+// fn(i) typically owns per-worker state (scratch slabs, partial heaps)
+// indexed by i, and every body runs exactly once. The usual pool discipline
+// applies: helpers are offered without blocking and the caller claims any
+// body no helper picked up, so in the worst case (w == 1, a saturated pool,
+// or SetWorkers(1)) all bodies run serially on the calling goroutine and
+// nothing deadlocks. Like ParallelFor, this is a throughput surface only:
+// callers must arrange that results do not depend on which goroutine runs
+// which body, or on how bodies interleave.
+func ParallelWorkers(w int, fn func(worker int)) {
+	if w <= 0 {
+		return
+	}
+	if w == 1 || Workers() == 1 {
+		obs.MatInline.Inc()
+		for i := 0; i < w; i++ {
+			fn(i)
+		}
+		return
+	}
+	obs.MatDispatch.Inc()
+	obs.MatWorkers.Set(float64(Workers()))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	run := func() {
+		for {
+			id := int(next.Add(1)) - 1
+			if id >= w {
+				return
+			}
+			fn(id)
+			wg.Done()
+		}
+	}
+	for i := 0; i < w-1; i++ {
+		pool.offer(run, Workers()-1)
+	}
+	run() // the caller participates, guaranteeing progress
+	wg.Wait()
+}
+
 // sumBlock is the fixed reduction block size used by ParallelSum. It is a
 // constant so that the grouping of partial sums — and therefore the
 // floating-point result — is a function of n alone.

@@ -338,3 +338,39 @@ func TestAppendRowAmortized(t *testing.T) {
 		t.Fatal("AppendRow corrupted contents")
 	}
 }
+
+// TestParallelWorkersEachBodyOnce: every body fn(0..w-1) runs exactly once,
+// across serial (SetWorkers(1)), caller-only (w=1), and dispatched modes.
+func TestParallelWorkersEachBodyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, w := range []int{0, 1, 2, 5, 16} {
+			counts := make([]int64, w+1)
+			withWorkers(workers, func() {
+				ParallelWorkers(w, func(id int) {
+					atomic.AddInt64(&counts[id], 1)
+				})
+			})
+			for id := 0; id < w; id++ {
+				if counts[id] != 1 {
+					t.Fatalf("workers=%d w=%d: body %d ran %d times", workers, w, id, counts[id])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWorkersNested: a body may itself call into the parallel
+// layer; the never-blocking pool discipline keeps nesting deadlock-free.
+func TestParallelWorkersNested(t *testing.T) {
+	withWorkers(4, func() {
+		var total atomic.Int64
+		ParallelWorkers(4, func(id int) {
+			ParallelFor(100, 1, func(lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		})
+		if total.Load() != 400 {
+			t.Fatalf("nested ParallelFor covered %d indices, want 400", total.Load())
+		}
+	})
+}

@@ -27,6 +27,10 @@ type GaugeHandle struct{ p atomic.Pointer[Gauge] }
 // Set stores v; no-op while disabled.
 func (h *GaugeHandle) Set(v float64) { h.p.Load().Set(v) }
 
+// Add atomically adds delta; no-op while disabled. For gauges that track a
+// level (e.g. shards in flight): +1 on entry, -1 on exit.
+func (h *GaugeHandle) Add(delta float64) { h.p.Load().Add(delta) }
+
 // HistogramHandle is a nil-safe indirection to a Histogram.
 type HistogramHandle struct{ p atomic.Pointer[Histogram] }
 
@@ -128,10 +132,14 @@ var (
 	CacheInvalidations CounterHandle
 	CacheExtends       CounterHandle
 
-	// Streamed candidate pool.
-	PoolShardsScored CounterHandle
-	PoolShardsPruned CounterHandle
-	PoolStreamLive   GaugeHandle
+	// Streamed candidate pool. The span histogram times one shard's
+	// predict-and-reduce; the in-flight gauge counts shards being scored
+	// concurrently (its high-water mark is the achieved parallelism).
+	PoolShardsScored   CounterHandle
+	PoolShardsPruned   CounterHandle
+	PoolStreamLive     GaugeHandle
+	PoolShardsInflight GaugeHandle
+	SpanShardScore     = SpanHandle{name: "pool.shard"}
 
 	// Per-model incremental scoring caches (sparse/treed).
 	ModelCacheOps CounterVecHandle
@@ -206,6 +214,8 @@ func bindHandles(r *Registry) {
 	PoolShardsScored.p.Store(r.Counter(MetricPoolShardsScored, "streamed-pool shards scored"))
 	PoolShardsPruned.p.Store(r.Counter(MetricPoolShardsPruned, "streamed-pool shards pruned by the upper-bound test"))
 	PoolStreamLive.p.Store(r.Gauge(MetricPoolStreamLive, "live candidates in the streamed pool"))
+	PoolShardsInflight.p.Store(r.Gauge(MetricPoolShardsInflight, "streamed-pool shards being scored right now"))
+	SpanShardScore.hist.Store(r.Histogram(MetricPoolShardScoreSecs, "one shard's predict-and-reduce duration (seconds)", LatencyBuckets))
 	modelOps := make(map[string]*Counter, len(modelCacheOpValues))
 	for _, op := range modelCacheOpValues {
 		modelOps[op] = r.Counter(Labeled(MetricModelCacheOps, "kind", op), "per-model scoring-cache maintenance operations")
@@ -257,7 +267,7 @@ func unbindHandles() {
 	}
 	for _, g := range []*GaugeHandle{
 		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
-		&PoolSize, &PoolStreamLive, &GPTrainRows, &MatWorkers,
+		&PoolSize, &PoolStreamLive, &PoolShardsInflight, &GPTrainRows, &MatWorkers,
 		&RemoteWorkersLive,
 	} {
 		g.p.Store(nil)
@@ -267,7 +277,7 @@ func unbindHandles() {
 	}
 	for _, sp := range []*SpanHandle{
 		&SpanFit, &SpanHyperopt, &SpanScore, &SpanSelect, &SpanRun, &SpanFeed,
-		&SpanCheckpointWrite, &SpanCheckpointRestore,
+		&SpanCheckpointWrite, &SpanCheckpointRestore, &SpanShardScore,
 	} {
 		sp.hist.Store(nil)
 	}

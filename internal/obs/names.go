@@ -31,10 +31,19 @@ const (
 	MetricCacheInvalidations = "alamr_cache_invalidations_total"
 	MetricCacheExtends       = "alamr_cache_extends_total"
 
-	// Streamed candidate pool (engine.StreamSelect).
-	MetricPoolShardsScored = "alamr_pool_shards_scored_total"
-	MetricPoolShardsPruned = "alamr_pool_shards_pruned_total"
-	MetricPoolStreamLive   = "alamr_pool_stream_live"
+	// Streamed candidate pool (engine.StreamState). Shard scoring is
+	// parallel: the in-flight gauge tracks shards being scored at this
+	// instant, the histogram times individual shard-scoring spans, and —
+	// like the sweep series below — per-worker scored counts additionally
+	// appear as dynamically-created `{worker="..."}` series of
+	// MetricPoolWorkerShards (absent from AllMetricNames: worker indices
+	// are only known at run time).
+	MetricPoolShardsScored   = "alamr_pool_shards_scored_total"
+	MetricPoolShardsPruned   = "alamr_pool_shards_pruned_total"
+	MetricPoolStreamLive     = "alamr_pool_stream_live"
+	MetricPoolShardsInflight = "alamr_pool_shards_inflight"
+	MetricPoolShardScoreSecs = "alamr_pool_shard_score_seconds"
+	MetricPoolWorkerShards   = "alamr_pool_worker_shards_total" // label: worker
 
 	// Per-model incremental scoring caches (sparse/treed analogues of
 	// ScoringCache). One labeled series per (model, operation) pair.
@@ -135,6 +144,8 @@ var AllMetricNames = []string{
 	MetricPoolShardsScored,
 	MetricPoolShardsPruned,
 	MetricPoolStreamLive,
+	MetricPoolShardsInflight,
+	MetricPoolShardScoreSecs,
 	Labeled(MetricModelCacheOps, "kind", ModelCacheSparseExtend),
 	Labeled(MetricModelCacheOps, "kind", ModelCacheSparseRebuild),
 	Labeled(MetricModelCacheOps, "kind", ModelCacheTreedExtend),

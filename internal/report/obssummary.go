@@ -3,9 +3,25 @@ package report
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"alamr/internal/obs"
 )
+
+// streamPoolSeries reports whether a series belongs to the streamed-pool
+// group (shard scored/pruned/in-flight counters and gauges, the live
+// gauge, the shard-latency histogram, and the per-lane labeled counters).
+// The group renders as a unit: nothing when streaming never ran, and the
+// full scored/pruned partition — a zero pruned count included — when it
+// did, so the reconcile invariant (scored + pruned = shards visited) is
+// always readable and a campaign that never streamed never shows a
+// misleading pruning block.
+func streamPoolSeries(name string) bool {
+	return strings.HasPrefix(name, "alamr_pool_shards_") ||
+		strings.HasPrefix(name, obs.MetricPoolWorkerShards) ||
+		name == obs.MetricPoolStreamLive ||
+		name == obs.MetricPoolShardScoreSecs
+}
 
 // ObsSummary renders an end-of-campaign digest of the observability
 // registry: every non-zero counter and gauge, plus count/mean for every
@@ -23,6 +39,7 @@ func ObsSummary(r *obs.Registry) *Table {
 	}
 	s := r.TakeSnapshot()
 	t := &Table{Header: []string{"metric", "value"}}
+	streamed := s.Counters[obs.MetricPoolShardsScored] > 0
 
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
@@ -30,7 +47,11 @@ func ObsSummary(r *obs.Registry) *Table {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if v := s.Counters[name]; v != 0 {
+		if streamPoolSeries(name) && !streamed {
+			continue
+		}
+		v := s.Counters[name]
+		if v != 0 || (streamed && name == obs.MetricPoolShardsPruned) {
 			t.Add(name, v)
 		}
 	}
@@ -41,6 +62,9 @@ func ObsSummary(r *obs.Registry) *Table {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if streamPoolSeries(name) && !streamed {
+			continue
+		}
 		if v := s.Gauges[name]; v != 0 {
 			t.Add(name, v)
 		}
@@ -52,6 +76,9 @@ func ObsSummary(r *obs.Registry) *Table {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if streamPoolSeries(name) && !streamed {
+			continue
+		}
 		h := s.Histograms[name]
 		if h.Count == 0 {
 			continue

@@ -53,6 +53,64 @@ func TestObsSummaryNilRegistry(t *testing.T) {
 	}
 }
 
+// TestObsSummaryStreamPoolGating: the streamed-pool series render as a
+// unit keyed on the scored counter. A campaign that never streamed must
+// not show a pruning section even if stale stream gauges linger in the
+// registry (a restored checkpoint can carry one); a campaign that streamed
+// must show the full scored/pruned partition, a zero pruned count
+// included, so the reconcile invariant is readable.
+func TestObsSummaryStreamPoolGating(t *testing.T) {
+	streamSeries := []string{
+		obs.MetricPoolShardsScored,
+		obs.MetricPoolShardsPruned,
+		obs.MetricPoolShardsInflight,
+		obs.MetricPoolStreamLive,
+		obs.MetricPoolShardScoreSecs,
+		obs.Labeled(obs.MetricPoolWorkerShards, obs.LabelWorker, "0"),
+	}
+
+	// Never streamed: zero scored shards, but a stale live gauge, an idle
+	// in-flight gauge, and a leftover per-worker counter are all present.
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MetricLoopIterations, "iters").Add(4)
+	reg.Gauge(obs.MetricPoolStreamLive, "live").Set(512)
+	reg.Gauge(obs.MetricPoolShardsInflight, "inflight").Set(0)
+	reg.Counter(streamSeries[5], "per-worker").Add(3)
+	reg.Histogram(obs.MetricPoolShardScoreSecs, "latency", obs.LatencyBuckets).Observe(0.01)
+	out := ObsSummary(reg).String()
+	for _, name := range streamSeries {
+		if strings.Contains(out, name) {
+			t.Errorf("summary shows stream series %s for a campaign that never streamed:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, obs.MetricLoopIterations) {
+		t.Fatalf("summary dropped a non-stream series:\n%s", out)
+	}
+
+	// Streamed with nothing pruned: the pruned row must appear showing 0 —
+	// its absence would be unreadable next to a non-zero scored count.
+	reg = obs.NewRegistry()
+	reg.Counter(obs.MetricPoolShardsScored, "scored").Add(64)
+	reg.Counter(obs.MetricPoolShardsPruned, "pruned").Add(0)
+	reg.Gauge(obs.MetricPoolStreamLive, "live").Set(512)
+	tab := ObsSummary(reg)
+	out = tab.String()
+	for _, want := range []string{obs.MetricPoolShardsScored, obs.MetricPoolShardsPruned, obs.MetricPoolStreamLive} {
+		if !strings.Contains(out, want) {
+			t.Errorf("streamed summary missing %s:\n%s", want, out)
+		}
+	}
+	prunedRow := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, obs.MetricPoolShardsPruned) && strings.HasSuffix(strings.TrimSpace(line), " 0") {
+			prunedRow = true
+		}
+	}
+	if !prunedRow {
+		t.Errorf("pruned row does not show an explicit 0:\n%s", out)
+	}
+}
+
 // analyticLab is a deterministic formula-backed lab, cheap enough to drive
 // a full faulty campaign inside a unit test.
 type analyticLab struct{ combos []dataset.Combo }
