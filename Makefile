@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al bench-scale bench-scale-full bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke
+.PHONY: all build test ci bench bench-al bench-scale bench-scale-full bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke serve-smoke docs-check
 
 all: build
 
@@ -65,12 +65,31 @@ obs-check:
 	$(GO) test -race -count=1 -run 'TracingEnabled|ObsSummary' \
 		./internal/online ./internal/report
 
+# serve-smoke gates the campaign daemon (internal/serve + cmd/al-serve):
+# the whole package under -race — concurrent multi-tenant campaigns bitwise
+# identical to direct engine runs, fair-share/priority scheduling, queue
+# backpressure, the HTTP validation table, and the SIGKILL-mid-flight
+# subprocess test that must resume every campaign from its checkpoint to
+# byte-identical results — then the load tester against an embedded daemon,
+# gating p99 submit/poll latency and writing BENCH_serve.json.
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) run ./cmd/al-loadtest -data dataset.csv -campaigns 24 -out BENCH_serve.json
+
+# docs-check keeps the documentation honest: every examples/specs file is
+# canonical-form, every flag README.md/API.md shows exists in the binary it
+# is shown on, and every alamr_* metric the docs mention is cataloged in
+# internal/obs/names.go.
+docs-check:
+	$(GO) run ./cmd/docs-check
+
 # ci is the gate for every PR: formatting, vet, full build, full test suite,
 # then the race detector over the parallel-heavy packages, then the
-# observability, sweep, and pool-scaling gates. The race target already
-# covers ./internal/gp and ./internal/engine, so the cache-equivalence and
-# streamed-pool tests run under the race detector here too.
-ci: fmt vet build test race obs-check sweep-smoke chaos-remote bench-scale-smoke
+# observability, sweep, serving, docs, and pool-scaling gates. The race
+# target already covers ./internal/gp and ./internal/engine, so the
+# cache-equivalence and streamed-pool tests run under the race detector here
+# too.
+ci: fmt vet build test race obs-check sweep-smoke serve-smoke docs-check chaos-remote bench-scale-smoke
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -76,27 +77,24 @@ func (o options) validate() error {
 	return nil
 }
 
-// runCampaignSpec executes one declarative campaign (either mode) and prints
-// a short summary — the single-campaign counterpart of the figure suite.
+// runCampaignSpec executes one declarative campaign (either mode) through
+// the engine's mode-runner registry and prints a short summary — the
+// single-campaign counterpart of the figure suite.
 func runCampaignSpec(spec engine.CampaignSpec, ds *dataset.Dataset) error {
 	fmt.Printf("campaign %s: mode=%s policy=%s\n", spec.Name, spec.Mode, spec.Policy.Name)
-	switch spec.Mode {
-	case engine.ModeReplay:
-		tr, err := engine.RunReplaySpec(ds, spec)
-		if err != nil {
-			return err
-		}
-		n := tr.Iterations()
-		fmt.Printf("%d iterations, stop=%s\n", n, tr.Reason)
+	v, err := engine.RunCampaignSpec(context.Background(), spec, ds, nil)
+	if err != nil {
+		return err
+	}
+	switch res := v.(type) {
+	case *engine.Trajectory:
+		n := res.Iterations()
+		fmt.Printf("%d iterations, stop=%s\n", n, res.Reason)
 		if n > 0 {
 			fmt.Printf("final RMSE cost=%.4g mem=%.4g; cumulative cost=%.4g node-hours, regret=%.4g\n",
-				tr.CostRMSE[n-1], tr.MemRMSE[n-1], tr.CumCost[n-1], tr.CumRegret[n-1])
+				res.CostRMSE[n-1], res.MemRMSE[n-1], res.CumCost[n-1], res.CumRegret[n-1])
 		}
-	case engine.ModeOnline:
-		res, err := online.RunSpec(spec, ds)
-		if err != nil {
-			return err
-		}
+	case *online.Result:
 		fmt.Printf("%d experiments, stop=%s\n", len(res.Jobs), res.Reason)
 		if n := len(res.CumCost); n > 0 {
 			fmt.Printf("spent %.4g node-hours (regret %.4g)\n", res.CumCost[n-1], res.CumRegret[n-1])
@@ -144,19 +142,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("regenerated dataset: %d jobs in %v\n\n", ds.Len(), time.Since(t0).Round(time.Millisecond))
-	} else {
+	} else if o.spec == "" {
 		ds, loadErr = dataset.LoadFile(*data)
 	}
 
 	if o.spec != "" {
-		spec, err := engine.LoadCampaignSpec(o.spec)
-		if err != nil {
-			log.Fatal(err)
+		var spec engine.CampaignSpec
+		var serr error
+		if *generate {
+			// The dataset was just regenerated in-process; only the spec
+			// file needs loading.
+			spec, serr = engine.LoadCampaignSpec(o.spec)
+		} else {
+			spec, ds, serr = engine.LoadSpecForRun(o.spec, *data)
 		}
-		// Online specs backed by the sim lab run without the offline
-		// dataset; everything else needs it.
-		if ds == nil && spec.Mode == engine.ModeReplay {
-			log.Fatalf("loading dataset: %v (replay specs need the offline dataset)", loadErr)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		if err := runCampaignSpec(spec, ds); err != nil {
 			log.Fatal(err)

@@ -34,7 +34,6 @@ import (
 	"os"
 
 	"alamr/internal/core"
-	"alamr/internal/dataset"
 	"alamr/internal/engine"
 	"alamr/internal/faults"
 	"alamr/internal/obs"
@@ -147,18 +146,10 @@ func main() {
 	refRuns := -1 // physics-reference count; -1 when the spec path owns the lab
 	injecting := false
 	if o.spec != "" {
-		spec, serr := engine.LoadCampaignSpec(o.spec)
+		spec, ds, serr := engine.LoadSpecForRun(o.spec, o.data)
 		if serr != nil {
 			bundle.Close()
 			log.Fatal(serr)
-		}
-		var ds *dataset.Dataset
-		if o.data != "" {
-			ds, serr = dataset.LoadFile(o.data)
-			if serr != nil {
-				bundle.Close()
-				log.Fatalf("loading dataset: %v", serr)
-			}
 		}
 		res, err = online.RunSpec(spec, ds)
 	} else {

@@ -146,20 +146,18 @@ func main() {
 	}
 	defer bundle.Close()
 
-	ds, err := dataset.LoadFile(*data)
-	if err != nil {
-		log.Fatalf("loading dataset: %v (generate one with amr-gen)", err)
-	}
-
+	var ds *dataset.Dataset
 	spec := o.campaignSpec()
 	if o.spec != "" {
-		spec, err = engine.LoadCampaignSpec(o.spec)
+		spec, ds, err = engine.LoadSpecForRun(o.spec, *data)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if spec.Mode != engine.ModeReplay {
 			log.Fatalf("%s is a %s-mode spec; al-run executes replay campaigns (use al-online)", o.spec, spec.Mode)
 		}
+	} else if ds, err = dataset.LoadFile(*data); err != nil {
+		log.Fatalf("loading dataset: %v (generate one with amr-gen)", err)
 	}
 	if spec.MemLimitPaperRule {
 		fmt.Printf("memory limit (paper rule): %.4g MB\n", engine.PaperMemLimitMB(ds))

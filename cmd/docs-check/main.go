@@ -1,0 +1,189 @@
+// Command docs-check keeps the documentation honest. It fails (non-zero,
+// one line per violation) when the docs and the code drift apart:
+//
+//  1. Every examples/specs/*.json must parse as a CampaignSpec and already
+//     be in canonical form — Marshal(Parse(file)) must equal the file byte
+//     for byte, so the runnable examples stay pinned to the spec layer's
+//     round-trip guarantee.
+//  2. Every -flag that README.md or API.md shows on an al-*/amr-gen/
+//     shockbubble command line must exist in that binary's actual flag set
+//     (taken from `go run ./cmd/<name> -h`), so quick-starts never cite a
+//     flag that was renamed or removed.
+//  3. Every alamr_* metric name mentioned in DESIGN.md, README.md, or
+//     API.md must exist in the observability catalog (a string constant in
+//     internal/obs/names.go), so the metrics documentation can never
+//     reference a series the code does not export. Family prefixes written
+//     with a trailing underscore ("the alamr_serve_ series") are skipped.
+//
+// Run from the repository root (it resolves cmd/ and the docs relative to
+// the working directory): `go run ./cmd/docs-check` or `make docs-check`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"alamr/internal/engine"
+	_ "alamr/internal/online"    // registers the sim lab + online mode
+	_ "alamr/internal/remotelab" // registers the remote lab
+)
+
+var problems []string
+
+func problemf(format string, args ...any) {
+	problems = append(problems, fmt.Sprintf(format, args...))
+}
+
+// checkSpecs pins every example spec to the canonical marshal form.
+func checkSpecs() {
+	files, err := filepath.Glob("examples/specs/*.json")
+	if err != nil || len(files) == 0 {
+		problemf("examples/specs: no spec files found (run from the repository root)")
+		return
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			problemf("%s: %v", f, err)
+			continue
+		}
+		spec, err := engine.ParseCampaignSpec(data)
+		if err != nil {
+			problemf("%s: does not parse: %v", f, err)
+			continue
+		}
+		canon, err := spec.Marshal()
+		if err != nil {
+			problemf("%s: re-marshal: %v", f, err)
+			continue
+		}
+		if string(canon) != string(data) {
+			problemf("%s: not in canonical form (re-save it with engine.Marshal)", f)
+		}
+	}
+}
+
+// binaryFlags extracts the flag names a command actually defines, from the
+// usage text `go run ./cmd/<name> -h` prints.
+func binaryFlags(name string) (map[string]bool, error) {
+	out, _ := exec.Command("go", "run", "./cmd/"+name, "-h").CombinedOutput()
+	flags := map[string]bool{"h": true, "help": true}
+	re := regexp.MustCompile(`(?m)^\s+-([A-Za-z][\w.-]*)`)
+	for _, m := range re.FindAllStringSubmatch(string(out), -1) {
+		flags[m[1]] = true
+	}
+	if len(flags) == 2 && len(out) > 0 && !strings.Contains(string(out), "Usage") {
+		return nil, fmt.Errorf("could not parse usage output of cmd/%s:\n%s", name, out)
+	}
+	return flags, nil
+}
+
+// docCommandFlags scans one markdown file for command invocations and
+// verifies every flag shown against the binary's real flag set. Lines are
+// joined across shell continuations (trailing backslash) first; a line
+// contributes flags to the last command it names.
+func docCommandFlags(path string, commands []string, flagSets map[string]map[string]bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		problemf("%s: %v", path, err)
+		return
+	}
+	joined := regexp.MustCompile(`\\\n\s*`).ReplaceAllString(string(data), " ")
+	flagRe := regexp.MustCompile(`^\[?-([A-Za-z][\w.-]*)`)
+	for ln, line := range strings.Split(joined, "\n") {
+		cmd := ""
+		for _, c := range commands {
+			if regexp.MustCompile(`(^|[ /\x60])` + regexp.QuoteMeta(c) + `($|[ \x60])`).MatchString(line) {
+				cmd = c
+			}
+		}
+		if cmd == "" {
+			continue
+		}
+		for _, field := range strings.Fields(line) {
+			m := flagRe.FindStringSubmatch(field)
+			if m == nil {
+				continue
+			}
+			if !flagSets[cmd][m[1]] {
+				problemf("%s:%d: %s has no -%s flag (line: %q)", path, ln+1, cmd, m[1], strings.TrimSpace(line))
+			}
+		}
+	}
+}
+
+// checkMetricNames verifies every alamr_* token in the docs is a cataloged
+// metric: a string constant in internal/obs/names.go (the catalog includes
+// the dynamically-labeled families that are deliberately absent from
+// AllMetricNames). Tokens ending in "_" are family-prefix prose, not names.
+func checkMetricNames(paths []string) {
+	catalog, err := os.ReadFile("internal/obs/names.go")
+	if err != nil {
+		problemf("reading metric catalog: %v", err)
+		return
+	}
+	known := map[string]bool{}
+	litRe := regexp.MustCompile(`"(alamr_[a-z0-9_]+)"`)
+	for _, m := range litRe.FindAllStringSubmatch(string(catalog), -1) {
+		known[m[1]] = true
+	}
+	tokenRe := regexp.MustCompile(`alamr_[a-z0-9_]+`)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problemf("%s: %v", path, err)
+			continue
+		}
+		seen := map[string]bool{}
+		for ln, line := range strings.Split(string(data), "\n") {
+			for _, tok := range tokenRe.FindAllString(line, -1) {
+				if strings.HasSuffix(tok, "_") {
+					continue
+				}
+				if !known[tok] && !seen[tok] {
+					seen[tok] = true
+					problemf("%s:%d: metric %s is not in the obs catalog (internal/obs/names.go)", path, ln+1, tok)
+				}
+			}
+		}
+	}
+}
+
+func main() {
+	checkSpecs()
+
+	// bench-summary is absent: it takes positional file arguments, no flags.
+	commands := []string{
+		"al-run", "al-eval", "al-online", "al-worker", "al-serve",
+		"al-loadtest", "amr-gen", "shockbubble",
+	}
+	flagSets := map[string]map[string]bool{}
+	for _, c := range commands {
+		fs, err := binaryFlags(c)
+		if err != nil {
+			problemf("%v", err)
+			fs = nil
+		}
+		flagSets[c] = fs
+	}
+	for _, doc := range []string{"README.md", "API.md"} {
+		docCommandFlags(doc, commands, flagSets)
+	}
+
+	checkMetricNames([]string{"DESIGN.md", "README.md", "API.md"})
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docs-check: "+p)
+		}
+		fmt.Fprintf(os.Stderr, "docs-check: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docs-check: specs canonical, documented flags real, documented metrics cataloged")
+}

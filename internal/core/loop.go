@@ -25,6 +25,7 @@ const (
 	StopStable        = engine.StopStable
 	StopBudget        = engine.StopBudget
 	StopFault         = engine.StopFault
+	StopCancelled     = engine.StopCancelled
 )
 
 // RunTrajectory executes Algorithm 1 on one partition of the dataset and

@@ -60,6 +60,10 @@ type LoopConfig struct {
 	// concurrent sweeps keep separable metric series; nil records into the
 	// shared campaign gauges only.
 	Campaign *CampaignObs
+	// Stop optionally requests cooperative cancellation: it is polled at
+	// every round boundary and a true return ends the trajectory with
+	// StopCancelled (partial results intact, no error).
+	Stop func() bool
 }
 
 // newModel builds one surrogate instance: the NewModel override, then the
@@ -118,6 +122,11 @@ const (
 	// or spent a job's whole retry budget; partial results are returned
 	// alongside the error.
 	StopFault StopReason = "fatal-fault"
+	// StopCancelled ends a campaign whose caller asked it to stop (see
+	// LoopParams.Stop) — e.g. a DELETE against a running al-serve campaign.
+	// The partial result is returned without an error; the loop stops at the
+	// next round boundary, after the in-flight experiment completes.
+	StopCancelled StopReason = "cancelled"
 )
 
 // Trajectory records everything the evaluation needs about one AL run: the

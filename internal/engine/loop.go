@@ -85,6 +85,11 @@ type LoopParams struct {
 	CumCost, CumRegret float64
 	// Campaign optionally records into per-campaign labeled series.
 	Campaign *CampaignObs
+	// Stop, when non-nil, is polled before every round; a true return ends
+	// the loop with StopCancelled. Cancellation is cooperative and lands on
+	// round boundaries only, so a checkpointed campaign cancelled mid-flight
+	// still holds a consistent (resumable) state.
+	Stop func() bool
 }
 
 // RunLoop drives Algorithm 1 against the environment: score the pool, let
@@ -102,6 +107,9 @@ func RunLoop(env LoopEnv, p LoopParams) (StopReason, error) {
 	sel := p.StartSel
 	round := 0
 	for sel < p.MaxSel && env.PoolLen() > 0 {
+		if p.Stop != nil && p.Stop() {
+			return StopCancelled, nil
+		}
 		want := q
 		if rem := p.MaxSel - sel; rem < want {
 			want = rem

@@ -133,6 +133,20 @@ func BuildStrategy(name string) (BatchStrategy, error) {
 	return s, nil
 }
 
+// LabRegistered reports whether a lab name resolves in the registry without
+// constructing the lab (construction can have side effects — the "remote"
+// lab binds a listener). Unknown names report the registered alternatives,
+// with the same message BuildLab would produce.
+func LabRegistered(name string) error {
+	regMu.RLock()
+	_, ok := labReg[normName(name)]
+	regMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine: unknown lab %q (registered: %s)", name, strings.Join(LabNames(), ", "))
+	}
+	return nil
+}
+
 // BuildLab constructs the lab a spec names. The "sim" lab registers from
 // internal/online; "replay" is built in and requires deps.Dataset.
 func BuildLab(s LabSpec, deps LabDeps) (Lab, error) {

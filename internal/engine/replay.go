@@ -293,6 +293,7 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 		MemLimitRaw:   memLimitRaw,
 		MemLimitMB:    cfg.MemLimitMB,
 		Campaign:      cfg.Campaign,
+		Stop:          cfg.Stop,
 	})
 	if err != nil {
 		return nil, err

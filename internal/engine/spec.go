@@ -332,22 +332,7 @@ func RunReplaySpec(ds *dataset.Dataset, spec CampaignSpec) (*Trajectory, error) 
 // RunReplaySpecScoped is RunReplaySpec with a per-campaign obs scope
 // attached (Sweep passes each item's scope through here).
 func RunReplaySpecScoped(ds *dataset.Dataset, spec CampaignSpec, scope *CampaignObs) (*Trajectory, error) {
-	part, cfg, err := spec.ReplayPlan(ds)
-	if err != nil {
-		return nil, err
-	}
-	cfg.Campaign = scope
-	if b := spec.Replay.Batch; b != nil {
-		strategy := BatchIndependent
-		if b.Strategy != "" {
-			strategy, err = BuildStrategy(b.Strategy)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return RunReplayBatch(ds, part, cfg, b.Q, strategy)
-	}
-	return RunReplay(ds, part, cfg)
+	return runReplaySpecCtx(nil, ds, spec, scope)
 }
 
 // ReplaySpecItem wraps a replay spec as one sweep campaign. The item ID is

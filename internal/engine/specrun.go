@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"alamr/internal/dataset"
+)
+
+// The mode-runner registry closes the last gap between "a CampaignSpec" and
+// "a running campaign": each execution mode registers one SpecRunner, and
+// every caller — the CLI binaries, al-serve's worker pool, tests — executes
+// specs through the same RunCampaignSpec entry point instead of hand-rolling
+// its own mode switch. engine registers ModeReplay below; internal/online
+// contributes ModeOnline from its init, exactly like the "sim" lab.
+
+// SpecRunner executes one validated campaign spec. The context is the
+// cooperative cancellation signal (polled at round boundaries); ds is the
+// offline dataset (nil when the spec does not need it, see
+// SpecNeedsDataset); scope optionally labels the campaign's metric series.
+// The result is mode-specific: *Trajectory for replay, *online.Result for
+// online.
+type SpecRunner func(ctx context.Context, spec CampaignSpec, ds *dataset.Dataset, scope *CampaignObs) (any, error)
+
+var (
+	modeMu  sync.RWMutex
+	modeReg = map[string]SpecRunner{}
+)
+
+// RegisterModeRunner adds (or replaces) the runner for a campaign mode.
+func RegisterModeRunner(mode string, run SpecRunner) {
+	modeMu.Lock()
+	defer modeMu.Unlock()
+	modeReg[normName(mode)] = run
+}
+
+// ModeNames lists the registered campaign modes, sorted.
+func ModeNames() []string {
+	modeMu.RLock()
+	defer modeMu.RUnlock()
+	return sortedKeys(modeReg)
+}
+
+// RunCampaignSpec validates and executes a campaign spec of either mode
+// through the mode-runner registry. A nil ctx runs without cancellation.
+func RunCampaignSpec(ctx context.Context, spec CampaignSpec, ds *dataset.Dataset, scope *CampaignObs) (any, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	modeMu.RLock()
+	run, ok := modeReg[normName(spec.Mode)]
+	modeMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: no runner registered for mode %q (registered: %s)",
+			spec.Mode, strings.Join(ModeNames(), ", "))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, spec, ds, scope)
+}
+
+// SpecNeedsDataset reports whether executing the spec requires the offline
+// dataset: every replay-mode campaign, any campaign using the paper's
+// memory-limit rule (calibrated against the dataset), and online campaigns
+// backed by the "replay" lab.
+func SpecNeedsDataset(spec CampaignSpec) bool {
+	if spec.Mode == ModeReplay || spec.MemLimitPaperRule {
+		return true
+	}
+	return spec.Mode == ModeOnline && spec.Online != nil && normName(spec.Online.Lab.Name) == "replay"
+}
+
+// LoadSpecForRun is the shared -spec translation block of the campaign
+// binaries: load and validate the spec file, then load the dataset — lazily,
+// only when the spec actually needs it (see SpecNeedsDataset), so an online
+// sim campaign runs without any dataset file present. A spec that needs the
+// dataset with no path supplied fails early with a message naming the
+// reason. Online-mode specs additionally have their lab name checked against
+// the registry here, since Validate defers lab resolution to run time.
+func LoadSpecForRun(specPath, dataPath string) (CampaignSpec, *dataset.Dataset, error) {
+	spec, err := LoadCampaignSpec(specPath)
+	if err != nil {
+		return CampaignSpec{}, nil, err
+	}
+	if spec.Mode == ModeOnline {
+		if err := LabRegistered(spec.Online.Lab.Name); err != nil {
+			return CampaignSpec{}, nil, err
+		}
+	}
+	var ds *dataset.Dataset
+	if SpecNeedsDataset(spec) {
+		if dataPath == "" {
+			return CampaignSpec{}, nil, fmt.Errorf(
+				"engine: spec %s needs the offline dataset (replay mode, the %q lab, or mem_limit_paper_rule); pass -data",
+				specPath, "replay")
+		}
+		if ds, err = dataset.LoadFile(dataPath); err != nil {
+			return CampaignSpec{}, nil, fmt.Errorf("engine: loading dataset for %s: %w", specPath, err)
+		}
+	}
+	return spec, ds, nil
+}
+
+func init() {
+	RegisterModeRunner(ModeReplay, func(ctx context.Context, spec CampaignSpec, ds *dataset.Dataset, scope *CampaignObs) (any, error) {
+		return runReplaySpecCtx(ctx, ds, spec, scope)
+	})
+}
+
+// runReplaySpecCtx is RunReplaySpecScoped with cooperative cancellation
+// wired from the context into the loop's Stop hook.
+func runReplaySpecCtx(ctx context.Context, ds *dataset.Dataset, spec CampaignSpec, scope *CampaignObs) (*Trajectory, error) {
+	part, cfg, err := spec.ReplayPlan(ds)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Campaign = scope
+	if ctx != nil && ctx.Done() != nil {
+		cfg.Stop = func() bool { return ctx.Err() != nil }
+	}
+	if b := spec.Replay.Batch; b != nil {
+		strategy := BatchIndependent
+		if b.Strategy != "" {
+			strategy, err = BuildStrategy(b.Strategy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return RunReplayBatch(ds, part, cfg, b.Q, strategy)
+	}
+	return RunReplay(ds, part, cfg)
+}

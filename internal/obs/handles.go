@@ -54,6 +54,23 @@ func (h *CounterVecHandle) Inc(value string) {
 	(*m)[value].Inc()
 }
 
+// HistogramVecHandle is a nil-safe indirection to a fixed set of labeled
+// histograms keyed by label value (e.g. HTTP route). Unknown values are
+// silently dropped.
+type HistogramVecHandle struct {
+	p atomic.Pointer[map[string]*Histogram]
+}
+
+// Observe records v into the histogram for the given label value; no-op
+// while disabled or for unknown values.
+func (h *HistogramVecHandle) Observe(value string, v float64) {
+	m := h.p.Load()
+	if m == nil {
+		return
+	}
+	(*m)[value].Observe(v)
+}
+
 // SpanHandle times a named region into a latency histogram and, when a
 // tracer is bound, emits a trace event. Usage:
 //
@@ -173,6 +190,15 @@ var (
 	RemoteJobsLost       CounterHandle
 	RemoteWorkersLive    GaugeHandle
 	RemoteHeartbeat      HistogramHandle
+
+	// Serving daemon (internal/serve).
+	ServeSubmitted   CounterHandle
+	ServeRejected    CounterVecHandle
+	ServeFinished    CounterVecHandle
+	ServeResumed     CounterHandle
+	ServeQueueDepth  GaugeHandle
+	ServeRunning     GaugeHandle
+	ServeHTTPSeconds HistogramVecHandle
 )
 
 // faultClassValues mirrors faults.Classes(); kept here so obs has no
@@ -184,6 +210,14 @@ var modelCacheOpValues = []string{
 	ModelCacheSparseExtend, ModelCacheSparseRebuild,
 	ModelCacheTreedExtend, ModelCacheTreedRebuild,
 }
+
+// serveRejectValues / serveStateValues / serveRouteValues enumerate the
+// label values of the serving-daemon vec metrics.
+var (
+	serveRejectValues = []string{ServeRejectBackpressure, ServeRejectInvalid}
+	serveStateValues  = []string{ServeStateDone, ServeStateFailed, ServeStateCancelled}
+	serveRouteValues  = []string{ServeRouteSubmit, ServeRouteGet, ServeRouteStatus, ServeRouteCancel, ServeRouteList}
+)
 
 // bindHandles points every handle at live instruments in r. Called under
 // global.mu by Enable.
@@ -249,6 +283,26 @@ func bindHandles(r *Registry) {
 	RemoteJobsLost.p.Store(r.Counter(MetricRemoteJobsLost, "in-flight jobs lost to a vanished worker"))
 	RemoteWorkersLive.p.Store(r.Gauge(MetricRemoteWorkersLive, "remote workers currently connected"))
 	RemoteHeartbeat.p.Store(r.Histogram(MetricRemoteHeartbeat, "gap between consecutive frames from a worker (seconds)", LatencyBuckets))
+
+	ServeSubmitted.p.Store(r.Counter(MetricServeSubmitted, "campaign submissions accepted"))
+	rejects := make(map[string]*Counter, len(serveRejectValues))
+	for _, v := range serveRejectValues {
+		rejects[v] = r.Counter(Labeled(MetricServeRejected, LabelReason, v), "campaign submissions rejected, by reason")
+	}
+	ServeRejected.p.Store(&rejects)
+	states := make(map[string]*Counter, len(serveStateValues))
+	for _, v := range serveStateValues {
+		states[v] = r.Counter(Labeled(MetricServeFinished, LabelState, v), "campaigns finished, by terminal state")
+	}
+	ServeFinished.p.Store(&states)
+	ServeResumed.p.Store(r.Counter(MetricServeResumed, "campaigns requeued on daemon restart"))
+	ServeQueueDepth.p.Store(r.Gauge(MetricServeQueueDepth, "campaigns waiting in the scheduler queue"))
+	ServeRunning.p.Store(r.Gauge(MetricServeRunning, "campaigns executing right now"))
+	routes := make(map[string]*Histogram, len(serveRouteValues))
+	for _, v := range serveRouteValues {
+		routes[v] = r.Histogram(Labeled(MetricServeHTTPSeconds, LabelRoute, v), "HTTP request duration (seconds), by route", LatencyBuckets)
+	}
+	ServeHTTPSeconds.p.Store(&routes)
 }
 
 // unbindHandles reverts every handle to a no-op. Called under global.mu.
@@ -262,13 +316,14 @@ func unbindHandles() {
 		&FaultAttempts, &FaultRetries, &FaultSuccess, &FaultCensored, &FaultFatal,
 		&CheckpointWrites, &CheckpointRestores,
 		&RemoteJobsDispatched, &RemoteJobsCompleted, &RemoteJobsStolen, &RemoteJobsLost,
+		&ServeSubmitted, &ServeResumed,
 	} {
 		c.p.Store(nil)
 	}
 	for _, g := range []*GaugeHandle{
 		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
 		&PoolSize, &PoolStreamLive, &PoolShardsInflight, &GPTrainRows, &MatWorkers,
-		&RemoteWorkersLive,
+		&RemoteWorkersLive, &ServeQueueDepth, &ServeRunning,
 	} {
 		g.p.Store(nil)
 	}
@@ -283,4 +338,7 @@ func unbindHandles() {
 	}
 	FaultByClass.p.Store(nil)
 	ModelCacheOps.p.Store(nil)
+	ServeRejected.p.Store(nil)
+	ServeFinished.p.Store(nil)
+	ServeHTTPSeconds.p.Store(nil)
 }

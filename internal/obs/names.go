@@ -80,6 +80,18 @@ const (
 	MetricRemoteWorkersLive    = "alamr_remote_workers_live"
 	MetricRemoteHeartbeat      = "alamr_remote_heartbeat_seconds"
 
+	// Serving daemon (internal/serve). Aggregate series for the scheduler
+	// and HTTP front end; per-campaign progress additionally appears as the
+	// dynamically-labeled sweep series below (the daemon attaches an
+	// engine.CampaignObs scope per campaign).
+	MetricServeSubmitted   = "alamr_serve_submitted_total"
+	MetricServeRejected    = "alamr_serve_rejected_total" // label: reason
+	MetricServeFinished    = "alamr_serve_finished_total" // label: state
+	MetricServeResumed     = "alamr_serve_resumed_total"
+	MetricServeQueueDepth  = "alamr_serve_queue_depth"
+	MetricServeRunning     = "alamr_serve_running"
+	MetricServeHTTPSeconds = "alamr_serve_http_seconds" // label: route
+
 	// Per-campaign sweep series. These are labeled with the campaign id
 	// (`{campaign="..."}`), whose values are only known at sweep time, so —
 	// unlike every other name here — their labeled series are created
@@ -96,6 +108,35 @@ const LabelCampaign = "campaign"
 
 // LabelWorker is the label key of the per-worker remote-lab series.
 const LabelWorker = "worker"
+
+// Label keys of the serving-daemon series.
+const (
+	LabelReason = "reason"
+	LabelState  = "state"
+	LabelRoute  = "route"
+)
+
+// Label values of MetricServeRejected: why a submission was turned away.
+const (
+	ServeRejectBackpressure = "backpressure"
+	ServeRejectInvalid      = "invalid"
+)
+
+// Label values of MetricServeFinished: the terminal campaign states.
+const (
+	ServeStateDone      = "done"
+	ServeStateFailed    = "failed"
+	ServeStateCancelled = "cancelled"
+)
+
+// Label values of MetricServeHTTPSeconds: the daemon's route families.
+const (
+	ServeRouteSubmit = "submit"
+	ServeRouteGet    = "get"
+	ServeRouteStatus = "status"
+	ServeRouteCancel = "cancel"
+	ServeRouteList   = "list"
+)
 
 // Label values of MetricModelCacheOps: which model family's incremental
 // scoring cache performed which maintenance operation.
@@ -174,6 +215,20 @@ var AllMetricNames = []string{
 	MetricRemoteJobsLost,
 	MetricRemoteWorkersLive,
 	MetricRemoteHeartbeat,
+	MetricServeSubmitted,
+	Labeled(MetricServeRejected, LabelReason, ServeRejectBackpressure),
+	Labeled(MetricServeRejected, LabelReason, ServeRejectInvalid),
+	Labeled(MetricServeFinished, LabelState, ServeStateDone),
+	Labeled(MetricServeFinished, LabelState, ServeStateFailed),
+	Labeled(MetricServeFinished, LabelState, ServeStateCancelled),
+	MetricServeResumed,
+	MetricServeQueueDepth,
+	MetricServeRunning,
+	Labeled(MetricServeHTTPSeconds, LabelRoute, ServeRouteSubmit),
+	Labeled(MetricServeHTTPSeconds, LabelRoute, ServeRouteGet),
+	Labeled(MetricServeHTTPSeconds, LabelRoute, ServeRouteStatus),
+	Labeled(MetricServeHTTPSeconds, LabelRoute, ServeRouteCancel),
+	Labeled(MetricServeHTTPSeconds, LabelRoute, ServeRouteList),
 }
 
 // Labeled builds the full series name for a single-label metric:

@@ -242,6 +242,11 @@ type Config struct {
 	// Campaign optionally records this run into per-campaign labeled obs
 	// series (set by the sweep runner; nil outside sweeps).
 	Campaign *engine.CampaignObs
+	// Stop optionally requests cooperative cancellation: polled at every
+	// round boundary, a true return ends the campaign with StopCancelled.
+	// The last completed experiment is checkpointed as usual, so a cancelled
+	// campaign's state stays consistent on disk.
+	Stop func() bool
 }
 
 func (c *Config) setDefaults() {
@@ -744,6 +749,7 @@ func (c *campaign) loop() (*Result, error) {
 		CumCost:       c.cumCost,
 		CumRegret:     c.cumRegret,
 		Campaign:      c.cfg.Campaign,
+		Stop:          c.cfg.Stop,
 	})
 	if reason != "" {
 		res.Reason = reason
@@ -754,7 +760,10 @@ func (c *campaign) loop() (*Result, error) {
 	if len(c.pool) == 0 && res.Reason == core.StopMaxIterations {
 		res.Reason = core.StopPoolExhausted
 	}
-	if err := c.saveCheckpoint(true); err != nil {
+	// A cancelled campaign is checkpointed as still-in-flight: a later Run
+	// against the same checkpoint resumes it instead of replaying the
+	// cancelled partial result as final.
+	if err := c.saveCheckpoint(res.Reason != engine.StopCancelled); err != nil {
 		return res, err
 	}
 	return res, nil

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,8 +9,10 @@ import (
 	"alamr/internal/engine"
 )
 
-// The online package contributes the simulation-backed lab to the engine's
-// registry, so online campaigns are fully describable as CampaignSpec data:
+// The online package contributes the simulation-backed lab and the
+// online-mode spec runner to the engine's registries, so online campaigns
+// are fully describable as CampaignSpec data and executable through
+// engine.RunCampaignSpec:
 // {"mode": "online", "online": {"lab": {"name": "sim"}}, ...}.
 func init() {
 	engine.RegisterLab("sim", func(s engine.LabSpec, _ engine.LabDeps) (engine.Lab, error) {
@@ -20,18 +23,28 @@ func init() {
 			Seed:     s.Seed,
 		}), nil
 	})
+	engine.RegisterModeRunner(engine.ModeOnline,
+		func(ctx context.Context, spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.CampaignObs) (any, error) {
+			return RunSpecCtx(ctx, spec, ds, scope)
+		})
 }
 
 // RunSpec materializes and executes an online-mode campaign spec. The
 // dataset is only needed for mem_limit_paper_rule calibration (and for the
 // "replay" lab); it may be nil otherwise.
 func RunSpec(spec engine.CampaignSpec, ds *dataset.Dataset) (*Result, error) {
-	return RunSpecScoped(spec, ds, nil)
+	return RunSpecCtx(nil, spec, ds, nil)
 }
 
 // RunSpecScoped is RunSpec with a per-campaign obs scope attached (the sweep
 // runner passes each item's scope through here).
 func RunSpecScoped(spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.CampaignObs) (*Result, error) {
+	return RunSpecCtx(nil, spec, ds, scope)
+}
+
+// RunSpecCtx is RunSpecScoped with cooperative cancellation: a cancelled
+// context ends the campaign with StopCancelled at the next round boundary.
+func RunSpecCtx(ctx context.Context, spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.CampaignObs) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,6 +70,9 @@ func RunSpecScoped(spec engine.CampaignSpec, ds *dataset.Dataset, scope *engine.
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,
 		Campaign:        scope,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		cfg.Stop = func() bool { return ctx.Err() != nil }
 	}
 	if spec.Kernel != nil {
 		if cfg.Kernel, err = engine.BuildKernel(*spec.Kernel); err != nil {

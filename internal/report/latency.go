@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"alamr/internal/stats"
+)
+
+// LatencySummary condenses a set of request latencies (seconds) into the
+// fixed percentiles operators gate on. Samples are not retained.
+type LatencySummary struct {
+	Count          int     `json:"count"`
+	P50            float64 `json:"p50_seconds"`
+	P90            float64 `json:"p90_seconds"`
+	P99            float64 `json:"p99_seconds"`
+	Max            float64 `json:"max_seconds"`
+	MeanSeconds    float64 `json:"mean_seconds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+	PerSecond      float64 `json:"per_second"`      // Count / wall duration (0 if unset)
+	WallSeconds    float64 `json:"wall_seconds"`    // wall-clock duration of the run
+	ErrorCount     int     `json:"errors"`          // non-2xx / transport failures
+	RejectedCount  int     `json:"rejected"`        // 429 backpressure responses
+	LabelForTables string  `json:"label,omitempty"` // row label, e.g. "submit"
+}
+
+// SummarizeLatencies computes a LatencySummary from raw per-request
+// latencies in seconds. wallSeconds > 0 additionally fills the throughput
+// fields. The input slice is not modified.
+func SummarizeLatencies(label string, secs []float64, wallSeconds float64) LatencySummary {
+	s := LatencySummary{LabelForTables: label, Count: len(secs), WallSeconds: wallSeconds}
+	if len(secs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), secs...)
+	sort.Float64s(sorted)
+	s.P50 = stats.Quantile(sorted, 0.5)
+	s.P90 = stats.Quantile(sorted, 0.9)
+	s.P99 = stats.Quantile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	for _, v := range sorted {
+		s.TotalSeconds += v
+	}
+	s.MeanSeconds = s.TotalSeconds / float64(len(sorted))
+	if wallSeconds > 0 {
+		s.PerSecond = float64(len(sorted)) / wallSeconds
+	}
+	return s
+}
+
+// LatencyTable renders one row per summary — the human-readable counterpart
+// of the BENCH_serve.json payload the load tester writes.
+func LatencyTable(sums []LatencySummary) *Table {
+	t := &Table{Header: []string{"route", "n", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)", "req/s", "errors"}}
+	ms := func(v float64) string { return fmt.Sprintf("%.2f", 1e3*v) }
+	for _, s := range sums {
+		t.Add(s.LabelForTables, s.Count, ms(s.P50), ms(s.P90), ms(s.P99), ms(s.Max),
+			fmt.Sprintf("%.0f", s.PerSecond), s.ErrorCount)
+	}
+	return t
+}

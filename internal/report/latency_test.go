@@ -1,0 +1,50 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeLatencies(t *testing.T) {
+	secs := make([]float64, 100)
+	for i := range secs {
+		secs[i] = float64(i+1) / 1000 // 1ms..100ms
+	}
+	s := SummarizeLatencies("submit", secs, 2)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.P50-0.0505) > 1e-9 {
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if s.Max != 0.1 {
+		t.Fatalf("max = %g", s.Max)
+	}
+	if s.PerSecond != 50 {
+		t.Fatalf("per-second = %g", s.PerSecond)
+	}
+	if s.P99 <= s.P90 || s.P90 <= s.P50 {
+		t.Fatalf("percentiles not ordered: %g %g %g", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestSummarizeLatenciesEmpty(t *testing.T) {
+	s := SummarizeLatencies("status", nil, 1)
+	if s.Count != 0 || s.P99 != 0 || s.PerSecond != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	sums := []LatencySummary{
+		SummarizeLatencies("submit", []float64{0.001, 0.002}, 1),
+		SummarizeLatencies("status", []float64{0.005}, 1),
+	}
+	out := LatencyTable(sums).String()
+	for _, want := range []string{"route", "submit", "status", "p99 (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal Go client for the daemon's HTTP API. The zero-config
+// entry point for programs that drive campaigns from Go; everything it does
+// maps 1:1 onto the documented curl calls.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a daemon at host:port (no scheme).
+func NewClient(addr string) *Client {
+	return &Client{base: "http://" + addr, http: &http.Client{}}
+}
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter int // seconds, from the Retry-After header (429s)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsBackpressure reports whether err is the daemon's 429 queue-full
+// rejection; callers should wait RetryAfter seconds and resubmit.
+func IsBackpressure(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er errorResponse
+		msg := string(bytes.TrimSpace(data))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		retry, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &APIError{Status: resp.StatusCode, Msg: msg, RetryAfter: retry}
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Submit posts one campaign and returns its meta record.
+func (c *Client) Submit(tenant, priority string, spec json.RawMessage) (Meta, error) {
+	body, err := json.Marshal(SubmitRequest{Tenant: tenant, Priority: priority, Spec: spec})
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	err = c.do(http.MethodPost, "/v1/campaigns", body, &m)
+	return m, err
+}
+
+// Get fetches the full campaign record (meta + spec + result when done).
+func (c *Client) Get(id string) (CampaignDetail, error) {
+	var detail CampaignDetail
+	err := c.do(http.MethodGet, "/v1/campaigns/"+url.PathEscape(id), nil, &detail)
+	return detail, err
+}
+
+// Status fetches the meta record. With wait > 0 it long-polls: the daemon
+// holds the request until Seq exceeds afterSeq or the wait elapses.
+func (c *Client) Status(id string, afterSeq int64, wait time.Duration) (Meta, error) {
+	path := fmt.Sprintf("/v1/campaigns/%s/status?seq=%d&wait_ms=%d",
+		url.PathEscape(id), afterSeq, wait.Milliseconds())
+	var m Meta
+	err := c.do(http.MethodGet, path, nil, &m)
+	return m, err
+}
+
+// Cancel requests cancellation (idempotent) and returns the current meta.
+func (c *Client) Cancel(id string) (Meta, error) {
+	var m Meta
+	err := c.do(http.MethodDelete, "/v1/campaigns/"+url.PathEscape(id), nil, &m)
+	return m, err
+}
+
+// List fetches all campaign metas, optionally filtered by tenant.
+func (c *Client) List(tenant string) ([]Meta, error) {
+	path := "/v1/campaigns"
+	if tenant != "" {
+		path += "?tenant=" + url.QueryEscape(tenant)
+	}
+	var lr ListResponse
+	err := c.do(http.MethodGet, path, nil, &lr)
+	return lr.Campaigns, err
+}
+
+// WaitTerminal long-polls status until the campaign reaches a terminal
+// state or the timeout elapses.
+func (c *Client) WaitTerminal(id string, timeout time.Duration) (Meta, error) {
+	deadline := time.Now().Add(timeout)
+	var seq int64
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Meta{}, fmt.Errorf("serve: campaign %s not terminal after %v", id, timeout)
+		}
+		if remain > maxStatusWait {
+			remain = maxStatusWait
+		}
+		m, err := c.Status(id, seq, remain)
+		if err != nil {
+			return Meta{}, err
+		}
+		if m.State.Terminal() {
+			return m, nil
+		}
+		seq = m.Seq
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"alamr/internal/report"
+)
+
+// LoadConfig drives a latency load test against a running daemon: a pool of
+// submitters pushes campaigns while a pool of pollers hammers the status
+// endpoint, and the measured p99 latencies are gated against hard ceilings.
+// The test exercises the serving layer, not the campaigns themselves — specs
+// should be small so queue dynamics (not GP math) dominate.
+type LoadConfig struct {
+	// Addr is the daemon's host:port.
+	Addr string
+	// Specs are submitted round-robin (vary the seed across entries so
+	// workers stay busy with distinct campaigns). At least one is required.
+	Specs []json.RawMessage
+	// Tenants cycle across submissions (default: one tenant, "load").
+	Tenants []string
+	// Campaigns is the total number of submissions (default 32).
+	Campaigns int
+	// Submitters and Pollers size the client pools (default 4 each).
+	Submitters int
+	Pollers    int
+	// P99SubmitMax / P99PollMax are the latency gates; 0 disables a gate.
+	P99SubmitMax time.Duration
+	P99PollMax   time.Duration
+	// Timeout bounds the whole run (default 5 minutes).
+	Timeout time.Duration
+	Logf    func(format string, args ...any)
+}
+
+// GateCheck is one pass/fail latency verdict in a LoadReport.
+type GateCheck struct {
+	Name     string  `json:"name"`
+	LimitMs  float64 `json:"limit_ms"`
+	ActualMs float64 `json:"actual_ms"`
+	Passed   bool    `json:"passed"`
+}
+
+// LoadReport is the load test outcome, JSON-shaped for BENCH_serve.json.
+type LoadReport struct {
+	Campaigns   int                   `json:"campaigns"`
+	Tenants     int                   `json:"tenants"`
+	Submitters  int                   `json:"submitters"`
+	Pollers     int                   `json:"pollers"`
+	Rejected429 int                   `json:"rejected_429"`
+	Failed      int                   `json:"failed_campaigns"`
+	WallSeconds float64               `json:"wall_seconds"`
+	Submit      report.LatencySummary `json:"submit"`
+	Poll        report.LatencySummary `json:"poll"`
+	Gates       []GateCheck           `json:"gates"`
+	Passed      bool                  `json:"passed"`
+}
+
+// Table renders the submit/poll latency distributions for terminal output.
+func (r *LoadReport) Table() *report.Table {
+	return report.LatencyTable([]report.LatencySummary{r.Submit, r.Poll})
+}
+
+func (c *LoadConfig) fill() error {
+	if c.Addr == "" {
+		return fmt.Errorf("serve: load test needs a daemon address")
+	}
+	if len(c.Specs) == 0 {
+		return fmt.Errorf("serve: load test needs at least one campaign spec")
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []string{"load"}
+	}
+	if c.Campaigns <= 0 {
+		c.Campaigns = 32
+	}
+	if c.Submitters <= 0 {
+		c.Submitters = 4
+	}
+	if c.Pollers <= 0 {
+		c.Pollers = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// loadState is the shared board: submitted campaign IDs and which are done.
+type loadState struct {
+	mu       sync.Mutex
+	ids      []string
+	terminal map[string]bool
+	rejected int
+	failed   int
+	allIn    bool // all submissions issued
+}
+
+func (st *loadState) add(id string) {
+	st.mu.Lock()
+	st.ids = append(st.ids, id)
+	st.mu.Unlock()
+}
+
+func (st *loadState) snapshot() (pending []string, done bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, id := range st.ids {
+		if !st.terminal[id] {
+			pending = append(pending, id)
+		}
+	}
+	return pending, st.allIn && len(pending) == 0
+}
+
+func (st *loadState) markTerminal(id string, failed bool) {
+	st.mu.Lock()
+	if !st.terminal[id] {
+		st.terminal[id] = true
+		if failed {
+			st.failed++
+		}
+	}
+	st.mu.Unlock()
+}
+
+// RunLoadTest submits cfg.Campaigns campaigns from concurrent submitters
+// while concurrent pollers read status until every campaign is terminal,
+// then summarizes both latency distributions and applies the p99 gates.
+// Backpressured submissions (429) honor Retry-After and retry; they count in
+// Rejected429, not in the submit latencies.
+func RunLoadTest(cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	st := &loadState{terminal: map[string]bool{}}
+	deadline := time.Now().Add(cfg.Timeout)
+	start := time.Now()
+
+	// Submitters: campaign i goes to tenant i%len(Tenants) with spec
+	// i%len(Specs), partitioned across the pool by index stride.
+	var wgSubmit sync.WaitGroup
+	submitSecs := make([][]float64, cfg.Submitters)
+	submitErr := make([]error, cfg.Submitters)
+	for w := 0; w < cfg.Submitters; w++ {
+		wgSubmit.Add(1)
+		go func(w int) {
+			defer wgSubmit.Done()
+			client := NewClient(cfg.Addr)
+			for i := w; i < cfg.Campaigns; i += cfg.Submitters {
+				tenant := cfg.Tenants[i%len(cfg.Tenants)]
+				spec := cfg.Specs[i%len(cfg.Specs)]
+				for {
+					if time.Now().After(deadline) {
+						submitErr[w] = fmt.Errorf("serve: load test timed out submitting campaign %d", i)
+						return
+					}
+					t0 := time.Now()
+					m, err := client.Submit(tenant, "", spec)
+					if IsBackpressure(err) {
+						st.mu.Lock()
+						st.rejected++
+						st.mu.Unlock()
+						ra := err.(*APIError).RetryAfter
+						if ra <= 0 {
+							ra = 1
+						}
+						time.Sleep(time.Duration(ra) * 100 * time.Millisecond)
+						continue
+					}
+					if err != nil {
+						submitErr[w] = fmt.Errorf("serve: load test submit %d: %w", i, err)
+						return
+					}
+					submitSecs[w] = append(submitSecs[w], time.Since(t0).Seconds())
+					st.add(m.ID)
+					break
+				}
+			}
+		}(w)
+	}
+
+	// Pollers: sweep the pending set with instant status reads until every
+	// campaign lands in a terminal state.
+	var wgPoll sync.WaitGroup
+	pollSecs := make([][]float64, cfg.Pollers)
+	pollErr := make([]error, cfg.Pollers)
+	for w := 0; w < cfg.Pollers; w++ {
+		wgPoll.Add(1)
+		go func(w int) {
+			defer wgPoll.Done()
+			client := NewClient(cfg.Addr)
+			for {
+				if time.Now().After(deadline) {
+					pollErr[w] = fmt.Errorf("serve: load test timed out polling")
+					return
+				}
+				pending, done := st.snapshot()
+				if done {
+					return
+				}
+				if len(pending) == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				// Stride so pollers spread over distinct campaigns.
+				for i := w; i < len(pending); i += cfg.Pollers {
+					t0 := time.Now()
+					m, err := client.Status(pending[i], 0, 0)
+					if err != nil {
+						pollErr[w] = fmt.Errorf("serve: load test poll %s: %w", pending[i], err)
+						return
+					}
+					pollSecs[w] = append(pollSecs[w], time.Since(t0).Seconds())
+					if m.State.Terminal() {
+						st.markTerminal(m.ID, m.State != StateDone)
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	wgSubmit.Wait()
+	st.mu.Lock()
+	st.allIn = true
+	st.mu.Unlock()
+	wgPoll.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range append(submitErr, pollErr...) {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var allSubmit, allPoll []float64
+	for _, s := range submitSecs {
+		allSubmit = append(allSubmit, s...)
+	}
+	for _, s := range pollSecs {
+		allPoll = append(allPoll, s...)
+	}
+	st.mu.Lock()
+	rep := &LoadReport{
+		Campaigns:   cfg.Campaigns,
+		Tenants:     len(cfg.Tenants),
+		Submitters:  cfg.Submitters,
+		Pollers:     cfg.Pollers,
+		Rejected429: st.rejected,
+		Failed:      st.failed,
+		WallSeconds: wall,
+		Submit:      report.SummarizeLatencies("submit", allSubmit, wall),
+		Poll:        report.SummarizeLatencies("status-poll", allPoll, wall),
+	}
+	rep.Submit.RejectedCount = st.rejected
+	st.mu.Unlock()
+
+	rep.Passed = true
+	gate := func(name string, limit time.Duration, actualSec float64) {
+		if limit <= 0 {
+			return
+		}
+		g := GateCheck{
+			Name:     name,
+			LimitMs:  float64(limit) / float64(time.Millisecond),
+			ActualMs: actualSec * 1e3,
+			Passed:   actualSec <= limit.Seconds(),
+		}
+		rep.Gates = append(rep.Gates, g)
+		if !g.Passed {
+			rep.Passed = false
+		}
+	}
+	gate("submit-p99", cfg.P99SubmitMax, rep.Submit.P99)
+	gate("poll-p99", cfg.P99PollMax, rep.Poll.P99)
+	if rep.Failed > 0 {
+		rep.Passed = false
+	}
+	cfg.Logf("serve: load test %d campaigns, %d tenants: submit p99 %.1fms, poll p99 %.1fms, %d rejected, wall %.1fs",
+		rep.Campaigns, rep.Tenants, rep.Submit.P99*1e3, rep.Poll.P99*1e3, rep.Rejected429, wall)
+	return rep, nil
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadTestAgainstDaemon(t *testing.T) {
+	ds := testDataset(80, 91)
+	_, client := newTestDaemon(t, Config{Workers: 2, Dataset: ds})
+	addr := client.base[len("http://"):]
+
+	var specs []json.RawMessage
+	for i := 0; i < 4; i++ {
+		specs = append(specs, replaySpecJSON(fmt.Sprintf("lt-%d", i), int64(i+1), 3))
+	}
+	rep, err := RunLoadTest(LoadConfig{
+		Addr:         addr,
+		Specs:        specs,
+		Tenants:      []string{"acme", "globex"},
+		Campaigns:    10,
+		Submitters:   2,
+		Pollers:      2,
+		P99SubmitMax: 10 * time.Second, // generous: correctness, not perf, here
+		P99PollMax:   10 * time.Second,
+		Timeout:      2 * time.Minute,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("load test failed: %+v", rep.Gates)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d campaigns failed", rep.Failed)
+	}
+	if rep.Submit.Count != 10 {
+		t.Fatalf("submit count = %d", rep.Submit.Count)
+	}
+	if rep.Poll.Count == 0 {
+		t.Fatal("no status polls recorded")
+	}
+	if len(rep.Gates) != 2 || rep.Gates[0].Name != "submit-p99" || rep.Gates[1].Name != "poll-p99" {
+		t.Fatalf("gates = %+v", rep.Gates)
+	}
+	// The report marshals (BENCH_serve.json) and renders as a table.
+	if _, err := json.MarshalIndent(rep, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.Table().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "submit") || !strings.Contains(sb.String(), "status-poll") {
+		t.Fatalf("table missing rows:\n%s", sb.String())
+	}
+}
+
+func TestLoadTestGateFailure(t *testing.T) {
+	ds := testDataset(60, 95)
+	_, client := newTestDaemon(t, Config{Workers: 2, Dataset: ds})
+	addr := client.base[len("http://"):]
+	rep, err := RunLoadTest(LoadConfig{
+		Addr:         addr,
+		Specs:        []json.RawMessage{replaySpecJSON("gate", 3, 2)},
+		Campaigns:    3,
+		P99SubmitMax: time.Nanosecond, // impossible gate
+		Timeout:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("impossible gate passed")
+	}
+	var violated bool
+	for _, g := range rep.Gates {
+		if g.Name == "submit-p99" && !g.Passed {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatalf("submit-p99 gate not recorded as violated: %+v", rep.Gates)
+	}
+}
+
+func TestLoadTestConfigValidation(t *testing.T) {
+	if _, err := RunLoadTest(LoadConfig{Specs: []json.RawMessage{[]byte("{}")}}); err == nil ||
+		!strings.Contains(err.Error(), "address") {
+		t.Fatalf("missing addr: %v", err)
+	}
+	if _, err := RunLoadTest(LoadConfig{Addr: "127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "spec") {
+		t.Fatalf("missing specs: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"sync"
+
+	"alamr/internal/obs"
+)
+
+// scheduler decides which queued campaign runs next on the daemon's bounded
+// worker pool. Two rules, in order:
+//
+//  1. Strict priority lanes: no normal-lane campaign is dispatched while a
+//     high-lane campaign waits, and no low-lane campaign while any higher
+//     lane is non-empty.
+//  2. Fair-share within a lane: among tenants with queued work, dispatch
+//     the one with the fewest campaigns currently running; ties go to the
+//     tenant dispatched least recently (then to the lexicographically
+//     smaller name, so the choice is deterministic). Within one tenant the
+//     queue is FIFO.
+//
+// The total queue is bounded: enqueue past the cap fails with ErrQueueFull,
+// which the HTTP layer surfaces as 429 backpressure.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  []laneState // index = position in Priorities
+	queued int
+	cap    int
+	closed bool
+
+	running  map[string]int   // tenant → campaigns running now
+	lastPick map[string]int64 // tenant → dispatch stamp (for tie-breaks)
+	pickSeq  int64
+}
+
+type laneState struct {
+	byTenant map[string][]*campaign // FIFO per tenant
+}
+
+func newScheduler(queueCap int) *scheduler {
+	s := &scheduler{
+		cap:      queueCap,
+		lanes:    make([]laneState, len(Priorities)),
+		running:  map[string]int{},
+		lastPick: map[string]int64{},
+		pickSeq:  1, // 0 means "never dispatched" in lastPick
+	}
+	for i := range s.lanes {
+		s.lanes[i].byTenant = map[string][]*campaign{}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func laneIndex(priority string) int {
+	for i, p := range Priorities {
+		if p == priority {
+			return i
+		}
+	}
+	return len(Priorities) - 1 // unknown → weakest lane (submit validates anyway)
+}
+
+// enqueue adds a campaign to its lane, or fails with ErrQueueFull.
+func (s *scheduler) enqueue(c *campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap > 0 && s.queued >= s.cap {
+		return ErrQueueFull
+	}
+	lane := &s.lanes[laneIndex(c.meta.Priority)]
+	lane.byTenant[c.meta.Tenant] = append(lane.byTenant[c.meta.Tenant], c)
+	s.queued++
+	obs.ServeQueueDepth.Set(float64(s.queued))
+	s.cond.Signal()
+	return nil
+}
+
+// remove pulls a still-queued campaign back out (cancellation). Reports
+// whether the campaign was found; false means a worker already claimed it.
+func (s *scheduler) remove(c *campaign) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lane := &s.lanes[laneIndex(c.meta.Priority)]
+	q := lane.byTenant[c.meta.Tenant]
+	for i, qc := range q {
+		if qc == c {
+			lane.byTenant[c.meta.Tenant] = append(q[:i:i], q[i+1:]...)
+			s.queued--
+			obs.ServeQueueDepth.Set(float64(s.queued))
+			return true
+		}
+	}
+	return false
+}
+
+// next blocks until a campaign is dispatchable and claims it, bumping the
+// tenant's running count. Returns nil after close.
+func (s *scheduler) next() *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		for li := range s.lanes {
+			if c := s.pickLocked(&s.lanes[li]); c != nil {
+				s.queued--
+				obs.ServeQueueDepth.Set(float64(s.queued))
+				s.running[c.meta.Tenant]++
+				s.lastPick[c.meta.Tenant] = s.pickSeq
+				s.pickSeq++
+				return c
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked chooses the fair-share tenant within one lane and pops its
+// queue head. Called with s.mu held.
+func (s *scheduler) pickLocked(lane *laneState) *campaign {
+	best := ""
+	for tenant, q := range lane.byTenant {
+		if len(q) == 0 {
+			continue
+		}
+		if best == "" || s.lessLocked(tenant, best) {
+			best = tenant
+		}
+	}
+	if best == "" {
+		return nil
+	}
+	q := lane.byTenant[best]
+	c := q[0]
+	lane.byTenant[best] = q[1:]
+	if len(lane.byTenant[best]) == 0 {
+		delete(lane.byTenant, best)
+	}
+	return c
+}
+
+// lessLocked orders tenants for dispatch: fewest running, then least
+// recently dispatched, then name.
+func (s *scheduler) lessLocked(a, b string) bool {
+	if s.running[a] != s.running[b] {
+		return s.running[a] < s.running[b]
+	}
+	if s.lastPick[a] != s.lastPick[b] {
+		return s.lastPick[a] < s.lastPick[b]
+	}
+	return a < b
+}
+
+// release returns a worker slot: the tenant's campaign finished.
+func (s *scheduler) release(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running[tenant] > 0 {
+		s.running[tenant]--
+	}
+	if s.running[tenant] == 0 {
+		delete(s.running, tenant)
+	}
+}
+
+// close wakes all workers; next returns nil immediately. Still-queued
+// campaigns stay persisted as queued and are requeued on the next start.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// depth reports the current queue length (tests and metrics).
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

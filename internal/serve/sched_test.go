@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func qc(id, tenant, priority string) *campaign {
+	return &campaign{
+		meta:    Meta{ID: id, Tenant: tenant, Priority: priority, State: StateQueued},
+		changed: make(chan struct{}),
+	}
+}
+
+func TestSchedPriorityLanes(t *testing.T) {
+	s := newScheduler(0)
+	for _, c := range []*campaign{
+		qc("c1", "a", "low"), qc("c2", "a", "normal"), qc("c3", "a", "high"),
+	} {
+		if err := s.enqueue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		got = append(got, s.next().meta.ID)
+	}
+	if got[0] != "c3" || got[1] != "c2" || got[2] != "c1" {
+		t.Fatalf("dispatch order %v, want high→normal→low", got)
+	}
+}
+
+func TestSchedTenantFairShare(t *testing.T) {
+	s := newScheduler(0)
+	// Tenant a floods the queue; tenant b submits one campaign later. With
+	// no releases, the fair-share rule interleaves b right after a's first
+	// dispatch (a is running 1, b running 0).
+	for _, c := range []*campaign{
+		qc("c1", "a", "normal"), qc("c2", "a", "normal"),
+		qc("c3", "a", "normal"), qc("c4", "b", "normal"),
+	} {
+		if err := s.enqueue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 4; i++ {
+		got = append(got, s.next().meta.ID)
+	}
+	want := []string{"c1", "c4", "c2", "c3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedFairShareAfterRelease(t *testing.T) {
+	s := newScheduler(0)
+	for _, c := range []*campaign{
+		qc("c1", "a", "normal"), qc("c2", "a", "normal"), qc("c3", "b", "normal"),
+	} {
+		if err := s.enqueue(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.next() // a (ties break to the lexicographically smaller name)
+	if first.meta.Tenant != "a" {
+		t.Fatalf("first dispatch from %s", first.meta.Tenant)
+	}
+	s.release("a")
+	// With a's slot released both tenants run 0 campaigns, but a was
+	// dispatched more recently — b goes next.
+	if c := s.next(); c.meta.ID != "c3" {
+		t.Fatalf("post-release dispatch = %s, want c3 (tenant b)", c.meta.ID)
+	}
+}
+
+func TestSchedQueueCap(t *testing.T) {
+	s := newScheduler(2)
+	if err := s.enqueue(qc("c1", "a", "normal")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(qc("c2", "a", "normal")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(qc("c3", "a", "normal")); err != ErrQueueFull {
+		t.Fatalf("over-cap enqueue: %v, want ErrQueueFull", err)
+	}
+	// Draining one slot readmits.
+	s.next()
+	if err := s.enqueue(qc("c3", "a", "normal")); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+}
+
+func TestSchedRemove(t *testing.T) {
+	s := newScheduler(0)
+	c := qc("c1", "a", "normal")
+	if err := s.enqueue(c); err != nil {
+		t.Fatal(err)
+	}
+	if !s.remove(c) {
+		t.Fatal("remove of queued campaign failed")
+	}
+	if s.remove(c) {
+		t.Fatal("second remove reported success")
+	}
+	if d := s.depth(); d != 0 {
+		t.Fatalf("depth after remove = %d", d)
+	}
+}
+
+func TestSchedCloseWakesWorkers(t *testing.T) {
+	s := newScheduler(0)
+	done := make(chan *campaign, 1)
+	go func() { done <- s.next() }()
+	time.Sleep(10 * time.Millisecond)
+	s.close()
+	select {
+	case c := <-done:
+		if c != nil {
+			t.Fatalf("next after close returned %v", c.meta.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("next did not return after close")
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"alamr/internal/dataset"
+	_ "alamr/internal/online" // registers the online mode runner + sim lab
+)
+
+// testDataset builds a small dataset with well-conditioned responses (the
+// same synthetic the online package's spec tests use), suitable for backing
+// replay campaigns and the "replay" lab.
+func testDataset(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	combos := dataset.AllCombos()
+	rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+	ds := &dataset.Dataset{}
+	for _, c := range combos[:n] {
+		wall := 2.0 * math.Pow(float64(c.Mx)/8, 1.5) * math.Pow(2, float64(c.MaxLevel-3)) *
+			(1 + c.R0) / (0.3 + c.RhoIn)
+		ds.Jobs = append(ds.Jobs, dataset.Job{
+			P: c.P, Mx: c.Mx, MaxLevel: c.MaxLevel, R0: c.R0, RhoIn: c.RhoIn,
+			WallSec: wall,
+			CostNH:  wall * float64(c.P) / 3600,
+			MemMB:   0.05 * float64(c.Mx*c.Mx) / 64 * math.Pow(2, float64(c.MaxLevel-3)) / math.Sqrt(float64(c.P)),
+		})
+	}
+	return ds
+}
+
+// replaySpecJSON builds a small replay-mode campaign spec.
+func replaySpecJSON(name string, seed int64, iters int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(
+		`{"version":1,"name":%q,"mode":"replay","policy":{"name":"maxsigma"},"seed":%d,"max_iterations":%d,"replay":{"n_init":8,"n_test":20}}`,
+		name, seed, iters))
+}
+
+// onlineSpecJSON builds an online-mode campaign against the "replay" lab
+// (fast: no physics), checkpointing after every experiment. The init design
+// is pinned to the dataset's first job so the lab can always serve it (the
+// package default init combo need not be in a subset dataset).
+func onlineSpecJSON(name string, seed int64, n int, ds *dataset.Dataset) json.RawMessage {
+	initDesign, err := json.Marshal([]dataset.Combo{ds.Jobs[0].Config()})
+	if err != nil {
+		panic(err)
+	}
+	return json.RawMessage(fmt.Sprintf(
+		`{"version":1,"name":%q,"mode":"online","policy":{"name":"rgma"},"seed":%d,"online":{"lab":{"name":"replay"},"max_experiments":%d,"checkpoint_every":1,"init_design":%s}}`,
+		name, seed, n, initDesign))
+}
+
+// newTestDaemon starts a daemon on a fresh store and ephemeral port, with
+// cleanup registered, and returns it with a pointed client.
+func newTestDaemon(t *testing.T, cfg Config) (*Daemon, *Client) {
+	t.Helper()
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, NewClient(d.Addr())
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"alamr/internal/obs"
+)
+
+// The HTTP/JSON API (documented operator-facing in API.md):
+//
+//	POST   /v1/campaigns             submit  {tenant, priority, spec}
+//	GET    /v1/campaigns?tenant=t    list metas
+//	GET    /v1/campaigns/{id}        meta + spec + result (when finished)
+//	GET    /v1/campaigns/{id}/status meta; ?seq=N&wait_ms=M long-polls
+//	DELETE /v1/campaigns/{id}        cancel (idempotent)
+//
+// Every response is JSON; errors are {"error": "..."} with a 4xx/5xx status.
+
+// SubmitRequest is the POST /v1/campaigns body: the scheduling envelope
+// around a raw CampaignSpec. Unknown envelope fields are rejected, exactly
+// like unknown spec fields.
+type SubmitRequest struct {
+	// Tenant is the fair-share accounting unit (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the lane: high, normal (default), or low.
+	Priority string `json:"priority,omitempty"`
+	// Spec is the campaign itself, engine.CampaignSpec JSON.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// CampaignDetail is the GET /v1/campaigns/{id} response: the meta record
+// plus the canonical spec and, for finished campaigns, the result.
+type CampaignDetail struct {
+	Meta
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ListResponse is the GET /v1/campaigns response.
+type ListResponse struct {
+	Campaigns []Meta `json:"campaigns"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxSpecBytes bounds submission bodies; a spec is configuration, not data.
+const maxSpecBytes = 1 << 20
+
+// maxStatusWait caps the long-poll duration per request.
+const maxStatusWait = 30 * time.Second
+
+// handler builds the daemon's route table.
+func (d *Daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", timed(obs.ServeRouteSubmit, d.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", timed(obs.ServeRouteList, d.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", timed(obs.ServeRouteGet, d.handleGet))
+	mux.HandleFunc("GET /v1/campaigns/{id}/status", timed(obs.ServeRouteStatus, d.handleStatus))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", timed(obs.ServeRouteCancel, d.handleCancel))
+	return mux
+}
+
+// timed wraps a handler with the per-route latency histogram.
+func timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		obs.ServeHTTPSeconds.Observe(route, time.Since(t0).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(marshalJSON(v), '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		obs.ServeRejected.Inc(obs.ServeRejectInvalid)
+		writeError(w, http.StatusBadRequest, "decoding submission: %v", err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		obs.ServeRejected.Inc(obs.ServeRejectInvalid)
+		writeError(w, http.StatusBadRequest, "submission needs a %q field carrying the campaign spec", "spec")
+		return
+	}
+	meta, err := d.Submit(req.Tenant, req.Priority, req.Spec)
+	if err != nil {
+		se, ok := err.(*SubmitError)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if se.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+		}
+		writeError(w, se.Status, "%s", se.Msg)
+		return
+	}
+	writeJSON(w, http.StatusCreated, meta)
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	metas := d.List(r.URL.Query().Get("tenant"))
+	writeJSON(w, http.StatusOK, ListResponse{Campaigns: metas})
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, ok := d.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	detail := CampaignDetail{Meta: meta}
+	if spec, ok := d.Spec(id); ok {
+		detail.Spec = json.RawMessage(spec)
+	}
+	if meta.State == StateDone || meta.State == StateCancelled {
+		if result, err := d.Result(id); err == nil {
+			detail.Result = json.RawMessage(result)
+		} else if !os.IsNotExist(err) {
+			writeError(w, http.StatusInternalServerError, "reading result: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	var afterSeq int64
+	if s := q.Get("seq"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seq %q: %v", s, err)
+			return
+		}
+		afterSeq = v
+	}
+	var wait time.Duration
+	if s := q.Get("wait_ms"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait_ms %q", s)
+			return
+		}
+		wait = time.Duration(v) * time.Millisecond
+		if wait > maxStatusWait {
+			wait = maxStatusWait
+		}
+	}
+	meta, ok := d.WaitChange(id, afterSeq, wait)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, ok := d.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postRaw submits a raw body straight to the submit endpoint, returning the
+// status code and decoded error (if any).
+func postRaw(t *testing.T, addr, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	json.Unmarshal(data, &er)
+	return resp.StatusCode, er.Error, resp.Header
+}
+
+// TestSubmitValidationTable pins the HTTP-boundary error contract: every
+// malformed or unresolvable submission is a 400 whose body carries the
+// registry's "known alternatives" message, so a typo'd policy name tells
+// the operator what would have worked.
+func TestSubmitValidationTable(t *testing.T) {
+	// No dataset: replay-mode submissions are rejected too.
+	_, client := newTestDaemon(t, Config{Workers: 1})
+	addr := client.base[len("http://"):]
+
+	spec := func(body string) string {
+		return fmt.Sprintf(`{"tenant":"t","spec":%s}`, body)
+	}
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantErr    string
+	}{
+		{"malformed JSON", `{"tenant": nope}`, 400, "decoding submission"},
+		{"unknown envelope field", `{"tenannt":"x","spec":{"version":1}}`, 400, "unknown field"},
+		{"missing spec", `{"tenant":"x"}`, 400, `"spec" field`},
+		{"bad priority", `{"priority":"urgent","spec":{"version":1,"mode":"replay","policy":{"name":"maxsigma"},"replay":{"n_init":4}}}`,
+			400, `unknown priority "urgent" (known: high, normal, low)`},
+		{"unknown spec field",
+			spec(`{"version":1,"mode":"replay","policyy":{"name":"maxsigma"},"replay":{"n_init":4}}`),
+			400, "unknown field"},
+		{"wrong spec version",
+			spec(`{"version":9,"mode":"replay","policy":{"name":"maxsigma"},"replay":{"n_init":4}}`),
+			400, "spec version 9"},
+		{"unknown mode",
+			spec(`{"version":1,"mode":"batch","policy":{"name":"maxsigma"}}`),
+			400, `unknown mode "batch"`},
+		{"unknown policy",
+			spec(`{"version":1,"mode":"replay","policy":{"name":"entropy"},"replay":{"n_init":4}}`),
+			400, `unknown policy "entropy" (registered:`},
+		{"unknown kernel",
+			spec(`{"version":1,"mode":"replay","policy":{"name":"maxsigma"},"kernel":{"name":"periodic"},"replay":{"n_init":4}}`),
+			400, `unknown kernel "periodic" (registered:`},
+		{"unknown lab",
+			spec(`{"version":1,"mode":"online","policy":{"name":"maxsigma"},"online":{"lab":{"name":"slurm"}}}`),
+			400, `unknown lab "slurm" (registered:`},
+		{"unknown batch strategy",
+			spec(`{"version":1,"mode":"replay","policy":{"name":"maxsigma"},"replay":{"n_init":4,"batch":{"q":2,"strategy":"kriging"}}}`),
+			400, `unknown batch strategy "kriging" (registered:`},
+		{"replay needs dataset",
+			spec(`{"version":1,"mode":"replay","policy":{"name":"maxsigma"},"replay":{"n_init":4}}`),
+			400, "without -data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, msg, _ := postRaw(t, addr, tc.body)
+			if status != tc.wantStatus {
+				t.Fatalf("status = %d want %d (error %q)", status, tc.wantStatus, msg)
+			}
+			if !strings.Contains(msg, tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", msg, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUnknownCampaignRoutes(t *testing.T) {
+	_, client := newTestDaemon(t, Config{Workers: 1})
+	if _, err := client.Get("c999999"); !is404(err) {
+		t.Fatalf("Get unknown: %v", err)
+	}
+	if _, err := client.Status("c999999", 0, 0); !is404(err) {
+		t.Fatalf("Status unknown: %v", err)
+	}
+	if _, err := client.Cancel("c999999"); !is404(err) {
+		t.Fatalf("Cancel unknown: %v", err)
+	}
+}
+
+func is404(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusNotFound
+}
+
+func TestSubmitRunStatusLifecycle(t *testing.T) {
+	_, client := newTestDaemon(t, Config{Workers: 2, Dataset: testDataset(60, 11)})
+	m, err := client.Submit("acme", "", replaySpecJSON("lifecycle", 5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State != StateQueued || m.Tenant != "acme" || m.Priority != DefaultPriority || m.Seq != 1 {
+		t.Fatalf("submit meta = %+v", m)
+	}
+
+	final, err := client.WaitTerminal(m.ID, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	if final.Seq <= m.Seq {
+		t.Fatalf("seq did not advance: %d → %d", m.Seq, final.Seq)
+	}
+
+	detail, err := client.Get(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Spec) == 0 || len(detail.Result) == 0 {
+		t.Fatalf("detail missing spec/result: %+v", detail.Meta)
+	}
+	var tr struct {
+		Reason string `json:"Reason"`
+	}
+	if err := json.Unmarshal(detail.Result, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Reason != "max-iterations" {
+		t.Fatalf("result reason = %q", tr.Reason)
+	}
+
+	// The list endpoints see the campaign under its tenant only.
+	if metas, _ := client.List("acme"); len(metas) != 1 || metas[0].ID != m.ID {
+		t.Fatalf("List(acme) = %+v", metas)
+	}
+	if metas, _ := client.List("other"); len(metas) != 0 {
+		t.Fatalf("List(other) = %+v", metas)
+	}
+
+	// Long-poll on a terminal campaign with wait returns after the timeout
+	// (no change to wait for) and promptly with seq 0.
+	t0 := time.Now()
+	if _, err := client.Status(m.ID, final.Seq, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) < 80*time.Millisecond {
+		t.Fatalf("terminal long-poll returned too fast")
+	}
+	if got, err := client.Status(m.ID, 0, 10*time.Second); err != nil || got.Seq != final.Seq {
+		t.Fatalf("status seq=0 long-poll: %+v %v", got, err)
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	// One worker, queue cap 1: the first campaign occupies the worker, the
+	// second fills the queue, the third bounces with 429 + Retry-After.
+	_, client := newTestDaemon(t, Config{Workers: 1, QueueCap: 1, Dataset: testDataset(120, 13)})
+	addr := client.base[len("http://"):]
+	for i := 0; i < 2; i++ {
+		if _, err := client.Submit("t", "", replaySpecJSON(fmt.Sprintf("bp-%d", i), int64(i+1), 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var status int
+	var hdr http.Header
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := fmt.Sprintf(`{"tenant":"t","spec":%s}`, replaySpecJSON("bp-extra", 9, 80))
+		var msg string
+		status, msg, hdr = postRaw(t, addr, body)
+		if status == http.StatusTooManyRequests {
+			if !strings.Contains(msg, "queue full") {
+				t.Fatalf("429 body: %q", msg)
+			}
+			break
+		}
+		// The worker may have drained the queue between submits; top it up
+		// until the queue is genuinely full.
+		if status != http.StatusCreated || time.Now().After(deadline) {
+			t.Fatalf("no backpressure observed (last status %d)", status)
+		}
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+}
+
+func TestClientIsBackpressure(t *testing.T) {
+	if !IsBackpressure(&APIError{Status: 429, Msg: "queue full"}) {
+		t.Fatal("429 not classified as backpressure")
+	}
+	if IsBackpressure(&APIError{Status: 400}) || IsBackpressure(fmt.Errorf("boom")) {
+		t.Fatal("non-429 classified as backpressure")
+	}
+}

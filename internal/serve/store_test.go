@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreIDsAndRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2 := st.NewID(), st.NewID()
+	if id1 != "c000001" || id2 != "c000002" {
+		t.Fatalf("ids = %s, %s", id1, id2)
+	}
+
+	spec := []byte(replaySpecJSON("s", 1, 2))
+	if err := st.WriteSpec(id1, spec); err != nil {
+		t.Fatal(err)
+	}
+	m := Meta{ID: id1, Tenant: "a", Priority: "normal", State: StateQueued, Seq: 1}
+	if err := st.WriteState(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadState(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("state round trip: got %+v want %+v", got, m)
+	}
+	gotSpec, err := st.ReadSpec(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSpec) != string(spec) {
+		t.Fatalf("spec round trip mismatch")
+	}
+
+	// Result is absent until written, then round-trips.
+	if _, err := st.ReadResult(id1); !os.IsNotExist(err) {
+		t.Fatalf("ReadResult before write: %v", err)
+	}
+	if err := st.WriteResult(id1, []byte("{\"x\":1}\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.ReadResult(id1)
+	if err != nil || string(res) != "{\"x\":1}\n" {
+		t.Fatalf("result round trip: %q %v", res, err)
+	}
+
+	// Reopening continues the ID sequence past what is on disk.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := st2.NewID(); id != "c000002" {
+		// only c000001 has a directory; c000002 was issued but never created
+		t.Fatalf("reopened store issued %s", id)
+	}
+}
+
+func TestStoreLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create out of order; LoadAll must sort by ID.
+	for _, id := range []string{"c000002", "c000001"} {
+		if err := st.WriteSpec(id, []byte(replaySpecJSON(id, 3, 2))); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.WriteState(Meta{ID: id, Tenant: "t", Priority: "low", State: StateDone, Seq: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-campaign entries are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "addr"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "not-a-campaign"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	all, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Meta.ID != "c000001" || all[1].Meta.ID != "c000002" {
+		t.Fatalf("LoadAll = %+v", all)
+	}
+}
+
+func TestStoreLoadAllRejectsCorruptState(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "c000001"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c000001", "state.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadAll(); err == nil || !strings.Contains(err.Error(), "c000001") {
+		t.Fatalf("corrupt state not surfaced: %v", err)
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for s, want := range map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v", s, !want)
+		}
+	}
+}
