@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test ci bench bench-al bench-scale bench-scale-full bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke serve-smoke docs-check
+.PHONY: all build test ci bench bench-al bench-scale bench-scale-full bench-scale-smoke fmt vet race chaos chaos-remote obs-check sweep-smoke serve-smoke docs-check fidelity-smoke
 
 all: build
 
@@ -26,7 +26,7 @@ vet:
 race:
 	$(GO) test -race -short ./internal/mat ./internal/kernel ./internal/gp \
 		./internal/core ./internal/engine ./internal/faults ./internal/online \
-		./internal/remotelab
+		./internal/remotelab ./internal/report
 	$(GO) test -race -count=1 -run 'TestStream|TestGridSource|TestScaleSmoke|TestPredictIntoSerial' \
 		./internal/engine ./internal/gp
 
@@ -76,6 +76,16 @@ serve-smoke:
 	$(GO) test -race -count=1 ./internal/serve
 	$(GO) run ./cmd/al-loadtest -data dataset.csv -campaigns 24 -out BENCH_serve.json
 
+# fidelity-smoke gates the multi-fidelity layer under the race detector:
+# the 2-level replay grid (co-kriging surrogate + cost-per-information
+# acquisition through the concurrent sweep engine), the one-level/rho=0
+# equivalence pins against the exact GP, and the online fidelity campaign
+# end to end — never satisfied from the test cache.
+fidelity-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestFidelitySmoke|TestFidelityStudy|TestReplayFidelity|TestMultiFidOneLevelBitwiseExactGP|TestMultiFidRhoZeroMatchesIndependentGPs|TestOnlineFidelityEndToEnd|TestFidelityCampaignOverFleet' \
+		./internal/engine ./internal/gp ./internal/online ./internal/remotelab
+
 # docs-check keeps the documentation honest: every examples/specs file is
 # canonical-form, every flag README.md/API.md shows exists in the binary it
 # is shown on, and every alamr_* metric the docs mention is cataloged in
@@ -89,7 +99,7 @@ docs-check:
 # target already covers ./internal/gp and ./internal/engine, so the
 # cache-equivalence and streamed-pool tests run under the race detector here
 # too.
-ci: fmt vet build test race obs-check sweep-smoke serve-smoke docs-check chaos-remote bench-scale-smoke
+ci: fmt vet build test race obs-check sweep-smoke fidelity-smoke serve-smoke docs-check chaos-remote bench-scale-smoke
 
 # bench runs the linear-algebra / GP hot-path benchmarks and emits the raw
 # `go test -json` event stream to BENCH_gp.json (one JSON object per line;

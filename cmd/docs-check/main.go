@@ -14,6 +14,12 @@
 //     internal/obs/names.go), so the metrics documentation can never
 //     reference a series the code does not export. Family prefixes written
 //     with a trailing underscore ("the alamr_serve_ series") are skipped.
+//  4. Every json field of the spec's "fidelity" block (engine.FidelitySpec,
+//     read by reflection) must be documented in API.md, so the
+//     multi-fidelity spec surface cannot drift undocumented.
+//  5. Every alamr_fidelity_* string literal in the Go sources must be a
+//     cataloged name in internal/obs/names.go — fidelity series are only
+//     ever minted through the catalog.
 //
 // Run from the repository root (it resolves cmd/ and the docs relative to
 // the working directory): `go run ./cmd/docs-check` or `make docs-check`.
@@ -21,9 +27,11 @@ package main
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -154,6 +162,81 @@ func checkMetricNames(paths []string) {
 	}
 }
 
+// checkFidelitySpecDocs verifies API.md documents the spec's "fidelity"
+// block: the section key itself and every json field of engine.FidelitySpec
+// (read by reflection, so adding a field fails the check until API.md
+// documents it) must appear quoted in API.md.
+func checkFidelitySpecDocs() {
+	data, err := os.ReadFile("API.md")
+	if err != nil {
+		problemf("API.md: %v", err)
+		return
+	}
+	doc := string(data)
+	want := []string{"fidelity"}
+	t := reflect.TypeOf(engine.FidelitySpec{})
+	for i := 0; i < t.NumField(); i++ {
+		tag, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			problemf("engine.FidelitySpec field %s has no json tag", t.Field(i).Name)
+			continue
+		}
+		want = append(want, tag)
+	}
+	for _, w := range want {
+		if !strings.Contains(doc, `"`+w+`"`) {
+			problemf(`API.md: fidelity spec field %q is not documented`, w)
+		}
+	}
+}
+
+// checkFidelityMetricsCataloged scans the Go sources for alamr_fidelity_*
+// string literals: each must be declared in internal/obs/names.go, so
+// fidelity series are only ever minted through the catalog (and the catalog
+// must hold at least one — the family cannot silently disappear).
+func checkFidelityMetricsCataloged() {
+	catalog, err := os.ReadFile("internal/obs/names.go")
+	if err != nil {
+		problemf("reading metric catalog: %v", err)
+		return
+	}
+	known := map[string]bool{}
+	litRe := regexp.MustCompile(`"(alamr_fidelity_[a-z0-9_]+)"`)
+	for _, m := range litRe.FindAllStringSubmatch(string(catalog), -1) {
+		known[m[1]] = true
+	}
+	if len(known) == 0 {
+		problemf("internal/obs/names.go: no alamr_fidelity_* metrics cataloged")
+	}
+	tokenRe := regexp.MustCompile(`alamr_fidelity_[a-z0-9_]+`)
+	for _, root := range []string{"internal", "cmd"} {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			if filepath.ToSlash(path) == "internal/obs/names.go" {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				problemf("%s: %v", path, err)
+				return nil
+			}
+			for ln, line := range strings.Split(string(src), "\n") {
+				for _, tok := range tokenRe.FindAllString(line, -1) {
+					if strings.HasSuffix(tok, "_") {
+						continue // family-prefix prose, not a series name
+					}
+					if !known[tok] {
+						problemf("%s:%d: fidelity metric %s is not in the obs catalog (internal/obs/names.go)", path, ln+1, tok)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
 func main() {
 	checkSpecs()
 
@@ -176,6 +259,8 @@ func main() {
 	}
 
 	checkMetricNames([]string{"DESIGN.md", "README.md", "API.md"})
+	checkFidelitySpecDocs()
+	checkFidelityMetricsCataloged()
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -185,5 +270,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docs-check: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
-	fmt.Println("docs-check: specs canonical, documented flags real, documented metrics cataloged")
+	fmt.Println("docs-check: specs canonical, documented flags real, documented metrics cataloged, fidelity surface documented")
 }

@@ -69,6 +69,20 @@ var (
 // NumFeatures is the input-space dimension d.
 const NumFeatures = 5
 
+// FidelityFeature is the index of the fidelity dial — the AMR refinement
+// depth MaxLevel — in the (scaled) feature vector. Multi-fidelity campaigns
+// treat this column as the rung of a fidelity ladder rather than an
+// ordinary design dimension.
+const FidelityFeature = 2
+
+// ScaleMaxLevel maps a MaxLevel grid value onto the unit-scaled feature
+// axis the surrogates see (the FidelityFeature column of ScaleFeatures).
+func ScaleMaxLevel(ml int) float64 {
+	lo := float64(GridMaxLevel[0])
+	hi := float64(GridMaxLevel[len(GridMaxLevel)-1])
+	return (float64(ml) - lo) / (hi - lo)
+}
+
 // Job is one completed AMR simulation: the five features the paper sweeps
 // and the measured responses.
 type Job struct {

@@ -45,6 +45,12 @@ type LoopConfig struct {
 	// NewModel overrides the surrogate constructor entirely (it wins over
 	// Model). Use for custom gp.Model implementations not in the registry.
 	NewModel func() gp.Model
+	// Fidelity turns the loop multi-fidelity: the partition is expected to
+	// span the declared MaxLevel ladder, the default surrogate becomes the
+	// co-kriging "multifid" model, candidate sets carry a FidelityView, and
+	// selections record their ladder level. Nil preserves the
+	// single-fidelity code paths exactly.
+	Fidelity *FidelitySpec
 	// Pool optionally replaces the materialized candidate pool with the
 	// streamed/sharded top-k pool (see StreamSelect): candidates are scored
 	// shard by shard into a bounded shortlist, so peak pool memory is
@@ -72,8 +78,12 @@ func (c *LoopConfig) newModel() (gp.Model, error) {
 	if c.NewModel != nil {
 		return c.NewModel(), nil
 	}
+	deps := ModelDeps{Kernel: c.Kernel, GP: c.GP, Fidelity: c.Fidelity}
 	if c.Model != nil {
-		return BuildModel(*c.Model, ModelDeps{Kernel: c.Kernel, GP: c.GP})
+		return BuildModel(*c.Model, deps)
+	}
+	if c.Fidelity != nil {
+		return BuildModel(ModelSpec{Name: ModelMultiFid}, deps)
 	}
 	return gp.New(c.Kernel, c.GP), nil
 }
@@ -142,6 +152,10 @@ type Trajectory struct {
 	// selected jobs, in order.
 	SelectedCost []float64
 	SelectedMem  []float64
+	// SelectedLevel holds each selection's fidelity ladder index
+	// (multi-fidelity campaigns only; omitted — and absent from the JSON —
+	// in single-fidelity runs, so historical goldens stay byte-identical).
+	SelectedLevel []int `json:"SelectedLevel,omitempty"`
 
 	// Per-iteration metrics, recorded after the models absorb iteration i.
 	CostRMSE  []float64 // non-log RMSE on the Test partition

@@ -1,10 +1,17 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"alamr/internal/dataset"
 )
+
+// ErrNotInPool classifies a ReplayLab.Run request for a configuration the
+// replay dataset never measured. Callers distinguish it (errors.Is) from
+// infrastructure faults: asking for an absent feed is a caller bug or a
+// stale candidate list, not a retryable lab failure.
+var ErrNotInPool = errors.New("engine: configuration is not in the replay dataset")
 
 // Lab runs experiments on demand — the execution seam of an online
 // campaign. internal/online provides the live simulator-backed SimLab;
@@ -56,7 +63,7 @@ func NewReplayLab(ds *dataset.Dataset) *ReplayLab {
 func (l *ReplayLab) Run(c dataset.Combo) (dataset.Job, error) {
 	i, ok := l.index[c]
 	if !ok {
-		return dataset.Job{}, fmt.Errorf("engine: configuration %+v is not in the replay dataset", c)
+		return dataset.Job{}, fmt.Errorf("%w: %+v", ErrNotInPool, c)
 	}
 	return l.ds.Jobs[i], nil
 }

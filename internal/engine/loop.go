@@ -22,6 +22,9 @@ type Execution struct {
 	// Violated pre-judges the memory-limit violation for censored runs (an
 	// OOM kill is the violation even though MemMB is only a lower bound).
 	Violated bool
+	// Level is the executed candidate's fidelity ladder index
+	// (multi-fidelity campaigns only; always 0 otherwise).
+	Level int
 }
 
 // LoopEnv is the execution seam of the unified campaign loop: everything

@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"strings"
 
+	"alamr/internal/dataset"
 	"alamr/internal/gp"
 	"alamr/internal/kernel"
 )
 
 // Surrogate model names built into the registry.
 const (
-	ModelExact  = "exact"
-	ModelSparse = "sparse"
-	ModelTreed  = "treed"
+	ModelExact    = "exact"
+	ModelSparse   = "sparse"
+	ModelTreed    = "treed"
+	ModelMultiFid = "multifid"
 )
 
 // ModelSpec names a registered surrogate family plus its capacity knobs.
@@ -32,10 +34,12 @@ type ModelSpec struct {
 }
 
 // ModelDeps carries the runtime inputs a model constructor needs beyond its
-// spec: the covariance prototype and the per-surrogate GP configuration.
+// spec: the covariance prototype, the per-surrogate GP configuration, and
+// (for the co-kriging family) the campaign's fidelity ladder.
 type ModelDeps struct {
-	Kernel kernel.Kernel
-	GP     gp.Config
+	Kernel   kernel.Kernel
+	GP       gp.Config
+	Fidelity *FidelitySpec
 }
 
 var modelReg = map[string]func(ModelSpec, ModelDeps) (gp.Model, error){}
@@ -112,5 +116,14 @@ func init() {
 			t.SetRebalance(s.Rebalance)
 		}
 		return t, nil
+	})
+	RegisterModel(ModelMultiFid, func(_ ModelSpec, d ModelDeps) (gp.Model, error) {
+		if d.Fidelity == nil {
+			return nil, fmt.Errorf("engine: model %q needs a fidelity ladder (spec %q section)", ModelMultiFid, "fidelity")
+		}
+		return gp.NewMultiFid(d.Kernel, d.GP, gp.MultiFidConfig{
+			Dim:    dataset.FidelityFeature,
+			Ladder: d.Fidelity.ScaledLadder(),
+		})
 	})
 }

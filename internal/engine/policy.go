@@ -37,6 +37,11 @@ type Candidates struct {
 	// MemLimitLog is log10 of the maximum allowed memory usage L_mem;
 	// +Inf when no limit applies.
 	MemLimitLog float64
+
+	// Fid carries each candidate's fidelity state in multi-fidelity
+	// campaigns; nil in single-fidelity runs. Fidelity-agnostic policies
+	// ignore it.
+	Fid *FidelityView
 }
 
 // Len returns the number of remaining candidates.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"alamr/internal/dataset"
@@ -54,16 +55,37 @@ type replayEnv struct {
 	batch  bool
 	stable *StableStopConfig
 
+	// fid is the fidelity ladder bookkeeping of a multi-fidelity campaign;
+	// nil keeps every scored candidate set fidelity-free.
+	fid *fidelityRuntime
+
 	prevTestMu []float64
 	stableRun  int
 }
 
 func (e *replayEnv) PoolLen() int { return len(e.remaining) }
 
-func (e *replayEnv) Score() *Candidates { return e.scorer.candidates(e.memLimitLog) }
+func (e *replayEnv) Score() *Candidates {
+	c := e.scorer.candidates(e.memLimitLog)
+	if e.fid != nil {
+		// Candidate levels in candidates order (identity translate for the
+		// materialized pool, shortlist translate for the streamed one); the
+		// partition's levels were validated against the ladder up front.
+		lv := make([]int, c.Len())
+		for i := range lv {
+			lv[i], _ = e.fid.level(e.ds.Jobs[e.remaining[e.scorer.translate(i)]].MaxLevel)
+		}
+		c.Fid = &FidelityView{Level: lv, TopGain: e.scorer.fidelityGains()}
+	}
+	return c
+}
 
 func (e *replayEnv) Execute(pick int) (Execution, error) {
-	return Execution{Job: e.ds.Jobs[e.remaining[e.scorer.translate(pick)]]}, nil
+	ex := Execution{Job: e.ds.Jobs[e.remaining[e.scorer.translate(pick)]]}
+	if e.fid != nil {
+		ex.Level, _ = e.fid.level(ex.Job.MaxLevel)
+	}
+	return ex, nil
 }
 
 func (e *replayEnv) Record(pick int, _ *Candidates, ex Execution, violated bool, cumCost, cumRegret float64) {
@@ -74,6 +96,10 @@ func (e *replayEnv) Record(pick int, _ *Candidates, ex Execution, violated bool,
 	e.tr.CumCost = append(e.tr.CumCost, cumCost)
 	e.tr.CumRegret = append(e.tr.CumRegret, cumRegret)
 	e.tr.Violation = append(e.tr.Violation, violated)
+	if e.fid != nil {
+		e.tr.SelectedLevel = append(e.tr.SelectedLevel, ex.Level)
+		obs.FidelitySelections.Inc(strconv.Itoa(ex.Level))
+	}
 }
 
 // Absorb feeds the measurement into both models (Algorithm 1 lines 10-11):
@@ -184,6 +210,26 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 	if err := checkLogPrecondition(ds, part); err != nil {
 		return nil, err
 	}
+	var fid *fidelityRuntime
+	if cfg.Fidelity != nil {
+		if batch {
+			return nil, errors.New("engine: fidelity campaigns do not support batch selection")
+		}
+		if err := cfg.Fidelity.Validate(); err != nil {
+			return nil, err
+		}
+		fid = newFidelityRuntime(cfg.Fidelity)
+		// Validate the whole partition against the ladder up front so the
+		// per-round level lookups cannot fail mid-campaign.
+		for _, idx := range [][]int{part.Init, part.Active, part.Test} {
+			for _, i := range idx {
+				if _, err := fid.level(ds.Jobs[i].MaxLevel); err != nil {
+					return nil, fmt.Errorf("engine: job %d: %w", i, err)
+				}
+			}
+		}
+		obs.FidelityLevels.Set(float64(len(cfg.Fidelity.Levels)))
+	}
 
 	features := func(idx []int) *mat.Dense {
 		if cfg.Log2P {
@@ -279,6 +325,7 @@ func runReplay(ds *dataset.Dataset, part dataset.Partition, cfg LoopConfig, q in
 		memLimitLog: memLimitLog,
 		batch:       batch,
 		stable:      cfg.Stable,
+		fid:         fid,
 	}
 	defer env.scorer.close()
 

@@ -21,6 +21,10 @@ type scorer interface {
 	// invalidate discards any state derived from the previous posterior;
 	// the loop calls it after every hyperparameter refit.
 	invalidate()
+	// fidelityGains returns the per-candidate top-fidelity information
+	// gains in candidates order when the cost surrogate can provide them
+	// (multi-fidelity models), nil otherwise.
+	fidelityGains() []float64
 	close()
 }
 
@@ -91,6 +95,19 @@ func (s *poolScorer) remove(p int) {
 // invalidate is a no-op: the attached pool caches register with their
 // models and invalidate themselves on refit.
 func (s *poolScorer) invalidate() {}
+
+// fidelityGains serves the cost surrogate's top-fidelity information gains:
+// from the multi-fidelity pool cache when one is attached, directly from
+// the model on the direct-scoring path, nil for single-fidelity surrogates.
+func (s *poolScorer) fidelityGains() []float64 {
+	if fs, ok := s.costCache.(gp.FidelityScorer); ok {
+		return fs.TopInfoGains()
+	}
+	if mf, ok := s.costModel.(*gp.MultiFid); ok {
+		return mf.TopInfoGains(s.x)
+	}
+	return nil
+}
 
 func (s *poolScorer) close() {
 	if s.costCache != nil {

@@ -50,6 +50,13 @@ type CampaignSpec struct {
 	HyperoptEvery     int     `json:"hyperopt_every,omitempty"`
 	MaxIterations     int     `json:"max_iterations,omitempty"`
 	Log2P             bool    `json:"log2p,omitempty"`
+	// Fidelity turns the campaign multi-fidelity: candidates become
+	// (point, fidelity) pairs over the declared MaxLevel ladder, the
+	// surrogates become co-kriging models ("multifid", the default model
+	// when this section is present), and cost-per-information acquisition
+	// becomes available. Omitted means single-fidelity — the exact
+	// historical code paths.
+	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
 
 	Replay *ReplaySpec `json:"replay,omitempty"`
 	Online *OnlineSpec `json:"online,omitempty"`
@@ -210,6 +217,28 @@ func (s *CampaignSpec) Validate() error {
 			return err
 		}
 	}
+	if s.Fidelity != nil {
+		if err := s.Fidelity.Validate(); err != nil {
+			return err
+		}
+		if s.Model != nil && s.Model.Name != "" && normName(s.Model.Name) != ModelMultiFid {
+			return fmt.Errorf("engine: fidelity campaigns need the %q model, got %q", ModelMultiFid, s.Model.Name)
+		}
+		if s.Mode == ModeReplay && s.Replay.Batch != nil {
+			return fmt.Errorf("engine: fidelity campaigns do not support batch selection")
+		}
+		if s.Kernel != nil && normName(s.Kernel.Name) == "ard-rbf" && len(s.Kernel.LengthScales) != dataset.NumFeatures-1 {
+			return fmt.Errorf("engine: fidelity surrogates strip the fidelity column: ard-rbf needs %d length_scales, got %d",
+				dataset.NumFeatures-1, len(s.Kernel.LengthScales))
+		}
+	} else {
+		if s.Model != nil && normName(s.Model.Name) == ModelMultiFid {
+			return fmt.Errorf("engine: model %q needs a %q section", ModelMultiFid, "fidelity")
+		}
+		if isCostPerInfo(s.Policy.Name) {
+			return fmt.Errorf("engine: policy %q needs a %q section", s.Policy.Name, "fidelity")
+		}
+	}
 	if s.MemLimitMB < 0 {
 		return fmt.Errorf("engine: mem_limit_mb must be >= 0, got %g", s.MemLimitMB)
 	}
@@ -283,7 +312,17 @@ func (s *CampaignSpec) ReplayPlan(ds *dataset.Dataset) (dataset.Partition, LoopC
 	if pseed == 0 {
 		pseed = s.Seed
 	}
-	part, err := dataset.Split(ds, r.NInit, nTest, rand.New(rand.NewSource(pseed)))
+	var part dataset.Partition
+	var err error
+	if s.Fidelity != nil {
+		// Fidelity-aware split: Test drawn from the top rung only, Init
+		// seeded per rung. The dataset must already be ladder-only (callers
+		// filter with FidelitySpec.Filter; runReplaySpecCtx does this), so
+		// Trajectory.Selected indices refer to the filtered dataset.
+		part, err = s.Fidelity.split(ds, r.NInit, nTest, rand.New(rand.NewSource(pseed)))
+	} else {
+		part, err = dataset.Split(ds, r.NInit, nTest, rand.New(rand.NewSource(pseed)))
+	}
 	if err != nil {
 		return dataset.Partition{}, LoopConfig{}, err
 	}
@@ -301,6 +340,7 @@ func (s *CampaignSpec) ReplayPlan(ds *dataset.Dataset) (dataset.Partition, LoopC
 		DirectScoring: r.DirectScoring,
 		Model:         s.Model,
 		Pool:          r.Pool,
+		Fidelity:      s.Fidelity,
 	}
 	if s.Kernel != nil {
 		k, err := BuildKernel(*s.Kernel)

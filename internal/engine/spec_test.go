@@ -44,6 +44,13 @@ func TestSpecRoundTripByteStable(t *testing.T) {
 			Replay: &ReplaySpec{NInit: 10, NTest: 40},
 		},
 		{
+			Version: SpecVersion, Name: "fidelity-replay", Mode: ModeReplay,
+			Policy:   PolicySpec{Name: "costperinfo"},
+			Fidelity: &FidelitySpec{Levels: []int{3, 4, 6}, InitPerLevel: 5},
+			Seed:     2,
+			Replay:   &ReplaySpec{NInit: 15, NTest: 40},
+		},
+		{
 			Version: SpecVersion, Name: "full-online", Mode: ModeOnline,
 			Policy:            PolicySpec{Name: "ei", Xi: 0.05},
 			MemLimitPaperRule: false, MemLimitMB: 2,
@@ -186,7 +193,12 @@ func TestEveryRegistryEntryConstructible(t *testing.T) {
 	}
 	deps := ModelDeps{Kernel: kernel.NewRBF(0.5, 1), GP: gp.Config{Noise: 0.1}}
 	for _, name := range ModelNames() {
-		if m, err := BuildModel(ModelSpec{Name: name}, deps); err != nil || m == nil {
+		d := deps
+		if name == ModelMultiFid {
+			// The co-kriging family needs its fidelity ladder.
+			d.Fidelity = &FidelitySpec{Levels: []int{3, 4, 6}}
+		}
+		if m, err := BuildModel(ModelSpec{Name: name}, d); err != nil || m == nil {
 			t.Fatalf("model %s: %v", name, err)
 		}
 	}

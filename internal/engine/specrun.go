@@ -113,6 +113,11 @@ func init() {
 // runReplaySpecCtx is RunReplaySpecScoped with cooperative cancellation
 // wired from the context into the loop's Stop hook.
 func runReplaySpecCtx(ctx context.Context, ds *dataset.Dataset, spec CampaignSpec, scope *CampaignObs) (*Trajectory, error) {
+	if spec.Fidelity != nil && ds != nil {
+		// Fidelity campaigns run against the ladder-only subset; the
+		// trajectory's Selected indices refer to the filtered dataset.
+		ds = spec.Fidelity.Filter(ds)
+	}
 	part, cfg, err := spec.ReplayPlan(ds)
 	if err != nil {
 		return nil, err

@@ -701,4 +701,8 @@ func (s *streamScorer) remove(p int) {
 // StreamState.InvalidateBounds).
 func (s *streamScorer) invalidate() { s.st.InvalidateBounds() }
 
+// fidelityGains is unavailable on the shortlist path: the streamed pool
+// supports shortlist-safe rankers only, none of which consume gains.
+func (s *streamScorer) fidelityGains() []float64 { return nil }
+
 func (s *streamScorer) close() {}

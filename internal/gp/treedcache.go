@@ -42,6 +42,8 @@ func NewPoolCache(m Model, x *mat.Dense) PoolCache {
 		return NewSparseScoringCache(mm, x)
 	case *Treed:
 		return NewTreedScoringCache(mm, x)
+	case *MultiFid:
+		return NewMultiFidCache(mm, x)
 	}
 	return nil
 }

@@ -130,6 +130,10 @@ var (
 	JobCost            HistogramHandle
 	JobMem             HistogramHandle
 
+	// Multi-fidelity campaigns.
+	FidelityLevels     GaugeHandle
+	FidelitySelections CounterVecHandle
+
 	// Loop phase spans (histogram alamr_loop_phase_seconds{phase=...}).
 	SpanFit      = SpanHandle{name: PhaseFit}
 	SpanHyperopt = SpanHandle{name: PhaseHyperopt}
@@ -230,6 +234,12 @@ func bindHandles(r *Registry) {
 	PoolSize.p.Store(r.Gauge(MetricPoolSize, "candidate pool size"))
 	JobCost.p.Store(r.Histogram(MetricJobCost, "per-job cost (node-hours)", CostBuckets))
 	JobMem.p.Store(r.Histogram(MetricJobMem, "per-job peak memory (MB)", SizeBuckets))
+	FidelityLevels.p.Store(r.Gauge(MetricFidelityLevels, "fidelity-ladder size of the running campaign"))
+	fidLevels := make(map[string]*Counter, len(FidelityLevelValues))
+	for _, lv := range FidelityLevelValues {
+		fidLevels[lv] = r.Counter(Labeled(MetricFidelitySelections, LabelLevel, lv), "AL selections, by fidelity ladder rung")
+	}
+	FidelitySelections.p.Store(&fidLevels)
 
 	for _, sp := range []*SpanHandle{&SpanFit, &SpanHyperopt, &SpanScore, &SpanSelect, &SpanRun, &SpanFeed} {
 		sp.hist.Store(r.Histogram(Labeled(MetricLoopPhaseSeconds, "phase", sp.name),
@@ -323,7 +333,7 @@ func unbindHandles() {
 	for _, g := range []*GaugeHandle{
 		&CampaignCumCost, &CampaignCumRegret, &CampaignHeadroom,
 		&PoolSize, &PoolStreamLive, &PoolShardsInflight, &GPTrainRows, &MatWorkers,
-		&RemoteWorkersLive, &ServeQueueDepth, &ServeRunning,
+		&RemoteWorkersLive, &ServeQueueDepth, &ServeRunning, &FidelityLevels,
 	} {
 		g.p.Store(nil)
 	}
@@ -338,6 +348,7 @@ func unbindHandles() {
 	}
 	FaultByClass.p.Store(nil)
 	ModelCacheOps.p.Store(nil)
+	FidelitySelections.p.Store(nil)
 	ServeRejected.p.Store(nil)
 	ServeFinished.p.Store(nil)
 	ServeHTTPSeconds.p.Store(nil)

@@ -20,6 +20,12 @@ const (
 	MetricJobCost            = "alamr_job_cost_nh"
 	MetricJobMem             = "alamr_job_mem_mb"
 
+	// Multi-fidelity campaigns: the ladder size of the running campaign and
+	// the selection count per ladder rung (label: level, the ladder index
+	// "0".."3" — the maxlevel grid bounds the ladder at four rungs).
+	MetricFidelityLevels     = "alamr_fidelity_levels"
+	MetricFidelitySelections = "alamr_fidelity_selections_total" // label: level
+
 	// GP internals.
 	MetricGPRebuilds  = "alamr_gp_rebuild_total"
 	MetricGPExtends   = "alamr_gp_extend_total"
@@ -147,6 +153,13 @@ const (
 	ModelCacheTreedRebuild  = "treed-rebuild"
 )
 
+// LabelLevel is the label key of the per-rung fidelity series.
+const LabelLevel = "level"
+
+// FidelityLevelValues enumerates the label values of
+// MetricFidelitySelections: ladder indices, bounded by the maxlevel grid.
+var FidelityLevelValues = []string{"0", "1", "2", "3"}
+
 // Phase labels used with MetricLoopPhaseSeconds and trace span names.
 const (
 	PhaseFit      = "fit"
@@ -175,6 +188,11 @@ var AllMetricNames = []string{
 	MetricPoolSize,
 	MetricJobCost,
 	MetricJobMem,
+	MetricFidelityLevels,
+	Labeled(MetricFidelitySelections, LabelLevel, "0"),
+	Labeled(MetricFidelitySelections, LabelLevel, "1"),
+	Labeled(MetricFidelitySelections, LabelLevel, "2"),
+	Labeled(MetricFidelitySelections, LabelLevel, "3"),
 	MetricGPRebuilds,
 	MetricGPExtends,
 	MetricGPTrainRows,

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"math/rand"
 	"os"
+	"slices"
 
 	"alamr/internal/core"
 	"alamr/internal/engine"
@@ -51,6 +52,7 @@ type checkpointFile struct {
 	CumCost   float64         `json:"cum_cost"`
 	CumRegret float64         `json:"cum_regret"`
 	Model     string          `json:"model,omitempty"`
+	Fidelity  []int           `json:"fidelity,omitempty"`
 	Feeds     []feedRec       `json:"feeds"`
 	Result    *Result         `json:"result"`
 	LabState  json.RawMessage `json:"lab_state,omitempty"`
@@ -75,6 +77,7 @@ func (c *campaign) saveCheckpoint(done bool) error {
 		CumCost:   c.cumCost,
 		CumRegret: c.cumRegret,
 		Model:     configModelName(c.cfg),
+		Fidelity:  configFidelityLadder(c.cfg),
 		Feeds:     c.feeds,
 		Result:    c.res,
 		Done:      done,
@@ -157,16 +160,35 @@ func validateCheckpoint(cfg Config, ck *checkpointFile) error {
 	if got, want := canonicalModelName(ck.Model), canonicalModelName(configModelName(cfg)); got != want {
 		return fmt.Errorf("online: checkpoint was written with surrogate model %q, resuming with %q: %w", got, want, ErrCheckpointModelMismatch)
 	}
+	if !slices.Equal(ck.Fidelity, configFidelityLadder(cfg)) {
+		return fmt.Errorf("online: checkpoint was written with fidelity ladder %v, resuming with %v: %w",
+			ck.Fidelity, configFidelityLadder(cfg), ErrCheckpointModelMismatch)
+	}
 	return nil
 }
 
 // configModelName reports the configured surrogate family name; "" for the
 // default exact GP (and in pre-model checkpoints, which omitted the field).
+// A fidelity campaign's implicit default is the co-kriging model, so its
+// checkpoints are stamped "multifid" even with a nil Model spec.
 func configModelName(cfg Config) string {
 	if cfg.Model == nil {
+		if cfg.Fidelity != nil {
+			return engine.ModelMultiFid
+		}
 		return ""
 	}
 	return cfg.Model.Name
+}
+
+// configFidelityLadder reports the configured fidelity ladder's MaxLevel
+// values; nil for single-fidelity campaigns (and pre-fidelity checkpoints,
+// which omitted the field).
+func configFidelityLadder(cfg Config) []int {
+	if cfg.Fidelity == nil {
+		return nil
+	}
+	return cfg.Fidelity.Levels
 }
 
 // canonicalModelName folds the empty name into the explicit default so a

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 
 	"alamr/internal/amr"
@@ -222,10 +223,18 @@ type Config struct {
 	GP         gp.Config
 	Seed       int64
 	// Model selects the surrogate family from the engine registry
-	// ("exact", "sparse", "treed"); nil means the exact GP. The model name
+	// ("exact", "sparse", "treed", "multifid"); nil means the exact GP —
+	// or the co-kriging multifid model when Fidelity is set. The model name
 	// is recorded in checkpoints, so a resume under a different surrogate
 	// family is rejected instead of silently diverging.
 	Model *engine.ModelSpec
+	// Fidelity turns the campaign multi-fidelity: the lab's candidate grid
+	// is restricted to the ladder's MaxLevel rungs, the surrogates become
+	// co-kriging models over the ladder, the default init design seeds every
+	// rung, and policies see a per-candidate FidelityView (which the
+	// costperinfo acquisition requires). The ladder is stamped into
+	// checkpoints and validated on resume, like the model name.
+	Fidelity *engine.FidelitySpec
 
 	// Retry paces repeated attempts on failed jobs; the zero value means
 	// up to 3 attempts with 1s-base exponential backoff and deterministic
@@ -261,7 +270,18 @@ func (c *Config) setDefaults() {
 	}
 	c.GP.NormalizeY = true
 	if len(c.InitDesign) == 0 {
-		c.InitDesign = []dataset.Combo{{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1}}
+		base := dataset.Combo{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1}
+		if c.Fidelity != nil {
+			// Seed every rung so each δ-GP of the co-kriging ladder starts
+			// fitted (MultiFid needs at least the base level populated).
+			for _, l := range c.Fidelity.Levels {
+				b := base
+				b.MaxLevel = l
+				c.InitDesign = append(c.InitDesign, b)
+			}
+		} else {
+			c.InitDesign = []dataset.Combo{base}
+		}
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
@@ -289,6 +309,10 @@ type Result struct {
 	// ActualCost is the cost wasted up to the kill, and for OOM kills
 	// ActualMem is the RSS limit — a lower bound, not a measurement.
 	Censored []bool
+	// SelectedLevel records each AL selection's fidelity ladder index
+	// (multi-fidelity campaigns only; absent otherwise, keeping
+	// single-fidelity checkpoints byte-identical).
+	SelectedLevel []int `json:"SelectedLevel,omitempty"`
 
 	// Health is the campaign's fault ledger: every lab attempt is accounted
 	// as a success, a retried failure, a censored kill, or a fatal stop.
@@ -535,17 +559,24 @@ func fitFromFeeds(cfg Config, init []feedRec) (gp.Model, gp.Model, error) {
 }
 
 // newSurrogate constructs one unfitted surrogate of the configured family.
+// A fidelity campaign without an explicit model gets the co-kriging multifid
+// surrogate — a plain GP cannot tell the ladder's rungs apart.
 func newSurrogate(cfg Config) (gp.Model, error) {
+	deps := engine.ModelDeps{Kernel: cfg.Kernel, GP: cfg.GP, Fidelity: cfg.Fidelity}
 	if cfg.Model != nil {
-		return engine.BuildModel(*cfg.Model, engine.ModelDeps{Kernel: cfg.Kernel, GP: cfg.GP})
+		return engine.BuildModel(*cfg.Model, deps)
+	}
+	if cfg.Fidelity != nil {
+		return engine.BuildModel(engine.ModelSpec{Name: engine.ModelMultiFid}, deps)
 	}
 	return gp.New(cfg.Kernel, cfg.GP), nil
 }
 
 // rebuildPool derives the candidate pool: the design grid minus every
-// configuration that has already executed (including censored kills).
-// Filtering preserves grid order, so a resumed pool is identical to one
-// maintained incrementally.
+// configuration that has already executed (including censored kills), and —
+// in a fidelity campaign — minus every configuration whose MaxLevel is off
+// the ladder. Filtering preserves grid order, so a resumed pool is identical
+// to one maintained incrementally.
 func (c *campaign) rebuildPool() {
 	ran := make(map[dataset.Combo]bool, len(c.res.Jobs))
 	for _, j := range c.res.Jobs {
@@ -553,9 +584,13 @@ func (c *campaign) rebuildPool() {
 	}
 	c.pool = c.pool[:0]
 	for _, combo := range c.lab.Candidates() {
-		if !ran[combo] {
-			c.pool = append(c.pool, combo)
+		if ran[combo] {
+			continue
 		}
+		if c.cfg.Fidelity != nil && c.cfg.Fidelity.LevelOf(combo.MaxLevel) < 0 {
+			continue
+		}
+		c.pool = append(c.pool, combo)
 	}
 }
 
@@ -631,10 +666,24 @@ func (c *campaign) Score() *core.Candidates {
 		muC, sigC = c.gpCost.Predict(c.poolX)
 		muM, sigM = c.gpMem.Predict(c.poolX)
 	}
-	return &core.Candidates{
+	cands := &core.Candidates{
 		X: c.poolX, MuCost: muC, SigmaCost: sigC, MuMem: muM, SigmaMem: sigM,
 		MemLimitLog: c.memLimitLog,
 	}
+	if f := c.cfg.Fidelity; f != nil {
+		lv := make([]int, len(c.pool))
+		for i, combo := range c.pool {
+			lv[i] = f.LevelOf(combo.MaxLevel)
+		}
+		var gains []float64
+		if fs, ok := c.costCache.(gp.FidelityScorer); ok {
+			gains = fs.TopInfoGains()
+		} else if mf, ok := c.gpCost.(*gp.MultiFid); ok {
+			gains = mf.TopInfoGains(c.poolX)
+		}
+		cands.Fid = &engine.FidelityView{Level: lv, TopGain: gains}
+	}
+	return cands
 }
 
 // Execute implements engine.LoopEnv: run the proposal through the retry
@@ -643,13 +692,18 @@ func (c *campaign) Score() *core.Candidates {
 // (§V-C) — the wasted cost accrues to CC and CR. Anything else is fatal.
 func (c *campaign) Execute(pick int) (engine.Execution, error) {
 	combo := c.pool[pick]
+	level := 0
+	if c.cfg.Fidelity != nil {
+		level = c.cfg.Fidelity.LevelOf(combo.MaxLevel)
+	}
 	out := c.runJob(combo)
 	switch {
 	case out.OK:
-		return engine.Execution{Job: out.Job}, nil
+		return engine.Execution{Job: out.Job, Level: level}, nil
 	case out.Fault != nil && out.Fault.Severity == faults.Censored && !out.Exhausted:
 		return engine.Execution{
 			Job:      out.Fault.Job,
+			Level:    level,
 			Censored: true,
 			Violated: out.Fault.Class == faults.ClassOOM,
 		}, nil
@@ -671,6 +725,10 @@ func (c *campaign) Record(pick int, cands *core.Candidates, e engine.Execution, 
 	res.CumRegret = append(res.CumRegret, cumRegret)
 	res.Violation = append(res.Violation, violated)
 	res.Censored = append(res.Censored, e.Censored)
+	if c.cfg.Fidelity != nil {
+		res.SelectedLevel = append(res.SelectedLevel, e.Level)
+		obs.FidelitySelections.Inc(strconv.Itoa(e.Level))
+	}
 	c.cumCost, c.cumRegret = cumCost, cumRegret
 }
 
@@ -777,6 +835,18 @@ func Run(lab Lab, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if cfg.Policy == nil {
 		return nil, errors.New("online: Config.Policy is required")
+	}
+	if cfg.Fidelity != nil {
+		if err := cfg.Fidelity.Validate(); err != nil {
+			return nil, err
+		}
+		for _, combo := range cfg.InitDesign {
+			if cfg.Fidelity.LevelOf(combo.MaxLevel) < 0 {
+				return nil, fmt.Errorf("online: init design combo %+v has maxlevel %d off the fidelity ladder %v",
+					combo, combo.MaxLevel, cfg.Fidelity.Levels)
+			}
+		}
+		obs.FidelityLevels.Set(float64(len(cfg.Fidelity.Levels)))
 	}
 
 	if cfg.CheckpointPath != "" {

@@ -67,6 +67,7 @@ func RunSpecCtx(ctx context.Context, spec engine.CampaignSpec, ds *dataset.Datas
 		MaxExperiments:  o.MaxExperiments,
 		Seed:            spec.Seed,
 		Model:           spec.Model,
+		Fidelity:        spec.Fidelity,
 		CheckpointPath:  o.CheckpointPath,
 		CheckpointEvery: o.CheckpointEvery,
 		Campaign:        scope,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"alamr/internal/dataset"
+	"alamr/internal/engine"
 	"alamr/internal/faults"
 	"alamr/internal/obs"
 	"alamr/internal/stats"
@@ -44,6 +45,11 @@ type Config struct {
 	// Candidates is the dispatcher's candidate pool; nil means the paper's
 	// full combination grid.
 	Candidates []dataset.Combo
+	// Fidelity declares the campaign's fidelity ladder: the candidate pool
+	// restricts to the ladder's MaxLevel rungs and every job frame carries
+	// the combo's ladder index (see message.Fidelity). Nil keeps the
+	// single-fidelity wire format byte-identical.
+	Fidelity *engine.FidelitySpec
 }
 
 func (c *Config) setDefaults() {
@@ -398,12 +404,23 @@ func (d *Dispatcher) release(w *workerConn) {
 	d.wake()
 }
 
-// Candidates implements engine.Lab.
+// Candidates implements engine.Lab; a configured fidelity ladder restricts
+// the pool to its rungs.
 func (d *Dispatcher) Candidates() []dataset.Combo {
-	if d.cfg.Candidates != nil {
-		return d.cfg.Candidates
+	pool := d.cfg.Candidates
+	if pool == nil {
+		pool = dataset.AllCombos()
 	}
-	return dataset.AllCombos()
+	if d.cfg.Fidelity == nil {
+		return pool
+	}
+	out := make([]dataset.Combo, 0, len(pool))
+	for _, c := range pool {
+		if d.cfg.Fidelity.LevelOf(c.MaxLevel) >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Run implements engine.Lab: journal a run index for the configuration
@@ -452,7 +469,11 @@ func (d *Dispatcher) Run(c dataset.Combo) (dataset.Job, error) {
 	resultCh := w.begin(id)
 	obs.RemoteJobsDispatched.Inc()
 	w.wobs.dispatched.Inc()
-	if err := writeFrame(w.conn, message{Type: msgJob, ID: id, Combo: &c, Seed: seed, RSSLimitMB: d.cfg.RSSLimitMB}); err != nil {
+	frame := message{Type: msgJob, ID: id, Combo: &c, Seed: seed, RSSLimitMB: d.cfg.RSSLimitMB}
+	if d.cfg.Fidelity != nil {
+		frame.Fidelity = d.cfg.Fidelity.LevelOf(c.MaxLevel)
+	}
+	if err := writeFrame(w.conn, frame); err != nil {
 		w.fail(err)
 	}
 	end := <-resultCh

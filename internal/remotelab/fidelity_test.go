@@ -1,0 +1,87 @@
+package remotelab
+
+import (
+	"testing"
+
+	"alamr/internal/dataset"
+	"alamr/internal/engine"
+	"alamr/internal/online"
+)
+
+// TestFidelityJobFrames: a dispatcher configured with a fidelity ladder
+// restricts its candidate pool to the ladder and stamps every job frame with
+// the combo's ladder index, so workers see the fidelity without re-deriving
+// the ladder.
+func TestFidelityJobFrames(t *testing.T) {
+	ladder := &engine.FidelitySpec{Levels: []int{3, 4, 6}}
+	d := testDispatcher(t, Config{Seed: 13, Fidelity: ladder})
+
+	for _, c := range d.Candidates() {
+		if ladder.LevelOf(c.MaxLevel) < 0 {
+			t.Fatalf("candidate %+v is off the ladder %v", c, ladder.Levels)
+		}
+	}
+	if got, want := len(d.Candidates()), len(dataset.AllCombos())*3/4; got != want {
+		t.Fatalf("ladder pool has %d candidates, want %d (3 of 4 maxlevel rungs)", got, want)
+	}
+
+	conn := rawConn(t, d.Addr(), "observer")
+	waitWorkers(t, d, 1)
+
+	for _, combo := range []dataset.Combo{
+		{P: 8, Mx: 16, MaxLevel: 3, R0: 0.3, RhoIn: 0.1},
+		{P: 8, Mx: 16, MaxLevel: 4, R0: 0.3, RhoIn: 0.1},
+		{P: 8, Mx: 16, MaxLevel: 6, R0: 0.3, RhoIn: 0.1},
+	} {
+		done := make(chan error, 1)
+		go func() {
+			m, err := readFrame(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			if want := ladder.LevelOf(m.Combo.MaxLevel); m.Fidelity != want {
+				t.Errorf("job frame for maxlevel %d carries fidelity %d, want %d",
+					m.Combo.MaxLevel, m.Fidelity, want)
+			}
+			job, _ := SynthLab{}.RunSeeded(*m.Combo, m.Seed)
+			done <- writeFrame(conn, message{Type: msgResult, ID: m.ID, Job: &job})
+		}()
+		if _, err := d.Run(combo); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFidelityCampaignOverFleet drives a full multi-fidelity online campaign
+// through a worker fleet: the co-kriging surrogate, the cost-per-information
+// acquisition, and the remote execution seam compose, and every selection's
+// ladder level is recorded.
+func TestFidelityCampaignOverFleet(t *testing.T) {
+	ladder := &engine.FidelitySpec{Levels: []int{3, 4, 6}}
+	d := testDispatcher(t, Config{Seed: 19, Fidelity: ladder})
+	startWorker(t, d, "w0", SynthLab{}, 0)
+	startWorker(t, d, "w1", SynthLab{}, 0)
+	waitWorkers(t, d, 2)
+
+	res, err := online.Run(d, online.Config{
+		Policy:         engine.CostPerInfo{},
+		MaxExperiments: 6,
+		Seed:           19,
+		Fidelity:       ladder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SelectedLevel) != 6 {
+		t.Fatalf("recorded %d selection levels, want 6", len(res.SelectedLevel))
+	}
+	for i, j := range res.Jobs {
+		if ladder.LevelOf(j.MaxLevel) < 0 {
+			t.Fatalf("job %d ran at maxlevel %d, off the ladder", i, j.MaxLevel)
+		}
+	}
+}

@@ -62,6 +62,12 @@ type message struct {
 	ID    uint64         `json:"id,omitempty"`
 	Combo *dataset.Combo `json:"combo,omitempty"` // job
 	Seed  int64          `json:"seed,omitempty"`  // job: noise seed
+	// Fidelity rides on job frames of multi-fidelity campaigns: the combo's
+	// ladder index (0 = cheapest rung), so a heterogeneous fleet can route or
+	// provision per rung without re-deriving the ladder worker-side. Absent
+	// (0) on single-fidelity campaigns — their frames are byte-identical to
+	// the pre-fidelity protocol.
+	Fidelity int `json:"fidelity,omitempty"`
 	// RSSLimitMB rides on job frames so the whole fleet enforces the
 	// dispatcher's memory limit without per-worker configuration.
 	RSSLimitMB float64 `json:"rss_limit_mb,omitempty"`
